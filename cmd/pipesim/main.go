@@ -1,0 +1,83 @@
+// pipesim explores pipeline schedules interactively: pick a model, method,
+// vocabulary and sequence length; get the timeline, per-device stats, and
+// optionally a Chrome trace.
+//
+//	go run ./cmd/pipesim -model 4B -method vocab-2 -vocab 262144 -seq 2048 \
+//	    -micro 32 -chart -trace /tmp/trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vocabpipe/internal/costmodel"
+	"vocabpipe/internal/report"
+	"vocabpipe/internal/sim"
+	"vocabpipe/internal/trace"
+)
+
+func main() {
+	model := flag.String("model", "4B", "model config: 4B/10B/21B (1F1B) or 7B/16B/30B (V-Half)")
+	method := flag.String("method", "vocab-1", "baseline|redis|vocab-1|vocab-2|interlaced|vhalf-baseline|vhalf-vocab-1")
+	vocabSize := flag.Int("vocab", 131072, "vocabulary size")
+	seq := flag.Int("seq", 2048, "sequence length")
+	micro := flag.Int("micro", 0, "microbatches (0 = paper's 128)")
+	chart := flag.Bool("chart", false, "print the ASCII timeline")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON to this path")
+	flag.Parse()
+
+	cfg, ok := costmodel.ConfigByName(*model)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
+		os.Exit(2)
+	}
+	cfg = cfg.WithVocab(*vocabSize).WithSeq(*seq)
+	if *micro > 0 {
+		cfg.NumMicro = *micro
+	}
+
+	var m sim.Method
+	found := false
+	for _, cand := range append(append([]sim.Method{}, sim.OneF1BMethods...), sim.VHalfMethods...) {
+		if cand.String() == *method {
+			m = cand
+			found = true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown method %q\n", *method)
+		os.Exit(2)
+	}
+
+	r, err := sim.Run(cfg, m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s on %s: iteration %.3fs, MFU %.2f%%, worst bubble %s, OOM=%v\n",
+		m, cfg, r.IterTime, 100*r.MFU, report.Pct(r.Bubble), r.OOM)
+	t := report.New("per device", "device", "peak memory GB", "bubble", "in-flight")
+	for d := 0; d < cfg.Devices; d++ {
+		t.Add(d, report.GB(r.PeakMem[d]), report.Pct(r.Timeline.BubbleRatio(d)), r.InFlight[d])
+	}
+	fmt.Print(t.String())
+
+	if *chart {
+		fmt.Print(trace.ASCII(r.Timeline, 150))
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.WriteChromeTrace(f, r.Timeline); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote Chrome trace to %s (open in chrome://tracing or Perfetto)\n", *traceOut)
+	}
+}

@@ -1,0 +1,41 @@
+// Quickstart: partition an output vocabulary layer across 4 simulated
+// devices, run a forward+backward with Algorithm 2 (one communication
+// barrier), and verify the result against the unpartitioned reference —
+// the 30-second version of the paper's core idea.
+package main
+
+import (
+	"fmt"
+
+	"vocabpipe/internal/tensor"
+	"vocabpipe/internal/vocab"
+)
+
+func main() {
+	const (
+		devices = 4
+		hidden  = 32
+		batch   = 8
+	)
+	rng := tensor.NewRNG(42)
+	vocabSize := vocab.PadVocab(1000, devices) // pad to a multiple of 2p (§6.1)
+	fmt.Printf("vocabulary padded 1000 -> %d for %d devices\n", vocabSize, devices)
+
+	w := tensor.Randn(rng, vocabSize, hidden, 0.3) // embedding weights [V, h]
+	x := tensor.Randn(rng, batch, hidden, 1.0)     // last transformer layer output
+	labels := tensor.RandTokens(rng, batch, vocabSize)
+
+	// Unpartitioned reference.
+	ref := vocab.NewReference(w).ForwardBackward(x, labels)
+
+	// Vocabulary Parallelism: each variant trades communication barriers for
+	// a little extra compute (3 -> 2 -> 1 barriers, §4).
+	for _, alg := range []vocab.Algorithm{vocab.AlgNaive, vocab.Alg1, vocab.Alg2} {
+		res, bytes := vocab.RunSharded(w, x, labels, devices, alg)
+		fmt.Printf("%-8s barriers=%d  loss=%.9f (ref %.9f)  |∇X diff|=%.2e  |∇W diff|=%.2e  comm=%d B\n",
+			alg, alg.Barriers(), res.Loss, ref.Loss,
+			res.GradX.MaxAbsDiff(ref.GradX), res.GradW.MaxAbsDiff(ref.GradW), bytes)
+	}
+	fmt.Println("\nall variants match the reference to float64 round-off — the")
+	fmt.Println("reordering around communication barriers changes scheduling, not math.")
+}

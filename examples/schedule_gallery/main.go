@@ -1,0 +1,43 @@
+// Schedule gallery: renders the pipeline schedules the paper builds —
+// 1F1B, 1F1B with Vocabulary Parallelism (Algorithms 1 and 2), the
+// synchronous interlaced pipeline, and V-Half — as ASCII timelines, and
+// prints the activation accounting that motivates reducing communication
+// barriers (Fig 10: p+2 vs p+1 in-flight microbatches).
+package main
+
+import (
+	"fmt"
+
+	"vocabpipe/internal/costmodel"
+	"vocabpipe/internal/sim"
+	"vocabpipe/internal/trace"
+)
+
+func main() {
+	cfg, _ := costmodel.ConfigByName("4B")
+	cfg.NumMicro = 16 // small enough to read, large enough to show steady state
+	cfg = cfg.WithVocab(128 * 1024)
+
+	for _, m := range []sim.Method{sim.Baseline, sim.Redis, sim.Vocab1, sim.Vocab2, sim.Interlaced} {
+		r := sim.MustRun(cfg, m)
+		fmt.Printf("=== %s ===  iter=%.3fs  MFU=%.1f%%  in-flight/device=%v\n",
+			m, r.IterTime, 100*r.MFU, r.InFlight)
+		fmt.Print(trace.ASCII(r.Timeline, 150))
+		fmt.Println()
+	}
+
+	vh, _ := costmodel.ConfigByName("7B")
+	vh.NumMicro = 24
+	vh = vh.WithVocab(128 * 1024)
+	for _, m := range sim.VHalfMethods {
+		r := sim.MustRun(vh, m)
+		fmt.Printf("=== %s ===  iter=%.3fs  MFU=%.1f%%\n", m, r.IterTime, 100*r.MFU)
+		fmt.Print(trace.ASCII(r.Timeline, 150))
+		fmt.Println()
+	}
+
+	// The per-microbatch view of the first vocab schedule (Fig 10 style).
+	r := sim.MustRun(cfg, sim.Vocab2)
+	fmt.Println("=== vocab-2 pass order per device (first 24 passes, Fig 10b style) ===")
+	fmt.Print(trace.Detailed(r.Timeline, 24))
+}

@@ -1,0 +1,52 @@
+// Vocab scaling analysis: the Fig 2 study generalized — for any model shape,
+// show how the vocabulary layers' compute and memory grow relative to
+// transformer layers, and what that does to the baseline pipeline's MFU as
+// the vocabulary scales (the motivation section of the paper, quantified).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"vocabpipe/internal/costmodel"
+	"vocabpipe/internal/report"
+	"vocabpipe/internal/sim"
+)
+
+func main() {
+	model := flag.String("model", "Gemma2-9B", "zoo model (4B/10B/21B/7B/16B/30B) or Gemma2-9B")
+	flag.Parse()
+
+	var cfg costmodel.Config
+	if *model == "Gemma2-9B" {
+		cfg = costmodel.Gemma2_9B()
+	} else if c, ok := costmodel.ConfigByName(*model); ok {
+		cfg = c
+	} else {
+		fmt.Printf("unknown model %q\n", *model)
+		return
+	}
+
+	t := report.New(fmt.Sprintf("vocabulary layer ratios for %s (h=%d, s=%d)", cfg.Name, cfg.Hidden, cfg.Seq),
+		"vocab", "output/transformer compute", "vocab/transformer params", "# transformer layers 'worth' of output compute")
+	for _, v := range []int{32768, 65536, 131072, 262144, 524288} {
+		c := cfg.WithVocab(v)
+		t.Add(fmt.Sprintf("%dk", v/1024),
+			c.OutputToTransformerRatio(),
+			c.VocabToTransformerParamRatio(),
+			c.OutputToTransformerRatio())
+	}
+	fmt.Print(t.String())
+
+	// What imbalance does to the pipeline, if this model is in the zoo.
+	if _, ok := costmodel.ConfigByName(cfg.Name); ok {
+		t2 := report.New("simulated pipeline impact (1F1B)", "vocab", "baseline MFU%", "vocab-2 MFU%", "speedup")
+		for _, v := range costmodel.VocabSizes {
+			base := sim.MustRun(cfg.WithVocab(v), sim.Baseline)
+			v2 := sim.MustRun(cfg.WithVocab(v), sim.Vocab2)
+			t2.Add(fmt.Sprintf("%dk", v/1024), 100*base.MFU, 100*v2.MFU,
+				fmt.Sprintf("%.2fx", v2.MFU/base.MFU))
+		}
+		fmt.Print(t2.String())
+	}
+}

@@ -1,0 +1,288 @@
+// Package comm simulates the multi-device collective communication layer
+// (the role NCCL plays in the paper) across goroutine "devices". A World of p
+// ranks supports Broadcast, Reduce, AllReduce (sum and max), AllGather and
+// Barrier over []float64 buffers.
+//
+// Determinism: every reduction combines contributions in rank order, so a run
+// with the same seeds produces bit-identical results regardless of goroutine
+// scheduling. This mirrors the paper's reproducibility concern (its artifact
+// pins NCCL algorithms) and lets the correctness tests assert exact equality
+// between runs.
+//
+// Accounting: the world counts bytes moved and collective invocations per
+// rank. The simulator uses analogous counts analytically; here they document
+// the communication volume of each algorithm variant (3 vs 2 vs 1 barriers).
+package comm
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Op identifies a reduction operator.
+type Op int
+
+const (
+	// OpSum adds contributions elementwise.
+	OpSum Op = iota
+	// OpMax takes the elementwise maximum.
+	OpMax
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpSum:
+		return "sum"
+	case OpMax:
+		return "max"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// World coordinates p ranks. All collectives are synchronous: every rank must
+// call the same collective in the same order (standard SPMD contract). A
+// sequence number guards against mismatched calls in tests.
+type World struct {
+	p int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived int
+	phase   int // flips per collective round, prevents generation mixing
+	opName  string
+	buf     [][]float64 // per-rank contribution slots
+	scratch []float64   // reduced result
+	intBuf  []int       // rank that provided broadcast/root data
+
+	bytesMoved  atomic.Int64
+	collectives atomic.Int64
+}
+
+// NewWorld creates a world of p ranks.
+func NewWorld(p int) *World {
+	if p <= 0 {
+		panic("comm: world size must be positive")
+	}
+	w := &World{p: p, buf: make([][]float64, p), intBuf: make([]int, 1)}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.p }
+
+// BytesMoved returns the total payload bytes accounted across all collectives
+// so far (counts each rank's send once, float64 = 8 bytes).
+func (w *World) BytesMoved() int64 { return w.bytesMoved.Load() }
+
+// Collectives returns the number of collective rounds completed.
+func (w *World) Collectives() int64 { return w.collectives.Load() }
+
+// rendezvous runs fn exactly once (on the last arriving rank) after all ranks
+// have deposited their contribution, then releases everyone. It returns after
+// the round completes for the calling rank.
+func (w *World) rendezvous(rank int, opName string, contribution []float64, fn func()) {
+	if rank < 0 || rank >= w.p {
+		panic(fmt.Sprintf("comm: rank %d out of range [0,%d)", rank, w.p))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	// Wait for the previous round to fully drain (phase is even while a round
+	// collects, odd while it releases).
+	for w.phase%2 == 1 {
+		w.cond.Wait()
+	}
+	if w.arrived == 0 {
+		w.opName = opName
+	} else if w.opName != opName {
+		panic(fmt.Sprintf("comm: mismatched collectives: rank %d called %q while round is %q", rank, opName, w.opName))
+	}
+	if w.buf[rank] != nil {
+		panic(fmt.Sprintf("comm: rank %d called %q twice in one round", rank, opName))
+	}
+	if contribution == nil {
+		contribution = []float64{}
+	}
+	w.buf[rank] = contribution
+	w.arrived++
+
+	if w.arrived == w.p {
+		fn()
+		for i := range w.buf {
+			w.buf[i] = nil
+		}
+		w.arrived = 0
+		w.phase++ // enter release
+		w.collectives.Add(1)
+		w.cond.Broadcast()
+		// Releasing rank also participates in the release count below.
+	} else {
+		gen := w.phase
+		for w.phase == gen {
+			w.cond.Wait()
+		}
+	}
+
+	// Count this rank out of the release phase; last one flips back.
+	w.arrived++
+	if w.arrived == w.p {
+		w.arrived = 0
+		w.phase++
+		w.cond.Broadcast()
+	} else {
+		gen := w.phase
+		for w.phase == gen {
+			w.cond.Wait()
+		}
+	}
+}
+
+// AllReduce reduces data elementwise across ranks with op and writes the
+// result back into data on every rank.
+func (w *World) AllReduce(rank int, data []float64, op Op) {
+	n := len(data)
+	w.rendezvous(rank, "allreduce/"+op.String(), data, func() {
+		res := make([]float64, n)
+		if op == OpMax {
+			for i := range res {
+				res[i] = math.Inf(-1)
+			}
+		}
+		for r := 0; r < w.p; r++ {
+			c := w.buf[r]
+			if len(c) != n {
+				panic(fmt.Sprintf("comm: allreduce length mismatch: rank %d sent %d, expected %d", r, len(c), n))
+			}
+			switch op {
+			case OpSum:
+				for i, v := range c {
+					res[i] += v
+				}
+			case OpMax:
+				for i, v := range c {
+					if v > res[i] {
+						res[i] = v
+					}
+				}
+			}
+		}
+		w.scratch = res
+		w.bytesMoved.Add(int64(8 * n * w.p))
+	})
+	copy(data, w.scratch)
+}
+
+// Reduce reduces data elementwise onto root; non-root buffers are left
+// untouched. The paper implements Reduce as an AllReduce to keep communication
+// volume balanced (§6.1); ReduceAsAllReduce models that choice.
+func (w *World) Reduce(rank, root int, data []float64, op Op) {
+	n := len(data)
+	w.rendezvous(rank, "reduce/"+op.String(), data, func() {
+		res := make([]float64, n)
+		if op == OpMax {
+			for i := range res {
+				res[i] = math.Inf(-1)
+			}
+		}
+		for r := 0; r < w.p; r++ {
+			c := w.buf[r]
+			if len(c) != n {
+				panic(fmt.Sprintf("comm: reduce length mismatch: rank %d sent %d, expected %d", r, len(c), n))
+			}
+			switch op {
+			case OpSum:
+				for i, v := range c {
+					res[i] += v
+				}
+			case OpMax:
+				for i, v := range c {
+					if v > res[i] {
+						res[i] = v
+					}
+				}
+			}
+		}
+		w.scratch = res
+		w.bytesMoved.Add(int64(8 * n * w.p))
+	})
+	if rank == root {
+		copy(data, w.scratch)
+	}
+}
+
+// ReduceAsAllReduce performs the balanced-volume variant the paper uses: all
+// ranks receive the reduced value even though only the root needs it.
+func (w *World) ReduceAsAllReduce(rank int, data []float64, op Op) {
+	w.AllReduce(rank, data, op)
+}
+
+// Broadcast copies data from root to every rank. Non-root callers pass a
+// buffer of the same length which is overwritten.
+func (w *World) Broadcast(rank, root int, data []float64) {
+	n := len(data)
+	w.rendezvous(rank, "broadcast", data, func() {
+		src := w.buf[root]
+		if len(src) != n {
+			panic(fmt.Sprintf("comm: broadcast length mismatch at root: %d vs %d", len(src), n))
+		}
+		w.scratch = append([]float64(nil), src...)
+		w.bytesMoved.Add(int64(8 * n * (w.p - 1)))
+	})
+	if rank != root {
+		copy(data, w.scratch)
+	}
+}
+
+// AllGather concatenates each rank's equally-sized shard in rank order and
+// returns the full buffer on every rank.
+func (w *World) AllGather(rank int, shard []float64) []float64 {
+	n := len(shard)
+	w.rendezvous(rank, "allgather", shard, func() {
+		full := make([]float64, 0, n*w.p)
+		for r := 0; r < w.p; r++ {
+			if len(w.buf[r]) != n {
+				panic(fmt.Sprintf("comm: allgather shard length mismatch: rank %d sent %d, expected %d", r, len(w.buf[r]), n))
+			}
+			full = append(full, w.buf[r]...)
+		}
+		w.scratch = full
+		w.bytesMoved.Add(int64(8 * n * w.p * (w.p - 1)))
+	})
+	out := make([]float64, n*w.p)
+	copy(out, w.scratch)
+	return out
+}
+
+// Barrier blocks until all ranks arrive.
+func (w *World) Barrier(rank int) {
+	w.rendezvous(rank, "barrier", nil, func() {})
+}
+
+// Run launches fn on every rank concurrently and waits for all to finish.
+// Panics inside a rank are re-raised on the caller with rank context.
+func (w *World) Run(fn func(rank int)) {
+	errs := make([]any, w.p)
+	var wg sync.WaitGroup
+	for r := 0; r < w.p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if e := recover(); e != nil {
+					errs[rank] = e
+				}
+			}()
+			fn(rank)
+		}(r)
+	}
+	wg.Wait()
+	for r, e := range errs {
+		if e != nil {
+			panic(fmt.Sprintf("comm: rank %d panicked: %v", r, e))
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package comm
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllReduceSum(t *testing.T) {
+	w := NewWorld(4)
+	results := make([][]float64, 4)
+	w.Run(func(rank int) {
+		data := []float64{float64(rank), 1, float64(rank * rank)}
+		w.AllReduce(rank, data, OpSum)
+		results[rank] = data
+	})
+	want := []float64{0 + 1 + 2 + 3, 4, 0 + 1 + 4 + 9}
+	for r, got := range results {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("rank %d: AllReduceSum[%d] = %v, want %v", r, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAllReduceMax(t *testing.T) {
+	w := NewWorld(3)
+	results := make([][]float64, 3)
+	w.Run(func(rank int) {
+		data := []float64{float64(-rank), float64(rank), -100}
+		w.AllReduce(rank, data, OpMax)
+		results[rank] = data
+	})
+	want := []float64{0, 2, -100}
+	for r, got := range results {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("rank %d: AllReduceMax[%d] = %v, want %v", r, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAllReduceMaxNegInfIdentity(t *testing.T) {
+	// A rank with an "empty shard" contributes -Inf and must not perturb max.
+	w := NewWorld(2)
+	results := make([][]float64, 2)
+	w.Run(func(rank int) {
+		v := math.Inf(-1)
+		if rank == 1 {
+			v = 5
+		}
+		data := []float64{v}
+		w.AllReduce(rank, data, OpMax)
+		results[rank] = data
+	})
+	if results[0][0] != 5 || results[1][0] != 5 {
+		t.Fatalf("max with -Inf identity wrong: %v", results)
+	}
+}
+
+func TestReduceOnlyRootReceives(t *testing.T) {
+	w := NewWorld(4)
+	results := make([][]float64, 4)
+	w.Run(func(rank int) {
+		data := []float64{float64(rank + 1)}
+		w.Reduce(rank, 2, data, OpSum)
+		results[rank] = data
+	})
+	if results[2][0] != 10 {
+		t.Fatalf("root result = %v, want 10", results[2][0])
+	}
+	for _, r := range []int{0, 1, 3} {
+		if results[r][0] != float64(r+1) {
+			t.Fatalf("non-root rank %d buffer modified: %v", r, results[r][0])
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	w := NewWorld(4)
+	results := make([][]float64, 4)
+	w.Run(func(rank int) {
+		data := make([]float64, 3)
+		if rank == 1 {
+			data = []float64{7, 8, 9}
+		}
+		w.Broadcast(rank, 1, data)
+		results[rank] = data
+	})
+	for r, got := range results {
+		if got[0] != 7 || got[1] != 8 || got[2] != 9 {
+			t.Fatalf("rank %d broadcast result %v", r, got)
+		}
+	}
+}
+
+func TestAllGatherRankOrder(t *testing.T) {
+	w := NewWorld(3)
+	results := make([][]float64, 3)
+	w.Run(func(rank int) {
+		results[rank] = w.AllGather(rank, []float64{float64(rank * 10), float64(rank*10 + 1)})
+	})
+	want := []float64{0, 1, 10, 11, 20, 21}
+	for r, got := range results {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("rank %d allgather[%d] = %v, want %v", r, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	w := NewWorld(8)
+	var before, after atomic.Int32
+	w.Run(func(rank int) {
+		before.Add(1)
+		w.Barrier(rank)
+		if before.Load() != 8 {
+			t.Errorf("rank %d passed barrier before all arrived (%d)", rank, before.Load())
+		}
+		after.Add(1)
+	})
+	if after.Load() != 8 {
+		t.Fatalf("not all ranks passed barrier")
+	}
+}
+
+func TestSequentialCollectives(t *testing.T) {
+	// Many rounds back-to-back must not mix generations.
+	w := NewWorld(4)
+	w.Run(func(rank int) {
+		for round := 0; round < 200; round++ {
+			data := []float64{float64(rank + round)}
+			w.AllReduce(rank, data, OpSum)
+			want := float64(0+1+2+3) + 4*float64(round)
+			if data[0] != want {
+				t.Errorf("round %d rank %d: got %v, want %v", round, rank, data[0], want)
+			}
+		}
+	})
+}
+
+func TestMixedCollectiveSequence(t *testing.T) {
+	w := NewWorld(3)
+	w.Run(func(rank int) {
+		a := []float64{float64(rank)}
+		w.AllReduce(rank, a, OpMax)
+		b := make([]float64, 1)
+		if rank == 0 {
+			b[0] = a[0] * 2
+		}
+		w.Broadcast(rank, 0, b)
+		if b[0] != 4 {
+			t.Errorf("rank %d: pipeline of collectives wrong: %v", rank, b[0])
+		}
+		w.Barrier(rank)
+		g := w.AllGather(rank, []float64{b[0] + float64(rank)})
+		if g[0] != 4 || g[1] != 5 || g[2] != 6 {
+			t.Errorf("rank %d: allgather after barrier wrong: %v", rank, g)
+		}
+	})
+}
+
+func TestDeterministicSumOrder(t *testing.T) {
+	// Values chosen so that summation order changes the float result; the
+	// world must always reduce in rank order.
+	vals := []float64{1e16, 1, -1e16, 1}
+	var first []float64
+	for trial := 0; trial < 20; trial++ {
+		w := NewWorld(4)
+		out := make([]float64, 4)
+		w.Run(func(rank int) {
+			data := []float64{vals[rank]}
+			w.AllReduce(rank, data, OpSum)
+			out[rank] = data[0]
+		})
+		for r := 1; r < 4; r++ {
+			if out[r] != out[0] {
+				t.Fatalf("ranks disagree: %v", out)
+			}
+		}
+		if trial == 0 {
+			first = append([]float64(nil), out...)
+		} else if out[0] != first[0] {
+			t.Fatalf("trial %d: nondeterministic sum %v vs %v", trial, out[0], first[0])
+		}
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	w := NewWorld(4)
+	w.Run(func(rank int) {
+		data := make([]float64, 10)
+		w.AllReduce(rank, data, OpSum)
+	})
+	if got := w.BytesMoved(); got != 8*10*4 {
+		t.Fatalf("BytesMoved = %d, want %d", got, 8*10*4)
+	}
+	if w.Collectives() != 1 {
+		t.Fatalf("Collectives = %d, want 1", w.Collectives())
+	}
+}
+
+func TestWorldSizeOne(t *testing.T) {
+	w := NewWorld(1)
+	w.Run(func(rank int) {
+		data := []float64{42}
+		w.AllReduce(rank, data, OpSum)
+		if data[0] != 42 {
+			t.Errorf("p=1 allreduce changed data: %v", data[0])
+		}
+		w.Barrier(rank)
+		g := w.AllGather(rank, []float64{7})
+		if len(g) != 1 || g[0] != 7 {
+			t.Errorf("p=1 allgather wrong: %v", g)
+		}
+	})
+}
+
+func TestNewWorldPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for p=0")
+		}
+	}()
+	NewWorld(0)
+}
+
+func TestPropAllReduceSumMatchesSerial(t *testing.T) {
+	f := func(seed uint64, pRaw, nRaw uint8) bool {
+		p := int(pRaw%7) + 1
+		n := int(nRaw%9) + 1
+		// Deterministic pseudo-data per (rank, i).
+		val := func(rank, i int) float64 {
+			x := seed ^ uint64(rank*1000+i)
+			return float64(int64(x%2001) - 1000)
+		}
+		want := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for r := 0; r < p; r++ {
+				want[i] += val(r, i)
+			}
+		}
+		w := NewWorld(p)
+		ok := true
+		results := make([][]float64, p)
+		w.Run(func(rank int) {
+			data := make([]float64, n)
+			for i := range data {
+				data[i] = val(rank, i)
+			}
+			w.AllReduce(rank, data, OpSum)
+			results[rank] = data
+		})
+		for r := 0; r < p; r++ {
+			for i := 0; i < n; i++ {
+				if results[r][i] != want[i] {
+					ok = false
+				}
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,212 @@
+// Package pipeline runs numeric end-to-end training two ways — with the
+// unpartitioned vocabulary layers and with Vocabulary Parallelism sharded
+// across p devices — and verifies they produce the same loss trajectory,
+// reproducing the paper's Appendix E / Fig 17 correctness evaluation.
+//
+// The transformer trunk is stage-partitioned logically; since the stages
+// execute the same float64 math in the same order, the interesting
+// correctness surface is entirely in the vocabulary layers, whose sharded
+// execution runs on real goroutine devices with real collectives
+// (internal/comm). Data is a synthetic token stream (the paper's C4-derived
+// set is not redistributable; any stream exercises the identical code path).
+package pipeline
+
+import (
+	"fmt"
+
+	"vocabpipe/internal/comm"
+	"vocabpipe/internal/tensor"
+	"vocabpipe/internal/transformer"
+	"vocabpipe/internal/vocab"
+)
+
+// TrainConfig describes a small training run.
+type TrainConfig struct {
+	Model     transformer.ModelConfig
+	Steps     int
+	SeqLen    int
+	LR        float64
+	Seed      uint64
+	Devices   int             // vocabulary shards (ignored by the serial trainer)
+	Algorithm vocab.Algorithm // output-layer variant for the sharded trainer
+}
+
+// Record is one training step's outcome.
+type Record struct {
+	Step int
+	Loss float64 // mean cross-entropy per token
+}
+
+// dataStream deterministically generates (tokens, labels) pairs: next-token
+// prediction over a synthetic Markov-ish stream.
+type dataStream struct {
+	rng   *tensor.RNG
+	vocab int
+}
+
+func (d *dataStream) next(seqLen int) (tokens, labels []int) {
+	// A weakly structured stream: the next token is correlated with the
+	// previous one so the model has something learnable.
+	tokens = make([]int, seqLen)
+	labels = make([]int, seqLen)
+	cur := d.rng.Intn(d.vocab)
+	for i := 0; i < seqLen; i++ {
+		tokens[i] = cur
+		if d.rng.Float64() < 0.9 {
+			cur = (cur*31 + 7) % d.vocab
+		} else {
+			cur = d.rng.Intn(d.vocab)
+		}
+		labels[i] = cur
+	}
+	return tokens, labels
+}
+
+// TrainSerial trains with the unpartitioned reference vocabulary layers.
+func TrainSerial(cfg TrainConfig) []Record {
+	model := transformer.NewModel(tensor.NewRNG(cfg.Seed), cfg.Model)
+	opt := transformer.NewAdam(cfg.LR)
+	stream := &dataStream{rng: tensor.NewRNG(cfg.Seed + 1), vocab: cfg.Model.Vocab}
+	records := make([]Record, 0, cfg.Steps)
+
+	for step := 0; step < cfg.Steps; step++ {
+		tokens, labels := stream.next(cfg.SeqLen)
+		model.ZeroGrads()
+
+		input := &vocab.ReferenceInput{W: model.Embed, Pos: model.Pos}
+		x := model.ForwardTrunk(input.Forward(tokens))
+		res := vocab.NewReference(model.OutW).ForwardBackward(x, labels)
+		model.GradOutW.AddInPlace(res.GradW)
+		dEmbed := model.BackwardTrunk(res.GradX)
+		ge, gp := input.Backward(tokens, dEmbed)
+		model.GradEmbed.AddInPlace(ge)
+		model.GradPos.AddInPlace(gp)
+
+		opt.Step(model.Params())
+		records = append(records, Record{Step: step, Loss: res.Loss / float64(len(labels))})
+	}
+	return records
+}
+
+// TrainVocabParallel trains the same model with the vocabulary layers
+// sharded across cfg.Devices goroutine devices. Weight updates for the
+// sharded layers happen per device on its own slice; the trunk updates are
+// identical to the serial run. The returned loss trajectory must match
+// TrainSerial to float64 tolerance — the Fig 17 claim.
+func TrainVocabParallel(cfg TrainConfig) []Record {
+	p := cfg.Devices
+	if p <= 0 {
+		panic("pipeline: Devices must be positive")
+	}
+	if cfg.Model.Vocab%p != 0 {
+		panic(fmt.Sprintf("pipeline: vocab %d not divisible by %d devices (pad first)", cfg.Model.Vocab, p))
+	}
+	model := transformer.NewModel(tensor.NewRNG(cfg.Seed), cfg.Model)
+	opt := transformer.NewAdam(cfg.LR)
+	stream := &dataStream{rng: tensor.NewRNG(cfg.Seed + 1), vocab: cfg.Model.Vocab}
+
+	// Per-device shards own copies of their slices; a per-shard Adam keeps
+	// optimizer state local, exactly as the real system would.
+	world := comm.NewWorld(p)
+	inShards := make([]*vocab.InputShard, p)
+	outShards := make([]*vocab.OutputShard, p)
+	inOpts := make([]*transformer.Adam, p)
+	outOpts := make([]*transformer.Adam, p)
+	var posOpt *transformer.Adam
+	for r := 0; r < p; r++ {
+		inShards[r] = vocab.NewInputShard(world, r, model.Embed, model.Pos)
+		outShards[r] = vocab.NewOutputShard(world, r, model.OutW)
+		inOpts[r] = transformer.NewAdam(cfg.LR)
+		outOpts[r] = transformer.NewAdam(cfg.LR)
+	}
+	posOpt = transformer.NewAdam(cfg.LR)
+
+	records := make([]Record, 0, cfg.Steps)
+	for step := 0; step < cfg.Steps; step++ {
+		tokens, labels := stream.next(cfg.SeqLen)
+		model.ZeroGrads()
+
+		// Input layer: sharded forward (all-reduce assembles activations).
+		embOut := make([]*tensor.Matrix, p)
+		world.Run(func(r int) {
+			embOut[r] = inShards[r].Forward(tokens)
+		})
+		x := model.ForwardTrunk(embOut[0])
+
+		// Output layer: sharded forward+backward under the selected
+		// algorithm, including the C0 broadcast from the "last stage".
+		losses := make([]float64, p)
+		gradXs := make([]*tensor.Matrix, p)
+		outGrads := make([]*tensor.Matrix, p)
+		world.Run(func(r int) {
+			xr := tensor.New(x.Rows, x.Cols)
+			if r == p-1 {
+				xr.CopyFrom(x)
+			}
+			world.Broadcast(r, p-1, xr.Data)
+			res := outShards[r].ForwardBackward(xr, labels, cfg.Algorithm)
+			losses[r] = res.Loss
+			gradXs[r] = res.GradX
+			outGrads[r] = res.GradW
+		})
+
+		// Trunk backward and input layer backward (broadcast of the gradient
+		// is implicit: every rank computes from the same dEmbed).
+		dEmbed := model.BackwardTrunk(gradXs[0])
+		inGrads := make([]*tensor.Matrix, p)
+		var gradPos *tensor.Matrix
+		world.Run(func(r int) {
+			gw, gp := inShards[r].Backward(tokens, dEmbed)
+			inGrads[r] = gw
+			if r == 0 {
+				gradPos = gp
+			}
+		})
+
+		// Updates: trunk via the shared optimizer, shards locally.
+		opt.Step(trunkParams(model))
+		posOpt.Step([]transformer.Param{{Value: model.Pos.Data, Grad: gradPos.Data}})
+		if inShards[0].Pos != nil {
+			// Keep rank 0's position copy in sync with the canonical one.
+			inShards[0].Pos.CopyFrom(model.Pos)
+		}
+		for r := 0; r < p; r++ {
+			inOpts[r].Step([]transformer.Param{{Value: inShards[r].W.Data, Grad: inGrads[r].Data}})
+			outOpts[r].Step([]transformer.Param{{Value: outShards[r].W.Data, Grad: outGrads[r].Data}})
+		}
+		records = append(records, Record{Step: step, Loss: losses[0] / float64(len(labels))})
+	}
+	return records
+}
+
+// trunkParams returns the model's parameters minus the vocabulary layers
+// (which the shards own in the parallel trainer).
+func trunkParams(m *transformer.Model) []transformer.Param {
+	all := m.Params()
+	out := make([]transformer.Param, 0, len(all))
+	for _, pr := range all {
+		if &pr.Value[0] == &m.Embed.Data[0] || &pr.Value[0] == &m.OutW.Data[0] || &pr.Value[0] == &m.Pos.Data[0] {
+			continue
+		}
+		out = append(out, pr)
+	}
+	return out
+}
+
+// MaxLossDiff returns the largest per-step |a-b| between two trajectories.
+func MaxLossDiff(a, b []Record) float64 {
+	if len(a) != len(b) {
+		panic("pipeline: trajectory lengths differ")
+	}
+	worst := 0.0
+	for i := range a {
+		d := a[i].Loss - b[i].Loss
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

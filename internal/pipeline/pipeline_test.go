@@ -1,0 +1,105 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"vocabpipe/internal/transformer"
+	"vocabpipe/internal/vocab"
+)
+
+func tinyConfig(devices int, alg vocab.Algorithm) TrainConfig {
+	return TrainConfig{
+		Model:     transformer.ModelConfig{Vocab: 32, MaxSeq: 12, Hidden: 8, Layers: 2, Heads: 2},
+		Steps:     30,
+		SeqLen:    10,
+		LR:        1e-2,
+		Seed:      1234,
+		Devices:   devices,
+		Algorithm: alg,
+	}
+}
+
+func TestSerialTrainingLearns(t *testing.T) {
+	cfg := tinyConfig(1, vocab.Alg1)
+	cfg.Steps = 200
+	cfg.SeqLen = 16
+	recs := TrainSerial(cfg)
+	mean := func(rs []Record) float64 {
+		s := 0.0
+		for _, r := range rs {
+			s += r.Loss
+		}
+		return s / float64(len(rs))
+	}
+	first := mean(recs[:10])
+	last := mean(recs[len(recs)-10:])
+	if last > first-0.3 {
+		t.Fatalf("loss did not decrease meaningfully: %v -> %v", first, last)
+	}
+	// Initial loss should be near ln(V) = ln 32 ≈ 3.47 for a fresh model.
+	if math.Abs(recs[0].Loss-math.Log(32)) > 0.7 {
+		t.Fatalf("initial loss %v far from ln(V)=%v", recs[0].Loss, math.Log(32))
+	}
+}
+
+// TestConvergenceEquivalence is the Fig 17 / Appendix E reproduction: the
+// vocabulary-parallel trainer must match the serial trainer step for step,
+// for every algorithm and several device counts.
+func TestConvergenceEquivalence(t *testing.T) {
+	serial := TrainSerial(tinyConfig(1, vocab.Alg1))
+	for _, p := range []int{1, 2, 4} {
+		for _, alg := range []vocab.Algorithm{vocab.AlgNaive, vocab.Alg1, vocab.Alg2} {
+			par := TrainVocabParallel(tinyConfig(p, alg))
+			if d := MaxLossDiff(serial, par); d > 1e-8 {
+				t.Errorf("p=%d %v: loss trajectories diverge by %g", p, alg, d)
+			}
+		}
+	}
+}
+
+func TestVocabParallelDeterministic(t *testing.T) {
+	a := TrainVocabParallel(tinyConfig(4, vocab.Alg2))
+	b := TrainVocabParallel(tinyConfig(4, vocab.Alg2))
+	if d := MaxLossDiff(a, b); d != 0 {
+		t.Fatalf("repeated runs differ by %g (collectives not deterministic?)", d)
+	}
+}
+
+func TestTrainRecordsStepNumbers(t *testing.T) {
+	recs := TrainSerial(tinyConfig(1, vocab.Alg1))
+	for i, r := range recs {
+		if r.Step != i {
+			t.Fatalf("record %d has step %d", i, r.Step)
+		}
+	}
+}
+
+func TestVocabParallelPanicsOnBadDevices(t *testing.T) {
+	cfg := tinyConfig(5, vocab.Alg1) // 32 % 5 != 0
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for indivisible vocab")
+		}
+	}()
+	TrainVocabParallel(cfg)
+}
+
+func TestMaxLossDiffPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	MaxLossDiff([]Record{{}}, []Record{})
+}
+
+func TestDataStreamDeterministic(t *testing.T) {
+	cfgA := tinyConfig(1, vocab.Alg1)
+	cfgA.Steps = 3
+	a := TrainSerial(cfgA)
+	b := TrainSerial(cfgA)
+	if MaxLossDiff(a, b) != 0 {
+		t.Fatalf("serial training not deterministic")
+	}
+}

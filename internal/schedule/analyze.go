@@ -1,0 +1,271 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+)
+
+// memEvent is a +/- delta at a time point.
+type memEvent struct {
+	t     float64
+	delta float64
+	// order breaks ties: releases before acquisitions at the same instant,
+	// so back-to-back B(i)/F(i+1) do not double-count.
+	order int
+}
+
+// peakOf sweeps events and returns the maximum running sum.
+func peakOf(events []memEvent) float64 {
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		return events[i].order < events[j].order
+	})
+	cur, peak := 0.0, 0.0
+	for _, ev := range events {
+		cur += ev.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+// PeakActivationBytes returns the per-device peak activation memory measured
+// from the timeline: each microbatch pins its stage's ActBytes from F start
+// to B end, and vocabulary/interlaced segments pin their transient buffers
+// from S (or V) start to T (or V) end.
+func (tl *Timeline) PeakActivationBytes() []float64 {
+	spec := tl.Spec
+	out := make([]float64, spec.P)
+
+	// Index B end times: [stage][micro].
+	bEnd := make([][]float64, spec.NumStages())
+	tEnd := make([][]float64, spec.P)
+	for i := range bEnd {
+		bEnd[i] = make([]float64, spec.M)
+	}
+	for i := range tEnd {
+		tEnd[i] = make([]float64, spec.M)
+	}
+	for _, p := range tl.Passes {
+		switch p.Type {
+		case PassB:
+			bEnd[spec.StageOf(p.Device, p.Chunk)][p.Micro] = p.End
+		case PassT:
+			tEnd[p.Device][p.Micro] = p.End
+		}
+	}
+
+	for d := 0; d < spec.P; d++ {
+		var events []memEvent
+		for _, p := range tl.ByDevice[d] {
+			switch p.Type {
+			case PassF:
+				st := spec.StageOf(d, p.Chunk)
+				act := spec.Stages[st].ActBytes
+				events = append(events,
+					memEvent{p.Start, act, 1},
+					memEvent{bEnd[st][p.Micro], -act, 0})
+			case PassS:
+				if v := spec.Vocab; v != nil && v.ActBytes > 0 {
+					events = append(events,
+						memEvent{p.Start, v.ActBytes, 1},
+						memEvent{tEnd[d][p.Micro], -v.ActBytes, 0})
+				}
+			case PassV:
+				if iv := spec.Interlaced; iv != nil && iv.ActBytes > 0 {
+					events = append(events,
+						memEvent{p.Start, iv.ActBytes, 1},
+						memEvent{p.End, -iv.ActBytes, 0})
+				}
+			}
+		}
+		out[d] = peakOf(events)
+	}
+	return out
+}
+
+// PeakInFlight returns, per device, the maximum number of simultaneously
+// in-flight microbatches (F started, B not finished), summed across chunks.
+// For 1F1B this is p−d; the paper's Fig 10 caption states p+2 for Algorithm 1
+// and p+1 for Algorithm 2 on device 0.
+func (tl *Timeline) PeakInFlight() []int {
+	spec := tl.Spec
+	out := make([]int, spec.P)
+	bEnd := make([][]float64, spec.NumStages())
+	for i := range bEnd {
+		bEnd[i] = make([]float64, spec.M)
+	}
+	for _, p := range tl.Passes {
+		if p.Type == PassB {
+			bEnd[spec.StageOf(p.Device, p.Chunk)][p.Micro] = p.End
+		}
+	}
+	for d := 0; d < spec.P; d++ {
+		var events []memEvent
+		for _, p := range tl.ByDevice[d] {
+			if p.Type != PassF {
+				continue
+			}
+			st := spec.StageOf(d, p.Chunk)
+			events = append(events,
+				memEvent{p.Start, 1, 1},
+				memEvent{bEnd[st][p.Micro], -1, 0})
+		}
+		out[d] = int(peakOf(events) + 0.5)
+	}
+	return out
+}
+
+// DeviceParamBytes sums the static parameter footprint of a device's stages.
+func (tl *Timeline) DeviceParamBytes(d int) float64 {
+	spec := tl.Spec
+	total := 0.0
+	for c := 0; c < spec.Chunks; c++ {
+		total += spec.Stages[spec.StageOf(d, c)].ParamBytes
+	}
+	return total
+}
+
+// DeviceExtraActBytes sums static extra activation charges of a device.
+func (tl *Timeline) DeviceExtraActBytes(d int) float64 {
+	spec := tl.Spec
+	total := 0.0
+	for c := 0; c < spec.Chunks; c++ {
+		total += spec.Stages[spec.StageOf(d, c)].ExtraActBytes
+	}
+	return total
+}
+
+// PeakMemoryBytes returns per-device peak memory: parameters + measured peak
+// activations + static extras + the supplied constant overhead.
+func (tl *Timeline) PeakMemoryBytes(overhead float64) []float64 {
+	acts := tl.PeakActivationBytes()
+	out := make([]float64, tl.Spec.P)
+	for d := range out {
+		out[d] = tl.DeviceParamBytes(d) + acts[d] + tl.DeviceExtraActBytes(d) + overhead
+	}
+	return out
+}
+
+// Validate checks the committed timeline for dependency violations; it is
+// used by tests to prove the constructor honors the paper's constraints
+// (§5.1) rather than assuming them.
+func (tl *Timeline) Validate() error {
+	spec := tl.Spec
+	fEnd := make([][]float64, spec.NumStages())
+	bStart := make([][]float64, spec.NumStages())
+	bEnd := make([][]float64, spec.NumStages())
+	sStart := make([][]float64, spec.P)
+	sEnd := make([][]float64, spec.P)
+	tStart := make([][]float64, spec.P)
+	tEnd := make([][]float64, spec.P)
+	fStart := make([][]float64, spec.NumStages())
+	vEnd := make([][]float64, spec.P)
+	for i := 0; i < spec.NumStages(); i++ {
+		fEnd[i] = make([]float64, spec.M)
+		fStart[i] = make([]float64, spec.M)
+		bStart[i] = make([]float64, spec.M)
+		bEnd[i] = make([]float64, spec.M)
+	}
+	for i := 0; i < spec.P; i++ {
+		sStart[i] = make([]float64, spec.M)
+		sEnd[i] = make([]float64, spec.M)
+		tStart[i] = make([]float64, spec.M)
+		tEnd[i] = make([]float64, spec.M)
+		vEnd[i] = make([]float64, spec.M)
+	}
+	counts := map[PassType]int{}
+	for _, p := range tl.Passes {
+		counts[p.Type]++
+		switch p.Type {
+		case PassF:
+			st := spec.StageOf(p.Device, p.Chunk)
+			fStart[st][p.Micro], fEnd[st][p.Micro] = p.Start, p.End
+		case PassB:
+			st := spec.StageOf(p.Device, p.Chunk)
+			bStart[st][p.Micro], bEnd[st][p.Micro] = p.Start, p.End
+		case PassS:
+			sStart[p.Device][p.Micro], sEnd[p.Device][p.Micro] = p.Start, p.End
+		case PassT:
+			tStart[p.Device][p.Micro], tEnd[p.Device][p.Micro] = p.Start, p.End
+		case PassV:
+			vEnd[p.Device][p.Micro] = p.End
+		}
+	}
+	if counts[PassF] != spec.NumStages()*spec.M || counts[PassB] != spec.NumStages()*spec.M {
+		return errf("missing F/B passes: %d/%d of %d", counts[PassF], counts[PassB], spec.NumStages()*spec.M)
+	}
+	last := spec.NumStages() - 1
+	const tol = 1e-9
+	for i := 0; i < spec.M; i++ {
+		for st := 1; st < spec.NumStages(); st++ {
+			if fStart[st][i]+tol < fEnd[st-1][i]+spec.SendTime {
+				return errf("F(stage %d, mb %d) starts %.6g before upstream F ends %.6g", st, i, fStart[st][i], fEnd[st-1][i])
+			}
+		}
+		for st := 0; st < last; st++ {
+			if bStart[st][i]+tol < bEnd[st+1][i]+spec.SendTime {
+				return errf("B(stage %d, mb %d) starts before downstream B ends", st, i)
+			}
+		}
+		for st := 0; st < spec.NumStages(); st++ {
+			if bStart[st][i]+tol < fEnd[st][i] {
+				return errf("B(stage %d, mb %d) starts before its own F ends", st, i)
+			}
+		}
+		if v := spec.Vocab; v != nil {
+			maxS, maxT := 0.0, 0.0
+			for d := 0; d < spec.P; d++ {
+				if sStart[d][i]+tol < fEnd[last][i]+v.BcastTime {
+					return errf("S(dev %d, mb %d) starts before last-stage F + broadcast", d, i)
+				}
+				if sEnd[d][i] > maxS {
+					maxS = sEnd[d][i]
+				}
+				if tEnd[d][i] > maxT {
+					maxT = tEnd[d][i]
+				}
+			}
+			for d := 0; d < spec.P; d++ {
+				if tStart[d][i]+tol < maxS+v.C1Time {
+					return errf("T(dev %d, mb %d) starts before barrier C1", d, i)
+				}
+			}
+			switch v.Barriers {
+			case 2:
+				if bStart[last][i]+tol < maxT+v.C2Time {
+					return errf("B(last, mb %d) starts before barrier C2 (Algorithm 1)", i)
+				}
+			case 1:
+				if bStart[last][i]+tol < maxS+v.C1Time+v.C2Time {
+					return errf("B(last, mb %d) starts before C1+∇X reduce (Algorithm 2)", i)
+				}
+			}
+		}
+		if spec.Interlaced != nil {
+			maxV := 0.0
+			for d := 0; d < spec.P; d++ {
+				if vEnd[d][i] > maxV {
+					maxV = vEnd[d][i]
+				}
+			}
+			if bStart[last][i]+tol < maxV {
+				return errf("B(last, mb %d) starts before interlaced vocab segment completes", i)
+			}
+		}
+	}
+	// No overlapping passes on a device's compute stream.
+	for d, ps := range tl.ByDevice {
+		for k := 1; k < len(ps); k++ {
+			if ps[k].Start+tol < ps[k-1].End {
+				return errf("device %d: pass %v overlaps previous", d, ps[k].Pass)
+			}
+		}
+	}
+	return nil
+}
+
+func errf(format string, args ...any) error { return fmt.Errorf("schedule: "+format, args...) }

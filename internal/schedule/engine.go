@@ -1,0 +1,439 @@
+package schedule
+
+import (
+	"fmt"
+	"math"
+)
+
+// Build constructs the timed schedule for spec. It returns an error if the
+// spec is inconsistent or the constructor cannot make progress (which would
+// indicate a dependency cycle — none of the shipped generators produce one).
+func Build(spec *Spec) (*Timeline, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	e := newEngine(spec)
+	return e.run()
+}
+
+// MustBuild is Build for specs known to be valid (generators, tests).
+func MustBuild(spec *Spec) *Timeline {
+	tl, err := Build(spec)
+	if err != nil {
+		panic(err)
+	}
+	return tl
+}
+
+const unscheduled = -1.0
+
+type engine struct {
+	spec   *Spec
+	nStage int
+	last   int // last stage index
+
+	fEnd, bEnd [][]float64 // [stage][micro]
+	sEnd       [][]float64 // [device][micro]
+	tEnd       [][]float64 // [device][micro]
+	vEnd       [][]float64 // [device][micro]
+
+	sRemaining []int // per micro: S passes not yet committed
+	tRemaining []int
+	vRemaining []int
+	c1End      []float64 // per micro; set when the last S commits
+	c2End      []float64 // per micro; set when the last T commits (Alg1)
+	vBarrier   []float64 // per micro; set when the last V commits
+
+	nextF, nextB, nextW [][]int // [device][chunk]
+	nextS, nextT, nextV []int   // [device]
+	inFlight            [][]int // [device][chunk]
+	cap                 [][]int // [device][chunk]
+	freeAt              []float64
+
+	remaining int
+	timeline  *Timeline
+}
+
+func newEngine(spec *Spec) *engine {
+	e := &engine{spec: spec, nStage: spec.NumStages()}
+	e.last = e.nStage - 1
+	mk2 := func(n, m int) [][]float64 {
+		out := make([][]float64, n)
+		for i := range out {
+			row := make([]float64, m)
+			for j := range row {
+				row[j] = unscheduled
+			}
+			out[i] = row
+		}
+		return out
+	}
+	e.fEnd = mk2(e.nStage, spec.M)
+	e.bEnd = mk2(e.nStage, spec.M)
+	e.sEnd = mk2(spec.P, spec.M)
+	e.tEnd = mk2(spec.P, spec.M)
+	e.vEnd = mk2(spec.P, spec.M)
+	e.c1End = make([]float64, spec.M)
+	e.c2End = make([]float64, spec.M)
+	e.vBarrier = make([]float64, spec.M)
+	e.sRemaining = make([]int, spec.M)
+	e.tRemaining = make([]int, spec.M)
+	e.vRemaining = make([]int, spec.M)
+	for i := range e.c1End {
+		e.c1End[i] = unscheduled
+		e.c2End[i] = unscheduled
+		e.vBarrier[i] = unscheduled
+		e.sRemaining[i] = spec.P
+		e.tRemaining[i] = spec.P
+		e.vRemaining[i] = spec.P
+	}
+
+	e.nextF = make([][]int, spec.P)
+	e.nextB = make([][]int, spec.P)
+	e.nextW = make([][]int, spec.P)
+	for d := 0; d < spec.P; d++ {
+		e.nextF[d] = make([]int, spec.Chunks)
+		e.nextB[d] = make([]int, spec.Chunks)
+		e.nextW[d] = make([]int, spec.Chunks)
+	}
+	e.nextS = make([]int, spec.P)
+	e.nextT = make([]int, spec.P)
+	e.nextV = make([]int, spec.P)
+	e.inFlight = make([][]int, spec.P)
+	e.freeAt = make([]float64, spec.P)
+
+	e.cap = make([][]int, spec.P)
+	scale := spec.CapScale
+	if scale == 0 {
+		scale = 1
+	}
+	for d := 0; d < spec.P; d++ {
+		e.inFlight[d] = make([]int, spec.Chunks)
+		e.cap[d] = make([]int, spec.Chunks)
+		for c := 0; c < spec.Chunks; c++ {
+			var base float64
+			if spec.Chunks == 1 {
+				base = float64(spec.P - d)
+			} else {
+				// V-shape with split backward (B≈F≈W per half-stage): a
+				// stage's lifespan is proportional to its round-trip distance
+				// to the pipeline's turning point, and each device works 3
+				// pass-units per microbatch per chunk, so the in-flight need
+				// is lifespan/interval: (2P−1−d)/3 for the first V leg and
+				// (d+1)/3 for the second. The two legs complement each other,
+				// which is exactly how V-Half balances activation memory
+				// across devices (Qi et al. 2024); the +1 slack absorbs
+				// warmup discretization.
+				if c == 0 {
+					base = float64(2*spec.P-1-d)/3 + 1
+				} else {
+					base = float64(d+1)/3 + 1
+				}
+			}
+			e.cap[d][c] = int(math.Ceil(base*scale)) + spec.ExtraInFlight
+			if e.cap[d][c] < 1 {
+				e.cap[d][c] = 1
+			}
+		}
+	}
+
+	// Total pass count.
+	e.remaining = 0
+	for st := 0; st < e.nStage; st++ {
+		e.remaining += 2 * spec.M // F + B
+		if spec.Stages[st].W > 0 {
+			e.remaining += spec.M
+		}
+	}
+	if spec.Vocab != nil {
+		e.remaining += 2 * spec.P * spec.M // S + T
+	}
+	if spec.Interlaced != nil {
+		e.remaining += spec.P * spec.M
+	}
+
+	e.timeline = &Timeline{Spec: spec, ByDevice: make([][]TimedPass, spec.P)}
+	return e
+}
+
+// candidate is a schedulable pass with its earliest start time.
+type candidate struct {
+	pass     Pass
+	ready    float64
+	duration float64
+	priority int // lower runs first on ties
+}
+
+// priorities: forwards first — an F on the last stage gates the S passes of
+// every device, so pumping the pipe outranks draining it (the in-flight cap,
+// not the priority, is what bounds activation memory). S next (it gates the
+// all-device C1 barrier), then T (gates C2 under Algorithm 1), then B, with
+// split weight-gradient passes as pure bubble filler.
+const (
+	prioF = 0
+	prioS = 1
+	prioV = 1
+	prioT = 2
+	prioB = 3
+	prioW = 4
+)
+
+func (e *engine) run() (*Timeline, error) {
+	spec := e.spec
+	for e.remaining > 0 {
+		var best candidate
+		bestStart := math.Inf(1)
+		bestPrio := 0
+		found := false
+		for d := 0; d < spec.P; d++ {
+			c, start, prio, ok := e.deviceChoice(d)
+			if !ok {
+				continue
+			}
+			if !found || start < bestStart-1e-15 ||
+				(math.Abs(start-bestStart) <= 1e-15 && (prio < bestPrio ||
+					(prio == bestPrio && c.pass.Device < best.pass.Device))) {
+				best = c
+				bestStart = start
+				bestPrio = prio
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("schedule: no schedulable pass with %d remaining (dependency cycle?)", e.remaining)
+		}
+		e.commit(best, bestStart)
+	}
+	for _, ps := range e.timeline.ByDevice {
+		for _, p := range ps {
+			if p.End > e.timeline.Makespan {
+				e.timeline.Makespan = p.End
+			}
+		}
+	}
+	return e.timeline, nil
+}
+
+// dynPriority orders a device's candidates. The building blocks of §5.2
+// follow a one-forward-one-backward-one-output slot: after committing a
+// forward, the device prefers to drain (B, then T, then S); otherwise it
+// prefers to pump (F, then S, then T, then B). Weight-gradient passes are
+// always last.
+func (e *engine) dynPriority(d int, c candidate) int {
+	// Static pump-first order (see the prio* constants). An alternation
+	// variant (prefer draining right after a forward) was evaluated and
+	// regressed every vocabulary schedule: with the in-flight cap already
+	// enforcing the one-forward-one-backward slot budget, deferring forwards
+	// starves the last stage whose F gates all S passes.
+	return c.priority
+}
+
+// deviceChoice picks device d's preferred next pass: among candidates that
+// could start within the alternation window of the earliest one, the highest
+// dynamic priority wins. Weight-gradient passes are pure filler (zero-bubble
+// style) and are admitted only when they finish before any other candidate
+// could start.
+func (e *engine) deviceChoice(d int) (candidate, float64, int, bool) {
+	cands := e.candidates(d)
+	if len(cands) == 0 {
+		return candidate{}, 0, 0, false
+	}
+	earliestOther := math.Inf(1)
+	for _, c := range cands {
+		if c.priority != prioW {
+			if s := math.Max(e.freeAt[d], c.ready); s < earliestOther {
+				earliestOther = s
+			}
+		}
+	}
+	var best candidate
+	bestStart := math.Inf(1)
+	bestPrio := 0
+	found := false
+	for _, c := range cands {
+		start := math.Max(e.freeAt[d], c.ready)
+		if c.priority == prioW && start+c.duration > earliestOther+1e-15 {
+			continue
+		}
+		prio := e.dynPriority(d, c)
+		if !found || start < bestStart-1e-15 ||
+			(math.Abs(start-bestStart) <= 1e-15 && prio < bestPrio) {
+			best = c
+			bestStart = start
+			bestPrio = prio
+			found = true
+		}
+	}
+	return best, bestStart, bestPrio, found
+}
+
+// candidates enumerates the next schedulable pass of each kind on device d.
+func (e *engine) candidates(d int) []candidate {
+	spec := e.spec
+	out := make([]candidate, 0, 8)
+
+	for c := 0; c < spec.Chunks; c++ {
+		st := spec.StageOf(d, c)
+		stage := spec.Stages[st]
+
+		// Forward.
+		if i := e.nextF[d][c]; i < spec.M && e.inFlight[d][c] < e.cap[d][c] {
+			ready := 0.0
+			ok := true
+			if st > 0 {
+				prev := e.fEnd[st-1][i]
+				if prev == unscheduled {
+					ok = false
+				} else {
+					ready = prev + spec.SendTime
+				}
+			}
+			if ok {
+				out = append(out, candidate{Pass{PassF, d, c, i}, ready, stage.F, prioF})
+			}
+		}
+
+		// Backward.
+		if i := e.nextB[d][c]; i < spec.M {
+			if own := e.fEnd[st][i]; own != unscheduled {
+				ready := own
+				ok := true
+				if st == e.last {
+					if r, okB := e.lastStageBackwardReady(i); okB {
+						ready = math.Max(ready, r)
+					} else {
+						ok = false
+					}
+				} else if next := e.bEnd[st+1][i]; next != unscheduled {
+					ready = math.Max(ready, next+spec.SendTime)
+				} else {
+					ok = false
+				}
+				if ok {
+					out = append(out, candidate{Pass{PassB, d, c, i}, ready, stage.B, prioB})
+				}
+			}
+		}
+
+		// Weight gradient (split backward).
+		if stage.W > 0 {
+			if i := e.nextW[d][c]; i < spec.M {
+				if b := e.bEnd[st][i]; b != unscheduled {
+					out = append(out, candidate{Pass{PassW, d, c, i}, b, stage.W, prioW})
+				}
+			}
+		}
+	}
+
+	if v := spec.Vocab; v != nil {
+		if i := e.nextS[d]; i < spec.M {
+			if f := e.fEnd[e.last][i]; f != unscheduled {
+				out = append(out, candidate{Pass{PassS, d, 0, i}, f + v.BcastTime, v.SDur, prioS})
+			}
+		}
+		if i := e.nextT[d]; i < spec.M {
+			if c1 := e.c1End[i]; c1 != unscheduled {
+				out = append(out, candidate{Pass{PassT, d, 0, i}, c1, v.TDur, prioT})
+			}
+		}
+	}
+
+	if iv := spec.Interlaced; iv != nil {
+		if i := e.nextV[d]; i < spec.M {
+			if f := e.fEnd[e.last][i]; f != unscheduled {
+				out = append(out, candidate{Pass{PassV, d, 0, i}, f, iv.VDur + iv.SyncTime, prioV})
+			}
+		}
+	}
+
+	return out
+}
+
+// lastStageBackwardReady returns the extra readiness constraint on the last
+// transformer stage's backward of microbatch i (§5.1).
+func (e *engine) lastStageBackwardReady(i int) (float64, bool) {
+	spec := e.spec
+	switch {
+	case spec.Vocab != nil && spec.Vocab.Barriers == 2:
+		// Algorithm 1: wait for barrier C2 after all T passes.
+		if e.c2End[i] == unscheduled {
+			return 0, false
+		}
+		return e.c2End[i], true
+	case spec.Vocab != nil:
+		// Algorithm 2: wait for C1 plus the ∇X reduce that runs inside it.
+		if e.c1End[i] == unscheduled {
+			return 0, false
+		}
+		return e.c1End[i] + spec.Vocab.C2Time, true
+	case spec.Interlaced != nil:
+		if e.vBarrier[i] == unscheduled {
+			return 0, false
+		}
+		return e.vBarrier[i], true
+	default:
+		return 0, true
+	}
+}
+
+func (e *engine) commit(c candidate, start float64) {
+	spec := e.spec
+	end := start + c.duration
+	d := c.pass.Device
+	e.freeAt[d] = end
+	tp := TimedPass{Pass: c.pass, Start: start, End: end}
+	e.timeline.Passes = append(e.timeline.Passes, tp)
+	e.timeline.ByDevice[d] = append(e.timeline.ByDevice[d], tp)
+	e.remaining--
+
+	switch c.pass.Type {
+	case PassF:
+		st := spec.StageOf(d, c.pass.Chunk)
+		e.fEnd[st][c.pass.Micro] = end
+		e.nextF[d][c.pass.Chunk]++
+		e.inFlight[d][c.pass.Chunk]++
+	case PassB:
+		st := spec.StageOf(d, c.pass.Chunk)
+		e.bEnd[st][c.pass.Micro] = end
+		e.nextB[d][c.pass.Chunk]++
+		e.inFlight[d][c.pass.Chunk]--
+	case PassW:
+		e.nextW[d][c.pass.Chunk]++
+	case PassS:
+		i := c.pass.Micro
+		e.sEnd[d][i] = end
+		e.nextS[d]++
+		e.sRemaining[i]--
+		if e.sRemaining[i] == 0 {
+			latest := 0.0
+			for dd := 0; dd < spec.P; dd++ {
+				latest = math.Max(latest, e.sEnd[dd][i])
+			}
+			e.c1End[i] = latest + spec.Vocab.C1Time
+		}
+	case PassT:
+		i := c.pass.Micro
+		e.tEnd[d][i] = end
+		e.nextT[d]++
+		e.tRemaining[i]--
+		if e.tRemaining[i] == 0 && spec.Vocab.Barriers == 2 {
+			latest := 0.0
+			for dd := 0; dd < spec.P; dd++ {
+				latest = math.Max(latest, e.tEnd[dd][i])
+			}
+			e.c2End[i] = latest + spec.Vocab.C2Time
+		}
+	case PassV:
+		i := c.pass.Micro
+		e.vEnd[d][i] = end
+		e.nextV[d]++
+		e.vRemaining[i]--
+		if e.vRemaining[i] == 0 {
+			latest := 0.0
+			for dd := 0; dd < spec.P; dd++ {
+				latest = math.Max(latest, e.vEnd[dd][i])
+			}
+			e.vBarrier[i] = latest
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+)
+
+// Golden-order tests: the exact pass sequences for tiny pipelines, asserting
+// the constructor's determinism at the finest grain. Any intentional change
+// to the greedy policy will surface here first.
+
+func orderString(tl *Timeline, d int) string {
+	var b strings.Builder
+	for _, p := range tl.ByDevice[d] {
+		b.WriteString(p.Type.String())
+		b.WriteByte('0' + byte(p.Micro))
+		b.WriteByte(' ')
+	}
+	return strings.TrimSpace(b.String())
+}
+
+func TestGolden1F1BOrderP2M4(t *testing.T) {
+	tl := MustBuild(oneF1BSpec(2, 4))
+	want := []string{
+		"F0 F1 B0 F2 B1 F3 B2 B3",
+		"F0 B0 F1 B1 F2 B2 F3 B3",
+	}
+	for d, w := range want {
+		if got := orderString(tl, d); got != w {
+			t.Errorf("device %d order:\n got %s\nwant %s", d, got, w)
+		}
+	}
+}
+
+func TestGoldenVocab2OrderP2M3(t *testing.T) {
+	tl := MustBuild(vocabSpec(2, 3, 1))
+	// Structure assertions rather than one brittle string: every device runs
+	// exactly 3 of each pass type, S before T per microbatch, and the last
+	// stage's B after the corresponding S on both devices.
+	for d := 0; d < 2; d++ {
+		counts := map[PassType]int{}
+		for _, p := range tl.ByDevice[d] {
+			counts[p.Type]++
+		}
+		for _, pt := range []PassType{PassF, PassB, PassS, PassT} {
+			if counts[pt] != 3 {
+				t.Errorf("device %d: %v count = %d, want 3", d, pt, counts[pt])
+			}
+		}
+	}
+	if err := tl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGoldenDeterministicAcross100Builds(t *testing.T) {
+	ref := MustBuild(vocabSpec(3, 6, 2))
+	for i := 0; i < 100; i++ {
+		tl := MustBuild(vocabSpec(3, 6, 2))
+		if len(tl.Passes) != len(ref.Passes) {
+			t.Fatalf("build %d: pass count changed", i)
+		}
+		for k := range tl.Passes {
+			if tl.Passes[k] != ref.Passes[k] {
+				t.Fatalf("build %d: pass %d differs", i, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package schedule constructs pipeline-parallel training schedules following
+// the building-block methodology of Qi et al. (2024) that the paper adopts in
+// §5: each microbatch contributes the same pattern of passes, vocabulary
+// passes (S and T) are inserted between the forward and backward of the last
+// transformer stage, and the number of communication barriers between them
+// determines the extra in-flight activation memory.
+//
+// The constructor is a deterministic greedy list scheduler: it repeatedly
+// commits the globally earliest-startable pass (ties broken by pass priority,
+// then device), subject to
+//
+//   - per-stage dataflow (F follows the previous stage's F of the same
+//     microbatch; B follows the next stage's B),
+//   - vocabulary barriers C1/C2 (all-device rendezvous between S, T and the
+//     last transformer backward, per Algorithms 1 and 2),
+//   - a per-device in-flight cap that encodes the schedule's activation
+//     budget (p−d for 1F1B, +1 per barrier for the vocabulary variants,
+//     1.5× for the interlaced baseline).
+//
+// Passes within a type execute in microbatch order on each device, matching
+// how Megatron-style runtimes issue work. The result is a fully timed
+// Timeline from which iteration time, per-device bubbles and live-activation
+// traces are measured rather than assumed.
+package schedule
+
+import "fmt"
+
+// PassType enumerates the kinds of work a device performs.
+type PassType int
+
+const (
+	// PassF is a transformer-stage forward.
+	PassF PassType = iota
+	// PassB is a transformer-stage backward (activation gradient; includes
+	// the weight gradient unless the stage splits it into PassW).
+	PassB
+	// PassW is a split weight-gradient pass (zero-bubble style, used by
+	// V-Half).
+	PassW
+	// PassS is the vocabulary output-layer S pass (§4: logits, local softmax
+	// and, under Algorithm 2, the pre-barrier gradient matmuls).
+	PassS
+	// PassT is the vocabulary output-layer T pass (weight gradient, plus the
+	// input-gradient matmuls under Algorithm 1).
+	PassT
+	// PassV is the interlaced baseline's synchronous tensor-parallel
+	// vocabulary segment (Lin et al. 2024), executed by every device with
+	// blocking all-reduces inside.
+	PassV
+)
+
+func (t PassType) String() string {
+	switch t {
+	case PassF:
+		return "F"
+	case PassB:
+		return "B"
+	case PassW:
+		return "W"
+	case PassS:
+		return "S"
+	case PassT:
+		return "T"
+	case PassV:
+		return "V"
+	default:
+		return fmt.Sprintf("PassType(%d)", int(t))
+	}
+}
+
+// Pass identifies one unit of work.
+type Pass struct {
+	Type   PassType
+	Device int
+	Chunk  int // model chunk on the device (0 unless Chunks > 1)
+	Micro  int // microbatch index, 0-based
+}
+
+// TimedPass is a committed pass with its scheduled interval.
+type TimedPass struct {
+	Pass
+	Start, End float64
+}
+
+// Stage describes one pipeline stage's per-microbatch costs. A stage is a
+// (device, chunk) pair; stages are numbered 0..P*Chunks-1 in dataflow order.
+type Stage struct {
+	// F and B are the forward and backward durations (seconds, or abstract
+	// units in tests). If W > 0 the backward is split and B covers only the
+	// activation gradient.
+	F, B, W float64
+	// ActBytes is the activation memory pinned per in-flight microbatch
+	// (from F start to B end).
+	ActBytes float64
+	// ParamBytes is the static parameter+optimizer footprint of the stage.
+	ParamBytes float64
+	// ExtraActBytes is activation charged statically to the device (e.g. the
+	// baseline's transient output-layer softmax on the last stage).
+	ExtraActBytes float64
+}
+
+// VocabSpec configures vocabulary-parallel S/T passes.
+type VocabSpec struct {
+	// SDur and TDur are the per-device pass durations.
+	SDur, TDur float64
+	// Barriers is 2 for Algorithm 1 (last backward waits for the C2 barrier
+	// after all T passes) or 1 for Algorithm 2 (last backward waits only for
+	// C1 after all S passes; T is delayable).
+	Barriers int
+	// BcastTime is the C0 broadcast of X from the last stage to all devices
+	// (overlapped on the communication stream: it delays S readiness only).
+	BcastTime float64
+	// C1Time is the duration of the all-reduces inside barrier C1.
+	C1Time float64
+	// C2Time is the duration of the ∇X reduce (C2 for Algorithm 1; under
+	// Algorithm 2 the reduce happens inside C1 and C2Time is added to C1's
+	// effect on the last backward).
+	C2Time float64
+	// ActBytes is the transient activation (softmax'/logit buffers) pinned
+	// per microbatch from S start to T end on each device.
+	ActBytes float64
+}
+
+// InterlacedSpec configures the synchronous interlaced baseline.
+type InterlacedSpec struct {
+	// VDur is the per-device vocabulary segment duration, excluding syncs.
+	VDur float64
+	// SyncTime is the blocking communication time charged inside each
+	// segment (the non-overlapped all-reduces; set to 0 for the Appendix B.2
+	// ablation).
+	SyncTime float64
+	// ActBytes is the transient activation pinned during the segment.
+	ActBytes float64
+}
+
+// Spec is the full input to the schedule constructor.
+type Spec struct {
+	P      int // pipeline devices
+	M      int // microbatches per iteration
+	Chunks int // model chunks per device (1 for 1F1B, 2 for V-Half)
+	// Stages has length P*Chunks in dataflow order. Chunks==1 maps stage s to
+	// device s. Chunks==2 uses the V-shape placement: stage s<P on device s,
+	// stage s>=P on device 2P-1-s (so device 0 runs both the first and last
+	// stages — the placement that concentrates both vocabulary layers on
+	// device 0 in the V-Half baseline).
+	Stages []Stage
+	// SendTime delays F/B readiness across stage boundaries (point-to-point
+	// activation transfer, overlapped on the communication stream).
+	SendTime float64
+	// Vocab, if non-nil, inserts S/T passes per the selected algorithm.
+	Vocab *VocabSpec
+	// Interlaced, if non-nil, inserts synchronous V segments. Mutually
+	// exclusive with Vocab.
+	Interlaced *InterlacedSpec
+	// ExtraInFlight raises every device's in-flight cap (one per
+	// communication barrier for the vocabulary variants, per §5.2).
+	ExtraInFlight int
+	// CapScale scales the base per-device cap (1.5 for the interlaced
+	// baseline, per Appendix B.1). Zero means 1.
+	CapScale float64
+}
+
+// Validate checks structural consistency.
+func (s *Spec) Validate() error {
+	if s.P <= 0 || s.M <= 0 {
+		return fmt.Errorf("schedule: P=%d M=%d must be positive", s.P, s.M)
+	}
+	if s.Chunks != 1 && s.Chunks != 2 {
+		return fmt.Errorf("schedule: Chunks=%d unsupported (1 or 2)", s.Chunks)
+	}
+	if len(s.Stages) != s.P*s.Chunks {
+		return fmt.Errorf("schedule: %d stages for P=%d Chunks=%d", len(s.Stages), s.P, s.Chunks)
+	}
+	if s.Vocab != nil && s.Interlaced != nil {
+		return fmt.Errorf("schedule: Vocab and Interlaced are mutually exclusive")
+	}
+	if s.Vocab != nil && s.Vocab.Barriers != 1 && s.Vocab.Barriers != 2 {
+		return fmt.Errorf("schedule: Vocab.Barriers=%d (want 1 or 2)", s.Vocab.Barriers)
+	}
+	for i, st := range s.Stages {
+		if st.F < 0 || st.B < 0 || st.W < 0 {
+			return fmt.Errorf("schedule: stage %d has negative duration", i)
+		}
+	}
+	return nil
+}
+
+// NumStages returns P*Chunks.
+func (s *Spec) NumStages() int { return s.P * s.Chunks }
+
+// DeviceOf maps a stage index to its executing device.
+func (s *Spec) DeviceOf(stage int) int {
+	if s.Chunks == 1 || stage < s.P {
+		return stage
+	}
+	return 2*s.P - 1 - stage
+}
+
+// ChunkOf maps a stage index to its chunk on the device.
+func (s *Spec) ChunkOf(stage int) int {
+	if stage < s.P {
+		return 0
+	}
+	return 1
+}
+
+// StageOf maps (device, chunk) back to the stage index.
+func (s *Spec) StageOf(device, chunk int) int {
+	if chunk == 0 {
+		return device
+	}
+	return 2*s.P - 1 - device
+}
+
+// Timeline is the committed schedule.
+type Timeline struct {
+	Spec     *Spec
+	Passes   []TimedPass   // in commit order (globally non-decreasing start)
+	ByDevice [][]TimedPass // per-device execution order
+	Makespan float64
+}
+
+// DeviceBusy returns the total busy time of a device.
+func (tl *Timeline) DeviceBusy(d int) float64 {
+	busy := 0.0
+	for _, p := range tl.ByDevice[d] {
+		busy += p.End - p.Start
+	}
+	return busy
+}
+
+// BubbleRatio returns 1 - busy/makespan for a device.
+func (tl *Timeline) BubbleRatio(d int) float64 {
+	if tl.Makespan == 0 {
+		return 0
+	}
+	return 1 - tl.DeviceBusy(d)/tl.Makespan
+}
+
+// MaxBubbleRatio returns the worst bubble ratio across devices.
+func (tl *Timeline) MaxBubbleRatio() float64 {
+	worst := 0.0
+	for d := 0; d < tl.Spec.P; d++ {
+		if r := tl.BubbleRatio(d); r > worst {
+			worst = r
+		}
+	}
+	return worst
+}

@@ -1,0 +1,135 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the number of output elements below which matmuls run
+// single-threaded; spawning goroutines for tiny products costs more than it
+// saves.
+const parallelThreshold = 64 * 64
+
+// MatMul returns a×b.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", a.Cols, b.Rows))
+	}
+	out := New(a.Rows, b.Cols)
+	parallelRows(a.Rows, out.Rows*out.Cols, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MatMulT returns a×bᵀ. This is the natural layout for logits Y = X·Wᵀ where
+// W is stored [V/p × h].
+func MatMulT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulT inner dims %d vs %d", a.Cols, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	parallelRows(a.Rows, out.Rows*out.Cols, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Row(j)
+				s := 0.0
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				orow[j] = s
+			}
+		}
+	})
+	return out
+}
+
+// TMatMul returns aᵀ×b. This is the natural layout for weight gradients
+// ∇W = (softmax−G)ᵀ·X without materializing the transpose.
+func TMatMul(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: TMatMul inner dims %d vs %d", a.Rows, b.Rows))
+	}
+	out := New(a.Cols, b.Cols)
+	// Partition by output row (a column index) to keep writes disjoint.
+	parallelRows(a.Cols, out.Rows*out.Cols, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			orow := out.Row(j)
+			for i := 0; i < a.Rows; i++ {
+				av := a.Data[i*a.Cols+j]
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(i)
+				for k, bv := range brow {
+					orow[k] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MatVec returns a×v as a vector of length a.Rows.
+func MatVec(a *Matrix, v []float64) []float64 {
+	if a.Cols != len(v) {
+		panic(fmt.Sprintf("tensor: MatVec dims %d vs %d", a.Cols, len(v)))
+	}
+	out := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		s := 0.0
+		for k, av := range row {
+			s += av * v[k]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// parallelRows splits the row range [0,n) across workers when the output is
+// large enough. Each worker owns a contiguous row block so summation order
+// within a row is identical regardless of parallelism.
+func parallelRows(n, outElems int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if outElems < parallelThreshold || workers <= 1 || n <= 1 {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

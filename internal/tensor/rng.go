@@ -1,0 +1,75 @@
+package tensor
+
+import "math"
+
+// RNG is a small deterministic PRNG (splitmix64 core with a Box–Muller
+// Gaussian) so experiments are reproducible across platforms without pulling
+// in math/rand's global state.
+type RNG struct {
+	state uint64
+	spare float64
+	has   bool
+}
+
+// NewRNG seeds a generator. Distinct seeds give independent streams.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed ^ 0x9E3779B97F4A7C15} }
+
+// Uint64 returns the next raw 64-bit value (splitmix64).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a standard normal sample (Box–Muller, cached pair).
+func (r *RNG) Norm() float64 {
+	if r.has {
+		r.has = false
+		return r.spare
+	}
+	var u, v float64
+	for {
+		u = r.Float64()
+		if u > 1e-300 {
+			break
+		}
+	}
+	v = r.Float64()
+	mag := math.Sqrt(-2 * math.Log(u))
+	r.spare = mag * math.Sin(2*math.Pi*v)
+	r.has = true
+	return mag * math.Cos(2*math.Pi*v)
+}
+
+// Randn fills a new rows×cols matrix with N(0, std²) samples.
+func Randn(rng *RNG, rows, cols int, std float64) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.Norm() * std
+	}
+	return m
+}
+
+// RandTokens returns n token ids uniform over [0, vocab).
+func RandTokens(rng *RNG, n, vocab int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(vocab)
+	}
+	return out
+}

@@ -1,0 +1,298 @@
+// Package tensor provides dense float64 matrices and the handful of
+// linear-algebra and reduction primitives needed by the vocabulary-parallel
+// output layer and the from-scratch transformer used in the numeric
+// experiments. It deliberately stays small: row-major storage, explicit
+// shapes, no broadcasting, no views that alias in surprising ways.
+//
+// All operations are deterministic; the parallel matmul partitions work by
+// output row so the floating-point summation order never depends on the
+// number of workers.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zero-initialized Rows×Cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (length rows*cols) without copying.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d does not match %dx%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a slice aliasing row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// CopyFrom copies src into m; shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	m.mustSameShape(src)
+	copy(m.Data, src.Data)
+}
+
+// Zero sets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Shape returns (rows, cols).
+func (m *Matrix) Shape() (int, int) { return m.Rows, m.Cols }
+
+func (m *Matrix) mustSameShape(o *Matrix) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic(fmt.Sprintf("tensor: shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+}
+
+// Add returns m + o elementwise.
+func (m *Matrix) Add(o *Matrix) *Matrix {
+	m.mustSameShape(o)
+	r := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		r.Data[i] = m.Data[i] + o.Data[i]
+	}
+	return r
+}
+
+// AddInPlace accumulates o into m.
+func (m *Matrix) AddInPlace(o *Matrix) {
+	m.mustSameShape(o)
+	for i := range m.Data {
+		m.Data[i] += o.Data[i]
+	}
+}
+
+// Sub returns m - o elementwise.
+func (m *Matrix) Sub(o *Matrix) *Matrix {
+	m.mustSameShape(o)
+	r := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		r.Data[i] = m.Data[i] - o.Data[i]
+	}
+	return r
+}
+
+// Scale returns s*m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	r := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		r.Data[i] = s * m.Data[i]
+	}
+	return r
+}
+
+// ScaleInPlace multiplies every element by s.
+func (m *Matrix) ScaleInPlace(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// Hadamard returns the elementwise product m ⊙ o.
+func (m *Matrix) Hadamard(o *Matrix) *Matrix {
+	m.mustSameShape(o)
+	r := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		r.Data[i] = m.Data[i] * o.Data[i]
+	}
+	return r
+}
+
+// ScaleRows multiplies row i of m by s[i], returning a new matrix.
+func (m *Matrix) ScaleRows(s []float64) *Matrix {
+	if len(s) != m.Rows {
+		panic(fmt.Sprintf("tensor: ScaleRows needs %d factors, got %d", m.Rows, len(s)))
+	}
+	r := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		f := s[i]
+		row := m.Row(i)
+		dst := r.Row(i)
+		for j, v := range row {
+			dst[j] = f * v
+		}
+	}
+	return r
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	r := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			r.Data[j*m.Rows+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return r
+}
+
+// RowMax returns per-row maxima. Rows of width zero yield -Inf, matching the
+// identity element of max so sharded reductions compose correctly.
+func (m *Matrix) RowMax() []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		best := math.Inf(-1)
+		for _, v := range m.Row(i) {
+			if v > best {
+				best = v
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// RowSumExp returns per-row sums of exp(x - shift[i]).
+func (m *Matrix) RowSumExp(shift []float64) []float64 {
+	if len(shift) != m.Rows {
+		panic("tensor: RowSumExp shift length mismatch")
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		sh := shift[i]
+		for _, v := range m.Row(i) {
+			s += math.Exp(v - sh)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// ExpShifted returns exp(m[i][j] - shift[i]) as a new matrix.
+func (m *Matrix) ExpShifted(shift []float64) *Matrix {
+	if len(shift) != m.Rows {
+		panic("tensor: ExpShifted shift length mismatch")
+	}
+	r := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		sh := shift[i]
+		row := m.Row(i)
+		dst := r.Row(i)
+		for j, v := range row {
+			dst[j] = math.Exp(v - sh)
+		}
+	}
+	return r
+}
+
+// Softmax returns the row-wise safe softmax of m.
+func (m *Matrix) Softmax() *Matrix {
+	mx := m.RowMax()
+	e := m.ExpShifted(mx)
+	for i := 0; i < e.Rows; i++ {
+		row := e.Row(i)
+		s := 0.0
+		for _, v := range row {
+			s += v
+		}
+		inv := 1.0 / s
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+	return e
+}
+
+// MaxAbsDiff returns max |m - o| over all elements.
+func (m *Matrix) MaxAbsDiff(o *Matrix) float64 {
+	m.mustSameShape(o)
+	worst := 0.0
+	for i := range m.Data {
+		d := math.Abs(m.Data[i] - o.Data[i])
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Frobenius returns the Frobenius norm of m.
+func (m *Matrix) Frobenius() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Sum returns the sum of all elements.
+func (m *Matrix) Sum() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// SliceCols returns a copy of columns [lo, hi).
+func (m *Matrix) SliceCols(lo, hi int) *Matrix {
+	if lo < 0 || hi > m.Cols || lo > hi {
+		panic(fmt.Sprintf("tensor: SliceCols [%d,%d) out of range for %d cols", lo, hi, m.Cols))
+	}
+	r := New(m.Rows, hi-lo)
+	for i := 0; i < m.Rows; i++ {
+		copy(r.Row(i), m.Row(i)[lo:hi])
+	}
+	return r
+}
+
+// SliceRows returns a copy of rows [lo, hi).
+func (m *Matrix) SliceRows(lo, hi int) *Matrix {
+	if lo < 0 || hi > m.Rows || lo > hi {
+		panic(fmt.Sprintf("tensor: SliceRows [%d,%d) out of range for %d rows", lo, hi, m.Rows))
+	}
+	r := New(hi-lo, m.Cols)
+	copy(r.Data, m.Data[lo*m.Cols:hi*m.Cols])
+	return r
+}
+
+// String renders small matrices for debugging.
+func (m *Matrix) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+	}
+	s := fmt.Sprintf("Matrix(%dx%d)[", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(i, j))
+		}
+	}
+	return s + "]"
+}

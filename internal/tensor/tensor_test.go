@@ -1,0 +1,417 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-12
+
+func approxEqual(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	if d <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return d <= tol*scale
+}
+
+func TestNewShapeAndZero(t *testing.T) {
+	m := New(3, 4)
+	if r, c := m.Shape(); r != 3 || c != 4 {
+		t.Fatalf("shape = %dx%d, want 3x4", r, c)
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("New matrix not zeroed")
+		}
+	}
+}
+
+func TestNewPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for negative dims")
+		}
+	}()
+	New(-1, 2)
+}
+
+func TestFromSliceRoundTrip(t *testing.T) {
+	d := []float64{1, 2, 3, 4, 5, 6}
+	m := FromSlice(2, 3, d)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 6 {
+		t.Fatalf("FromSlice indexing wrong: %v", m)
+	}
+	m.Set(1, 0, 9)
+	if d[3] != 9 {
+		t.Fatalf("FromSlice should alias input data")
+	}
+}
+
+func TestFromSlicePanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for bad data length")
+		}
+	}()
+	FromSlice(2, 3, []float64{1, 2})
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatalf("Clone aliased the original")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := FromSlice(2, 2, []float64{5, 6, 7, 8})
+	sum := a.Add(b)
+	if sum.At(0, 0) != 6 || sum.At(1, 1) != 12 {
+		t.Fatalf("Add wrong: %v", sum)
+	}
+	diff := b.Sub(a)
+	if diff.At(0, 0) != 4 || diff.At(1, 1) != 4 {
+		t.Fatalf("Sub wrong: %v", diff)
+	}
+	sc := a.Scale(2)
+	if sc.At(1, 0) != 6 {
+		t.Fatalf("Scale wrong: %v", sc)
+	}
+	a.AddInPlace(b)
+	if a.At(0, 1) != 8 {
+		t.Fatalf("AddInPlace wrong: %v", a)
+	}
+}
+
+func TestHadamard(t *testing.T) {
+	a := FromSlice(1, 3, []float64{1, 2, 3})
+	b := FromSlice(1, 3, []float64{4, 5, 6})
+	h := a.Hadamard(b)
+	want := []float64{4, 10, 18}
+	for i, v := range want {
+		if h.Data[i] != v {
+			t.Fatalf("Hadamard[%d] = %v, want %v", i, h.Data[i], v)
+		}
+	}
+}
+
+func TestScaleRows(t *testing.T) {
+	m := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	r := m.ScaleRows([]float64{10, 100})
+	if r.At(0, 1) != 20 || r.At(1, 0) != 300 {
+		t.Fatalf("ScaleRows wrong: %v", r)
+	}
+}
+
+func TestTransposeKnown(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("T shape wrong")
+	}
+	if tr.At(0, 1) != 4 || tr.At(2, 0) != 3 {
+		t.Fatalf("T values wrong: %v", tr)
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := MatMul(a, b)
+	want := [][]float64{{58, 64}, {139, 154}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("MatMul[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMatMulTMatchesExplicitTranspose(t *testing.T) {
+	rng := NewRNG(1)
+	a := Randn(rng, 5, 7, 1)
+	b := Randn(rng, 9, 7, 1)
+	got := MatMulT(a, b)
+	want := MatMul(a, b.T())
+	if got.MaxAbsDiff(want) > eps {
+		t.Fatalf("MatMulT differs from MatMul(a, b.T()) by %g", got.MaxAbsDiff(want))
+	}
+}
+
+func TestTMatMulMatchesExplicitTranspose(t *testing.T) {
+	rng := NewRNG(2)
+	a := Randn(rng, 6, 4, 1)
+	b := Randn(rng, 6, 5, 1)
+	got := TMatMul(a, b)
+	want := MatMul(a.T(), b)
+	if got.MaxAbsDiff(want) > eps {
+		t.Fatalf("TMatMul differs from MatMul(a.T(), b) by %g", got.MaxAbsDiff(want))
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	v := []float64{1, 0, -1}
+	got := MatVec(a, v)
+	if got[0] != -2 || got[1] != -2 {
+		t.Fatalf("MatVec wrong: %v", got)
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on mismatched inner dims")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 2))
+}
+
+// Large enough to exercise the parallel path; compare against a serial
+// reference computed with the same row-major accumulation order.
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	rng := NewRNG(3)
+	a := Randn(rng, 120, 90, 1)
+	b := Randn(rng, 90, 110, 1)
+	got := MatMul(a, b)
+	want := New(120, 110)
+	for i := 0; i < 120; i++ {
+		for k := 0; k < 90; k++ {
+			av := a.At(i, k)
+			for j := 0; j < 110; j++ {
+				want.Data[i*110+j] += av * b.At(k, j)
+			}
+		}
+	}
+	if got.MaxAbsDiff(want) != 0 {
+		t.Fatalf("parallel matmul not bit-identical to serial: %g", got.MaxAbsDiff(want))
+	}
+}
+
+func TestRowMax(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 9, 2, -5, -1, -7})
+	mx := m.RowMax()
+	if mx[0] != 9 || mx[1] != -1 {
+		t.Fatalf("RowMax wrong: %v", mx)
+	}
+}
+
+func TestRowMaxEmptyIsNegInf(t *testing.T) {
+	m := New(2, 0)
+	mx := m.RowMax()
+	if !math.IsInf(mx[0], -1) {
+		t.Fatalf("RowMax of empty row should be -Inf, got %v", mx[0])
+	}
+}
+
+func TestRowSumExpAndExpShifted(t *testing.T) {
+	m := FromSlice(1, 3, []float64{0, math.Log(2), math.Log(3)})
+	s := m.RowSumExp([]float64{0})
+	if !approxEqual(s[0], 6, 1e-12) {
+		t.Fatalf("RowSumExp = %v, want 6", s[0])
+	}
+	e := m.ExpShifted([]float64{math.Log(2)})
+	if !approxEqual(e.At(0, 1), 1, 1e-12) {
+		t.Fatalf("ExpShifted wrong: %v", e)
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	rng := NewRNG(4)
+	m := Randn(rng, 8, 33, 5)
+	sm := m.Softmax()
+	for i := 0; i < sm.Rows; i++ {
+		s := 0.0
+		for _, v := range sm.Row(i) {
+			s += v
+			if v < 0 {
+				t.Fatalf("softmax produced negative value")
+			}
+		}
+		if !approxEqual(s, 1, 1e-12) {
+			t.Fatalf("softmax row %d sums to %v", i, s)
+		}
+	}
+}
+
+func TestSoftmaxShiftInvariance(t *testing.T) {
+	rng := NewRNG(5)
+	m := Randn(rng, 4, 17, 3)
+	shifted := m.Clone()
+	for i := range shifted.Data {
+		shifted.Data[i] += 123.456
+	}
+	if m.Softmax().MaxAbsDiff(shifted.Softmax()) > 1e-12 {
+		t.Fatalf("softmax not invariant to constant shift")
+	}
+}
+
+func TestSoftmaxLargeLogitsStable(t *testing.T) {
+	m := FromSlice(1, 3, []float64{1000, 1001, 999})
+	sm := m.Softmax()
+	for _, v := range sm.Row(0) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("softmax overflowed on large logits: %v", sm.Row(0))
+		}
+	}
+}
+
+func TestSliceColsRows(t *testing.T) {
+	m := FromSlice(2, 4, []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	c := m.SliceCols(1, 3)
+	if c.Cols != 2 || c.At(0, 0) != 2 || c.At(1, 1) != 7 {
+		t.Fatalf("SliceCols wrong: %v", c)
+	}
+	r := m.SliceRows(1, 2)
+	if r.Rows != 1 || r.At(0, 0) != 5 {
+		t.Fatalf("SliceRows wrong: %v", r)
+	}
+}
+
+func TestFrobeniusAndSum(t *testing.T) {
+	m := FromSlice(1, 2, []float64{3, 4})
+	if m.Frobenius() != 5 {
+		t.Fatalf("Frobenius = %v, want 5", m.Frobenius())
+	}
+	if m.Sum() != 7 {
+		t.Fatalf("Sum = %v, want 7", m.Sum())
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := FromSlice(1, 2, []float64{1, 2})
+	b := FromSlice(1, 2, []float64{1.5, 2})
+	if a.MaxAbsDiff(b) != 0.5 {
+		t.Fatalf("MaxAbsDiff = %v", a.MaxAbsDiff(b))
+	}
+}
+
+// --- property-based tests ---
+
+// smallMat generates a bounded random matrix from quick's raw values.
+func smallMat(seed uint64, rows, cols int) *Matrix {
+	rng := NewRNG(seed)
+	return Randn(rng, rows, cols, 1)
+}
+
+func TestPropTransposeInvolution(t *testing.T) {
+	f := func(seed uint64, r8, c8 uint8) bool {
+		rows := int(r8%7) + 1
+		cols := int(c8%7) + 1
+		m := smallMat(seed, rows, cols)
+		return m.T().T().MaxAbsDiff(m) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMatMulAssociativeApprox(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		a := Randn(rng, 4, 5, 1)
+		b := Randn(rng, 5, 6, 1)
+		c := Randn(rng, 6, 3, 1)
+		ab_c := MatMul(MatMul(a, b), c)
+		a_bc := MatMul(a, MatMul(b, c))
+		return ab_c.MaxAbsDiff(a_bc) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMatMulDistributesOverAdd(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		a := Randn(rng, 3, 4, 1)
+		b := Randn(rng, 4, 5, 1)
+		c := Randn(rng, 4, 5, 1)
+		lhs := MatMul(a, b.Add(c))
+		rhs := MatMul(a, b).Add(MatMul(a, c))
+		return lhs.MaxAbsDiff(rhs) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropSoftmaxPreservedUnderColumnSharding(t *testing.T) {
+	// Softmax computed on the full matrix must equal softmax reassembled from
+	// per-shard exps normalized by global max/sum — the identity at the heart
+	// of the paper's Algorithm 1.
+	f := func(seed uint64, pRaw uint8) bool {
+		rng := NewRNG(seed)
+		p := int(pRaw%4) + 1
+		cols := p * (int(seed%5) + 2)
+		m := Randn(rng, 3, cols, 4)
+		full := m.Softmax()
+
+		mx := m.RowMax()
+		sum := m.RowSumExp(mx)
+		per := cols / p
+		for shard := 0; shard < p; shard++ {
+			part := m.SliceCols(shard*per, (shard+1)*per)
+			e := part.ExpShifted(mx)
+			for i := 0; i < e.Rows; i++ {
+				for j := 0; j < e.Cols; j++ {
+					want := full.At(i, shard*per+j)
+					got := e.At(i, j) / sum[i]
+					if math.Abs(want-got) > 1e-12 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("RNG not deterministic at step %d", i)
+		}
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	rng := NewRNG(7)
+	n := 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := rng.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("Norm mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("Norm variance = %v, want ~1", variance)
+	}
+}
+
+func TestRandTokensInRange(t *testing.T) {
+	rng := NewRNG(8)
+	toks := RandTokens(rng, 1000, 50)
+	for _, tk := range toks {
+		if tk < 0 || tk >= 50 {
+			t.Fatalf("token %d out of range", tk)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"vocabpipe/internal/schedule"
+)
+
+func sampleTimeline() *schedule.Timeline {
+	stages := make([]schedule.Stage, 4)
+	for i := range stages {
+		stages[i] = schedule.Stage{F: 1, B: 2, ActBytes: 1}
+	}
+	return schedule.MustBuild(&schedule.Spec{P: 4, M: 6, Chunks: 1, Stages: stages,
+		Vocab:         &schedule.VocabSpec{SDur: 0.5, TDur: 1, Barriers: 2},
+		ExtraInFlight: 2})
+}
+
+func TestASCIIStructure(t *testing.T) {
+	tl := sampleTimeline()
+	out := ASCII(tl, 100)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // 4 devices + legend
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	for d := 0; d < 4; d++ {
+		if !strings.HasPrefix(lines[d], "dev") {
+			t.Fatalf("row %d missing device label", d)
+		}
+		for _, g := range []string{"F", "B", "S", "T"} {
+			if !strings.Contains(lines[d], g) {
+				t.Errorf("device %d row missing %s pass", d, g)
+			}
+		}
+	}
+	// Device 0 idles at the start of the backward wave, so dots must exist.
+	if !strings.Contains(out, ".") {
+		t.Errorf("expected idle cells in the chart")
+	}
+}
+
+func TestASCIIDefaultWidth(t *testing.T) {
+	tl := sampleTimeline()
+	out := ASCII(tl, 0)
+	if len(out) == 0 {
+		t.Fatal("empty chart")
+	}
+	line := strings.SplitN(out, "\n", 2)[0]
+	if len(line) < 100 {
+		t.Errorf("default width should be ~120 cols, got %d", len(line))
+	}
+}
+
+func TestDetailedShowsMicrobatches(t *testing.T) {
+	tl := sampleTimeline()
+	out := Detailed(tl, 0)
+	if !strings.Contains(out, "F1") || !strings.Contains(out, "S1") || !strings.Contains(out, "T1") || !strings.Contains(out, "B1") {
+		t.Fatalf("detailed output missing expected passes:\n%s", out)
+	}
+}
+
+func TestDetailedTruncates(t *testing.T) {
+	tl := sampleTimeline()
+	out := Detailed(tl, 3)
+	if !strings.Contains(out, "…") {
+		t.Fatalf("expected truncation marker")
+	}
+}
+
+func TestChromeTraceValidJSON(t *testing.T) {
+	tl := sampleTimeline()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tl); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(events) != len(tl.Passes) {
+		t.Fatalf("got %d events, want %d", len(events), len(tl.Passes))
+	}
+	ev := events[0]
+	for _, key := range []string{"name", "ph", "ts", "dur", "tid"} {
+		if _, ok := ev[key]; !ok {
+			t.Errorf("event missing %q", key)
+		}
+	}
+	if ev["ph"] != "X" {
+		t.Errorf("expected complete events, got ph=%v", ev["ph"])
+	}
+}

@@ -1,0 +1,152 @@
+package transformer
+
+import (
+	"math"
+
+	"vocabpipe/internal/tensor"
+)
+
+// Attention is causal multi-head self-attention over a [T, h] sequence.
+type Attention struct {
+	Heads          int
+	Wq, Wk, Wv, Wo *Linear
+	q, k, v        *tensor.Matrix   // saved projections [T, h]
+	attn           []*tensor.Matrix // per-head softmax(scores) [T, T]
+}
+
+// NewAttention builds the layer; h must be divisible by heads.
+func NewAttention(rng *tensor.RNG, h, heads int) *Attention {
+	if h%heads != 0 {
+		panic("transformer: hidden not divisible by heads")
+	}
+	return &Attention{
+		Heads: heads,
+		Wq:    NewLinear(rng, h, h, 0.02),
+		Wk:    NewLinear(rng, h, h, 0.02),
+		Wv:    NewLinear(rng, h, h, 0.02),
+		Wo:    NewLinear(rng, h, h, 0.02),
+	}
+}
+
+// headView copies head hd's columns of m into a [T, dk] matrix.
+func headView(m *tensor.Matrix, hd, dk int) *tensor.Matrix {
+	return m.SliceCols(hd*dk, (hd+1)*dk)
+}
+
+// Forward computes causal attention.
+func (a *Attention) Forward(x *tensor.Matrix) *tensor.Matrix {
+	T, h := x.Rows, x.Cols
+	dk := h / a.Heads
+	a.q = a.Wq.Forward(x)
+	a.k = a.Wk.Forward(x)
+	a.v = a.Wv.Forward(x)
+	a.attn = make([]*tensor.Matrix, a.Heads)
+	concat := tensor.New(T, h)
+	scale := 1 / math.Sqrt(float64(dk))
+	for hd := 0; hd < a.Heads; hd++ {
+		qh := headView(a.q, hd, dk)
+		kh := headView(a.k, hd, dk)
+		vh := headView(a.v, hd, dk)
+		scores := tensor.MatMulT(qh, kh) // [T, T]
+		for i := 0; i < T; i++ {
+			row := scores.Row(i)
+			for j := range row {
+				if j > i {
+					row[j] = math.Inf(-1)
+				} else {
+					row[j] *= scale
+				}
+			}
+		}
+		sm := scores.Softmax()
+		a.attn[hd] = sm
+		outH := tensor.MatMul(sm, vh) // [T, dk]
+		for i := 0; i < T; i++ {
+			copy(concat.Row(i)[hd*dk:(hd+1)*dk], outH.Row(i))
+		}
+	}
+	return a.Wo.Forward(concat)
+}
+
+// Backward propagates gradients through attention.
+func (a *Attention) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	T := dy.Rows
+	h := a.q.Cols
+	dk := h / a.Heads
+	scale := 1 / math.Sqrt(float64(dk))
+
+	dConcat := a.Wo.Backward(dy) // [T, h]
+	dq := tensor.New(T, h)
+	dkM := tensor.New(T, h)
+	dv := tensor.New(T, h)
+	for hd := 0; hd < a.Heads; hd++ {
+		qh := headView(a.q, hd, dk)
+		kh := headView(a.k, hd, dk)
+		vh := headView(a.v, hd, dk)
+		sm := a.attn[hd]
+		dOutH := dConcat.SliceCols(hd*dk, (hd+1)*dk)
+
+		// out = sm·vh  ⇒  dsm = dOutH·vhᵀ ; dvh = smᵀ·dOutH
+		dsm := tensor.MatMulT(dOutH, vh)
+		dvh := tensor.TMatMul(sm, dOutH)
+
+		// softmax backward per row: ds = sm ⊙ (dsm − Σ dsm⊙sm)
+		ds := tensor.New(T, T)
+		for i := 0; i < T; i++ {
+			smr := sm.Row(i)
+			dsmr := dsm.Row(i)
+			dot := 0.0
+			for j := range smr {
+				dot += smr[j] * dsmr[j]
+			}
+			out := ds.Row(i)
+			for j := range smr {
+				out[j] = smr[j] * (dsmr[j] - dot)
+			}
+		}
+		// scores = scale · qh·khᵀ (lower triangle)
+		ds.ScaleInPlace(scale)
+		dqh := tensor.MatMul(ds, kh)  // [T, dk]
+		dkh := tensor.TMatMul(ds, qh) // [T, dk]
+
+		for i := 0; i < T; i++ {
+			copy(dq.Row(i)[hd*dk:(hd+1)*dk], dqh.Row(i))
+			copy(dkM.Row(i)[hd*dk:(hd+1)*dk], dkh.Row(i))
+			copy(dv.Row(i)[hd*dk:(hd+1)*dk], dvh.Row(i))
+		}
+	}
+	dx := a.Wq.Backward(dq)
+	dx.AddInPlace(a.Wk.Backward(dkM))
+	dx.AddInPlace(a.Wv.Backward(dv))
+	return dx
+}
+
+// Block is a pre-norm transformer block: x + attn(ln1(x)), then
+// x + mlp(ln2(x)).
+type Block struct {
+	LN1, LN2 *LayerNorm
+	Attn     *Attention
+	MLP      *MLP
+}
+
+// NewBlock builds a block for hidden size h and the given head count.
+func NewBlock(rng *tensor.RNG, h, heads int) *Block {
+	return &Block{
+		LN1:  NewLayerNorm(h),
+		LN2:  NewLayerNorm(h),
+		Attn: NewAttention(rng, h, heads),
+		MLP:  NewMLP(rng, h),
+	}
+}
+
+// Forward applies the block.
+func (b *Block) Forward(x *tensor.Matrix) *tensor.Matrix {
+	y := x.Add(b.Attn.Forward(b.LN1.Forward(x)))
+	return y.Add(b.MLP.Forward(b.LN2.Forward(y)))
+}
+
+// Backward propagates through the block.
+func (b *Block) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	dMid := dy.Add(b.LN2.Backward(b.MLP.Backward(dy)))
+	return dMid.Add(b.LN1.Backward(b.Attn.Backward(dMid)))
+}

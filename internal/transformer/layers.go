@@ -1,0 +1,190 @@
+// Package transformer implements a small GPT-style decoder in float64 with
+// hand-derived backward passes: LayerNorm, causal multi-head self-attention,
+// a GELU MLP, and Adam. It exists to reproduce Appendix E (Fig 17): training
+// with the vocabulary-parallel input/output layers must match training with
+// the unpartitioned reference step for step.
+//
+// Everything operates on [T, h] matrices (one sequence per microbatch, as in
+// the paper's b=1 experiments). Clarity over speed: the models used by the
+// convergence tests are tiny.
+package transformer
+
+import (
+	"math"
+
+	"vocabpipe/internal/tensor"
+)
+
+// Linear is y = x·Wᵀ + bias with W stored [out, in].
+type Linear struct {
+	W    *tensor.Matrix // [out, in]
+	Bias []float64      // [out]
+
+	GradW    *tensor.Matrix
+	GradBias []float64
+
+	x *tensor.Matrix // saved input
+}
+
+// NewLinear initializes a layer with N(0, std²) weights and zero bias.
+func NewLinear(rng *tensor.RNG, in, out int, std float64) *Linear {
+	return &Linear{
+		W:        tensor.Randn(rng, out, in, std),
+		Bias:     make([]float64, out),
+		GradW:    tensor.New(out, in),
+		GradBias: make([]float64, out),
+	}
+}
+
+// Forward computes y = x·Wᵀ + bias and caches x for the backward pass.
+func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
+	l.x = x
+	y := tensor.MatMulT(x, l.W)
+	for i := 0; i < y.Rows; i++ {
+		row := y.Row(i)
+		for j := range row {
+			row[j] += l.Bias[j]
+		}
+	}
+	return y
+}
+
+// Backward accumulates ∇W, ∇bias and returns ∇x.
+func (l *Linear) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	l.GradW.AddInPlace(tensor.TMatMul(dy, l.x))
+	for i := 0; i < dy.Rows; i++ {
+		row := dy.Row(i)
+		for j := range row {
+			l.GradBias[j] += row[j]
+		}
+	}
+	return tensor.MatMul(dy, l.W)
+}
+
+// LayerNorm normalizes each row to zero mean / unit variance, then applies
+// gain and bias.
+type LayerNorm struct {
+	Gain, Bias []float64
+	GradGain   []float64
+	GradBias   []float64
+
+	x       *tensor.Matrix
+	xhat    *tensor.Matrix
+	invStd  []float64
+	epsilon float64
+}
+
+// NewLayerNorm creates a LayerNorm over dimension h.
+func NewLayerNorm(h int) *LayerNorm {
+	ln := &LayerNorm{
+		Gain: make([]float64, h), Bias: make([]float64, h),
+		GradGain: make([]float64, h), GradBias: make([]float64, h),
+		epsilon: 1e-5,
+	}
+	for i := range ln.Gain {
+		ln.Gain[i] = 1
+	}
+	return ln
+}
+
+// Forward normalizes rows of x.
+func (ln *LayerNorm) Forward(x *tensor.Matrix) *tensor.Matrix {
+	ln.x = x
+	h := x.Cols
+	ln.xhat = tensor.New(x.Rows, h)
+	ln.invStd = make([]float64, x.Rows)
+	y := tensor.New(x.Rows, h)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		mean := 0.0
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(h)
+		variance := 0.0
+		for _, v := range row {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= float64(h)
+		inv := 1 / math.Sqrt(variance+ln.epsilon)
+		ln.invStd[i] = inv
+		xh := ln.xhat.Row(i)
+		out := y.Row(i)
+		for j, v := range row {
+			xh[j] = (v - mean) * inv
+			out[j] = xh[j]*ln.Gain[j] + ln.Bias[j]
+		}
+	}
+	return y
+}
+
+// Backward returns ∇x and accumulates gain/bias gradients.
+func (ln *LayerNorm) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	h := float64(dy.Cols)
+	dx := tensor.New(dy.Rows, dy.Cols)
+	for i := 0; i < dy.Rows; i++ {
+		dyr := dy.Row(i)
+		xh := ln.xhat.Row(i)
+		// dxhat = dy * gain
+		sumD, sumDX := 0.0, 0.0
+		dxhat := make([]float64, dy.Cols)
+		for j, v := range dyr {
+			ln.GradGain[j] += v * xh[j]
+			ln.GradBias[j] += v
+			dxhat[j] = v * ln.Gain[j]
+			sumD += dxhat[j]
+			sumDX += dxhat[j] * xh[j]
+		}
+		inv := ln.invStd[i]
+		out := dx.Row(i)
+		for j := range dxhat {
+			out[j] = inv * (dxhat[j] - sumD/h - xh[j]*sumDX/h)
+		}
+	}
+	return dx
+}
+
+// gelu is the exact Gaussian error linear unit.
+func gelu(x float64) float64 {
+	return 0.5 * x * (1 + math.Erf(x/math.Sqrt2))
+}
+
+// geluGrad is its derivative.
+func geluGrad(x float64) float64 {
+	return 0.5*(1+math.Erf(x/math.Sqrt2)) + x*math.Exp(-x*x/2)/math.Sqrt(2*math.Pi)
+}
+
+// MLP is the transformer feed-forward block: Linear → GELU → Linear with the
+// conventional 4x expansion.
+type MLP struct {
+	Up, Down *Linear
+	pre      *tensor.Matrix // saved pre-activation
+}
+
+// NewMLP builds the block for hidden size h.
+func NewMLP(rng *tensor.RNG, h int) *MLP {
+	return &MLP{
+		Up:   NewLinear(rng, h, 4*h, 0.02),
+		Down: NewLinear(rng, 4*h, h, 0.02),
+	}
+}
+
+// Forward applies the feed-forward block.
+func (m *MLP) Forward(x *tensor.Matrix) *tensor.Matrix {
+	m.pre = m.Up.Forward(x)
+	act := tensor.New(m.pre.Rows, m.pre.Cols)
+	for i, v := range m.pre.Data {
+		act.Data[i] = gelu(v)
+	}
+	return m.Down.Forward(act)
+}
+
+// Backward propagates through the block.
+func (m *MLP) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	dAct := m.Down.Backward(dy)
+	for i := range dAct.Data {
+		dAct.Data[i] *= geluGrad(m.pre.Data[i])
+	}
+	return m.Up.Backward(dAct)
+}

@@ -1,0 +1,154 @@
+package transformer
+
+import (
+	"math"
+
+	"vocabpipe/internal/tensor"
+)
+
+// ModelConfig sizes a small GPT.
+type ModelConfig struct {
+	Vocab, MaxSeq, Hidden, Layers, Heads int
+}
+
+// Model is the full decoder: token+position embedding, N blocks, final
+// LayerNorm and an (untied) output projection handled by the caller — the
+// embedding matrices are exposed so they can be run unpartitioned
+// (vocab.Reference / vocab.ReferenceInput) or sharded (vocab.OutputShard /
+// vocab.InputShard). This mirrors the paper's untied-embedding setting.
+type Model struct {
+	Cfg ModelConfig
+
+	// Embed and Pos are the input layer weights; OutW is the output layer's
+	// [V, h] matrix.
+	Embed, Pos, OutW *tensor.Matrix
+	GradEmbed        *tensor.Matrix
+	GradPos          *tensor.Matrix
+	GradOutW         *tensor.Matrix
+
+	Blocks  []*Block
+	FinalLN *LayerNorm
+}
+
+// NewModel initializes a model with deterministic weights.
+func NewModel(rng *tensor.RNG, cfg ModelConfig) *Model {
+	m := &Model{
+		Cfg:       cfg,
+		Embed:     tensor.Randn(rng, cfg.Vocab, cfg.Hidden, 0.02),
+		Pos:       tensor.Randn(rng, cfg.MaxSeq, cfg.Hidden, 0.02),
+		OutW:      tensor.Randn(rng, cfg.Vocab, cfg.Hidden, 0.02),
+		GradEmbed: tensor.New(cfg.Vocab, cfg.Hidden),
+		GradPos:   tensor.New(cfg.MaxSeq, cfg.Hidden),
+		GradOutW:  tensor.New(cfg.Vocab, cfg.Hidden),
+		FinalLN:   NewLayerNorm(cfg.Hidden),
+	}
+	for i := 0; i < cfg.Layers; i++ {
+		m.Blocks = append(m.Blocks, NewBlock(rng, cfg.Hidden, cfg.Heads))
+	}
+	return m
+}
+
+// ForwardTrunk runs the transformer trunk (blocks + final LayerNorm) on
+// already-embedded activations.
+func (m *Model) ForwardTrunk(x *tensor.Matrix) *tensor.Matrix {
+	for _, b := range m.Blocks {
+		x = b.Forward(x)
+	}
+	return m.FinalLN.Forward(x)
+}
+
+// BackwardTrunk propagates the trunk gradient back to the embedding output.
+func (m *Model) BackwardTrunk(dy *tensor.Matrix) *tensor.Matrix {
+	dx := m.FinalLN.Backward(dy)
+	for i := len(m.Blocks) - 1; i >= 0; i-- {
+		dx = m.Blocks[i].Backward(dx)
+	}
+	return dx
+}
+
+// Params enumerates every trainable tensor as (value, grad) flat slices, for
+// the optimizer and for gradient zeroing.
+func (m *Model) Params() []Param {
+	out := []Param{
+		{m.Embed.Data, m.GradEmbed.Data},
+		{m.Pos.Data, m.GradPos.Data},
+		{m.OutW.Data, m.GradOutW.Data},
+		{m.FinalLN.Gain, m.FinalLN.GradGain},
+		{m.FinalLN.Bias, m.FinalLN.GradBias},
+	}
+	for _, b := range m.Blocks {
+		out = append(out,
+			Param{b.LN1.Gain, b.LN1.GradGain}, Param{b.LN1.Bias, b.LN1.GradBias},
+			Param{b.LN2.Gain, b.LN2.GradGain}, Param{b.LN2.Bias, b.LN2.GradBias},
+			Param{b.Attn.Wq.W.Data, b.Attn.Wq.GradW.Data}, Param{b.Attn.Wq.Bias, b.Attn.Wq.GradBias},
+			Param{b.Attn.Wk.W.Data, b.Attn.Wk.GradW.Data}, Param{b.Attn.Wk.Bias, b.Attn.Wk.GradBias},
+			Param{b.Attn.Wv.W.Data, b.Attn.Wv.GradW.Data}, Param{b.Attn.Wv.Bias, b.Attn.Wv.GradBias},
+			Param{b.Attn.Wo.W.Data, b.Attn.Wo.GradW.Data}, Param{b.Attn.Wo.Bias, b.Attn.Wo.GradBias},
+			Param{b.MLP.Up.W.Data, b.MLP.Up.GradW.Data}, Param{b.MLP.Up.Bias, b.MLP.Up.GradBias},
+			Param{b.MLP.Down.W.Data, b.MLP.Down.GradW.Data}, Param{b.MLP.Down.Bias, b.MLP.Down.GradBias},
+		)
+	}
+	return out
+}
+
+// ZeroGrads clears all accumulated gradients.
+func (m *Model) ZeroGrads() {
+	for _, p := range m.Params() {
+		for i := range p.Grad {
+			p.Grad[i] = 0
+		}
+	}
+}
+
+// Param pairs a parameter slice with its gradient slice.
+type Param struct {
+	Value, Grad []float64
+}
+
+// Adam is the standard Adam optimizer.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	step                  int
+	m, v                  [][]float64
+}
+
+// NewAdam creates an optimizer with the usual defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one update to params.
+func (a *Adam) Step(params []Param) {
+	if a.m == nil {
+		a.m = make([][]float64, len(params))
+		a.v = make([][]float64, len(params))
+		for i, p := range params {
+			a.m[i] = make([]float64, len(p.Value))
+			a.v[i] = make([]float64, len(p.Value))
+		}
+	}
+	a.step++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for i, p := range params {
+		m, v := a.m[i], a.v[i]
+		for j, g := range p.Grad {
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
+			p.Value[j] -= a.LR * (m[j] / bc1) / (math.Sqrt(v[j]/bc2) + a.Eps)
+		}
+	}
+}
+
+// SGD is plain stochastic gradient descent (used by determinism tests where
+// Adam's epsilon could mask tiny divergences).
+type SGD struct{ LR float64 }
+
+// Step applies one SGD update.
+func (s *SGD) Step(params []Param) {
+	for _, p := range params {
+		for j, g := range p.Grad {
+			p.Value[j] -= s.LR * g
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package vocab
+
+import (
+	"math"
+	"testing"
+
+	"vocabpipe/internal/tensor"
+)
+
+// Edge cases and failure-injection for the sharded output layer: degenerate
+// shapes, pathological label distributions, and shard-boundary conditions.
+
+func TestShardedSingleTokenBatch(t *testing.T) {
+	w, x, labels := makeCase(1, 1, 4, 8)
+	want := NewReference(w).ForwardBackward(x, labels)
+	for _, alg := range allAlgorithms() {
+		got, _ := RunSharded(w, x, labels, 4, alg)
+		if math.Abs(got.Loss-want.Loss) > 1e-10 {
+			t.Errorf("%v: bs=1 loss %v vs %v", alg, got.Loss, want.Loss)
+		}
+	}
+}
+
+func TestShardedHiddenDimOne(t *testing.T) {
+	w, x, labels := makeCase(2, 3, 1, 6)
+	want := NewReference(w).ForwardBackward(x, labels)
+	for _, alg := range allAlgorithms() {
+		got, _ := RunSharded(w, x, labels, 2, alg)
+		if d := got.GradX.MaxAbsDiff(want.GradX); d > 1e-10 {
+			t.Errorf("%v: h=1 gradX differs by %g", alg, d)
+		}
+	}
+}
+
+func TestShardedOneRowPerShard(t *testing.T) {
+	// V == p: each shard owns exactly one vocabulary row; local softmax' of a
+	// single column is identically 1, stressing the correction formula.
+	w, x, labels := makeCase(3, 4, 5, 4)
+	want := NewReference(w).ForwardBackward(x, labels)
+	for _, alg := range allAlgorithms() {
+		got, _ := RunSharded(w, x, labels, 4, alg)
+		if math.Abs(got.Loss-want.Loss) > 1e-10 {
+			t.Errorf("%v: V=p loss %v vs %v", alg, got.Loss, want.Loss)
+		}
+		if d := got.GradW.MaxAbsDiff(want.GradW); d > 1e-10 {
+			t.Errorf("%v: V=p gradW differs by %g", alg, d)
+		}
+	}
+}
+
+func TestShardedAllLabelsInOneShard(t *testing.T) {
+	// Every label owned by shard 2: other shards contribute zero label logits
+	// and no G rows, exercising the piggyback reduction's zero paths.
+	rng := tensor.NewRNG(99)
+	w := tensor.Randn(rng, 16, 4, 0.5)
+	x := tensor.Randn(rng, 5, 4, 1)
+	labels := []int{8, 9, 10, 11, 8} // all in shard 2 of 4 (rows 8..11)
+	want := NewReference(w).ForwardBackward(x, labels)
+	for _, alg := range allAlgorithms() {
+		got, _ := RunSharded(w, x, labels, 4, alg)
+		if math.Abs(got.Loss-want.Loss) > 1e-10 {
+			t.Errorf("%v: concentrated labels loss %v vs %v", alg, got.Loss, want.Loss)
+		}
+	}
+}
+
+func TestShardedRepeatedLabels(t *testing.T) {
+	// The same label for every token: ∇W of that row accumulates bs entries.
+	w, x, _ := makeCase(4, 6, 4, 8)
+	labels := []int{3, 3, 3, 3, 3, 3}
+	want := NewReference(w).ForwardBackward(x, labels)
+	got, _ := RunSharded(w, x, labels, 2, Alg2)
+	if d := got.GradW.MaxAbsDiff(want.GradW); d > 1e-10 {
+		t.Errorf("repeated labels gradW differs by %g", d)
+	}
+}
+
+func TestShardedZeroInput(t *testing.T) {
+	// X = 0 ⇒ uniform logits ⇒ loss = bs·ln(V) and ∇W rows follow softmax 1/V.
+	rng := tensor.NewRNG(5)
+	w := tensor.Randn(rng, 12, 3, 1)
+	x := tensor.New(4, 3)
+	labels := []int{0, 5, 7, 11}
+	for _, alg := range allAlgorithms() {
+		got, _ := RunSharded(w, x, labels, 3, alg)
+		want := 4 * math.Log(12)
+		if math.Abs(got.Loss-want) > 1e-10 {
+			t.Errorf("%v: zero-input loss %v, want %v", alg, got.Loss, want)
+		}
+	}
+}
+
+func TestShardedHugeNegativeLogitsOneShard(t *testing.T) {
+	// One shard's weights drive its logits to -200·‖x‖; its exp terms must
+	// vanish without destabilizing the global softmax.
+	rng := tensor.NewRNG(6)
+	w := tensor.Randn(rng, 8, 4, 1)
+	for j := 0; j < 4; j++ {
+		w.Set(4, j, -200)
+		w.Set(5, j, -200)
+	}
+	x := tensor.Randn(rng, 3, 4, 1)
+	labels := []int{0, 1, 7}
+	want := NewReference(w).ForwardBackward(x, labels)
+	for _, alg := range allAlgorithms() {
+		got, _ := RunSharded(w, x, labels, 4, alg)
+		if math.IsNaN(got.Loss) {
+			t.Fatalf("%v: NaN loss", alg)
+		}
+		if math.Abs(got.Loss-want.Loss) > 1e-9*(1+math.Abs(want.Loss)) {
+			t.Errorf("%v: loss %v vs %v", alg, got.Loss, want.Loss)
+		}
+	}
+}
+
+func TestInputShardAllTokensOneShard(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	fullW := tensor.Randn(rng, 8, 3, 1)
+	tokens := []int{6, 7, 6}
+	dOut := tensor.Randn(rng, 3, 3, 1)
+	ref := &ReferenceInput{W: fullW}
+	wantFwd := ref.Forward(tokens)
+	wantGW, _ := ref.Backward(tokens, dOut)
+	fwd, gw, _ := runInputSharded(fullW, nil, tokens, dOut, 4)
+	if d := fwd.MaxAbsDiff(wantFwd); d > 1e-12 {
+		t.Fatalf("forward differs by %g", d)
+	}
+	if d := gw.MaxAbsDiff(wantGW); d > 1e-12 {
+		t.Fatalf("gradW differs by %g", d)
+	}
+}
+
+func TestPadVocabProperty(t *testing.T) {
+	for v := 1; v < 200; v += 7 {
+		for p := 1; p <= 32; p *= 2 {
+			padded := PadVocab(v, p)
+			if padded < v {
+				t.Fatalf("PadVocab(%d,%d) = %d shrank", v, p, padded)
+			}
+			if padded%(2*p) != 0 {
+				t.Fatalf("PadVocab(%d,%d) = %d not multiple of 2p", v, p, padded)
+			}
+			if padded-v >= 2*p {
+				t.Fatalf("PadVocab(%d,%d) = %d overshoots", v, p, padded)
+			}
+		}
+	}
+}

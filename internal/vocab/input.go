@@ -1,0 +1,150 @@
+package vocab
+
+import (
+	"fmt"
+
+	"vocabpipe/internal/comm"
+	"vocabpipe/internal/tensor"
+)
+
+// InputShard is one device's slice of the vocabulary-parallel input
+// (embedding) layer described in Appendix C. Each rank owns rows [Lo, Hi) of
+// the token-embedding matrix; the position embedding lives on rank 0 only
+// (the paper notes the first device keeps positional and token-type
+// embeddings, a small constant extra — §6.4).
+//
+// Forward: each rank builds the [bs, h] output from the tokens it owns
+// (zeros elsewhere) and an all-reduce sum assembles the full embedding. The
+// output tensor's size is independent of the vocabulary partition, which is
+// the source of the input layer's sub-linear scaling in Table 3.
+//
+// Backward: the output gradient is broadcast (all ranks need it) and each
+// rank scatters rows into its own weight-gradient slice.
+type InputShard struct {
+	Rank, P int
+	Lo, Hi  int
+	W       *tensor.Matrix // token embedding slice [Hi-Lo, h]
+	Pos     *tensor.Matrix // position embedding [maxSeq, h]; non-nil on rank 0 only
+	world   *comm.World
+}
+
+// NewInputShard slices the rank's rows from fullW [V, h]. pos may be nil for
+// models without learned position embeddings; when non-nil it is copied onto
+// rank 0.
+func NewInputShard(world *comm.World, rank int, fullW, pos *tensor.Matrix) *InputShard {
+	p := world.Size()
+	lo, hi := ShardRange(fullW.Rows, p, rank)
+	s := &InputShard{
+		Rank:  rank,
+		P:     p,
+		Lo:    lo,
+		Hi:    hi,
+		W:     fullW.SliceRows(lo, hi),
+		world: world,
+	}
+	if rank == 0 && pos != nil {
+		s.Pos = pos.Clone()
+	}
+	return s
+}
+
+// Forward embeds tokens (length bs; position i gets position embedding i mod
+// maxSeq when present) and returns the assembled [bs, h] activations,
+// identical on every rank after the all-reduce.
+func (s *InputShard) Forward(tokens []int) *tensor.Matrix {
+	h := s.W.Cols
+	out := tensor.New(len(tokens), h)
+	for i, tok := range tokens {
+		if tok >= s.Lo && tok < s.Hi {
+			copy(out.Row(i), s.W.Row(tok-s.Lo))
+		}
+	}
+	if s.Pos != nil {
+		for i := range tokens {
+			row := out.Row(i)
+			prow := s.Pos.Row(i % s.Pos.Rows)
+			for j := range row {
+				row[j] += prow[j]
+			}
+		}
+	}
+	s.world.AllReduce(s.Rank, out.Data, comm.OpSum)
+	return out
+}
+
+// Backward accumulates ∇W rows for the tokens this rank owns from the output
+// gradient dOut [bs, h] (already present on every rank after the broadcast
+// C0' of Appendix C). It returns this rank's weight-gradient slice and, on
+// rank 0, the position-embedding gradient.
+func (s *InputShard) Backward(tokens []int, dOut *tensor.Matrix) (gradW, gradPos *tensor.Matrix) {
+	if dOut.Rows != len(tokens) {
+		panic(fmt.Sprintf("vocab: input backward: %d grads for %d tokens", dOut.Rows, len(tokens)))
+	}
+	gradW = tensor.New(s.Hi-s.Lo, s.W.Cols)
+	for i, tok := range tokens {
+		if tok >= s.Lo && tok < s.Hi {
+			dst := gradW.Row(tok - s.Lo)
+			src := dOut.Row(i)
+			for j := range dst {
+				dst[j] += src[j]
+			}
+		}
+	}
+	if s.Pos != nil {
+		gradPos = tensor.New(s.Pos.Rows, s.Pos.Cols)
+		for i := range tokens {
+			dst := gradPos.Row(i % s.Pos.Rows)
+			src := dOut.Row(i)
+			for j := range dst {
+				dst[j] += src[j]
+			}
+		}
+	}
+	return gradW, gradPos
+}
+
+// ReferenceInput is the unpartitioned embedding layer used to verify
+// InputShard.
+type ReferenceInput struct {
+	W   *tensor.Matrix // [V, h]
+	Pos *tensor.Matrix // [maxSeq, h] or nil
+}
+
+// Forward embeds tokens with optional position embeddings.
+func (r *ReferenceInput) Forward(tokens []int) *tensor.Matrix {
+	out := tensor.New(len(tokens), r.W.Cols)
+	for i, tok := range tokens {
+		copy(out.Row(i), r.W.Row(tok))
+		if r.Pos != nil {
+			row := out.Row(i)
+			prow := r.Pos.Row(i % r.Pos.Rows)
+			for j := range row {
+				row[j] += prow[j]
+			}
+		}
+	}
+	return out
+}
+
+// Backward returns ∇W [V, h] and ∇Pos for the given output gradient.
+func (r *ReferenceInput) Backward(tokens []int, dOut *tensor.Matrix) (gradW, gradPos *tensor.Matrix) {
+	gradW = tensor.New(r.W.Rows, r.W.Cols)
+	for i, tok := range tokens {
+		dst := gradW.Row(tok)
+		src := dOut.Row(i)
+		for j := range dst {
+			dst[j] += src[j]
+		}
+	}
+	if r.Pos != nil {
+		gradPos = tensor.New(r.Pos.Rows, r.Pos.Cols)
+		for i := range tokens {
+			dst := gradPos.Row(i % r.Pos.Rows)
+			src := dOut.Row(i)
+			for j := range dst {
+				dst[j] += src[j]
+			}
+		}
+	}
+	return gradW, gradPos
+}

@@ -1,0 +1,144 @@
+package vocab
+
+import (
+	"testing"
+
+	"vocabpipe/internal/comm"
+	"vocabpipe/internal/tensor"
+)
+
+func runInputSharded(fullW, pos *tensor.Matrix, tokens []int, dOut *tensor.Matrix, p int) (fwd *tensor.Matrix, gradW, gradPos *tensor.Matrix) {
+	world := comm.NewWorld(p)
+	fwds := make([]*tensor.Matrix, p)
+	gradWs := make([]*tensor.Matrix, p)
+	var gp *tensor.Matrix
+	world.Run(func(rank int) {
+		s := NewInputShard(world, rank, fullW, pos)
+		fwds[rank] = s.Forward(tokens)
+		gw, gpos := s.Backward(tokens, dOut)
+		gradWs[rank] = gw
+		if rank == 0 {
+			gp = gpos
+		}
+	})
+	// Reassemble the weight gradient.
+	gradW = tensor.New(fullW.Rows, fullW.Cols)
+	per := fullW.Rows / p
+	for r := 0; r < p; r++ {
+		copy(gradW.Data[r*per*fullW.Cols:(r+1)*per*fullW.Cols], gradWs[r].Data)
+	}
+	// All ranks' forward outputs must be identical; return rank 0's and check.
+	for r := 1; r < p; r++ {
+		if fwds[r].MaxAbsDiff(fwds[0]) != 0 {
+			panic("input forward differs across ranks")
+		}
+	}
+	return fwds[0], gradW, gp
+}
+
+func TestInputShardedMatchesReference(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	v, h, seq := 24, 6, 10
+	fullW := tensor.Randn(rng, v, h, 1)
+	pos := tensor.Randn(rng, seq, h, 0.2)
+	tokens := tensor.RandTokens(rng, seq, v)
+	dOut := tensor.Randn(rng, seq, h, 1)
+
+	ref := &ReferenceInput{W: fullW, Pos: pos}
+	wantFwd := ref.Forward(tokens)
+	wantGW, wantGP := ref.Backward(tokens, dOut)
+
+	for _, p := range []int{1, 2, 4, 8} {
+		fwd, gw, gp := runInputSharded(fullW, pos, tokens, dOut, p)
+		if d := fwd.MaxAbsDiff(wantFwd); d > 1e-12 {
+			t.Errorf("p=%d: forward differs by %g", p, d)
+		}
+		if d := gw.MaxAbsDiff(wantGW); d > 1e-12 {
+			t.Errorf("p=%d: gradW differs by %g", p, d)
+		}
+		if d := gp.MaxAbsDiff(wantGP); d > 1e-12 {
+			t.Errorf("p=%d: gradPos differs by %g", p, d)
+		}
+	}
+}
+
+func TestInputShardNoPositionEmbedding(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	v, h, seq := 8, 4, 5
+	fullW := tensor.Randn(rng, v, h, 1)
+	tokens := tensor.RandTokens(rng, seq, v)
+	dOut := tensor.Randn(rng, seq, h, 1)
+	ref := &ReferenceInput{W: fullW}
+	wantFwd := ref.Forward(tokens)
+	wantGW, _ := ref.Backward(tokens, dOut)
+	fwd, gw, gp := runInputSharded(fullW, nil, tokens, dOut, 2)
+	if d := fwd.MaxAbsDiff(wantFwd); d > 1e-12 {
+		t.Fatalf("forward differs by %g", d)
+	}
+	if d := gw.MaxAbsDiff(wantGW); d > 1e-12 {
+		t.Fatalf("gradW differs by %g", d)
+	}
+	if gp != nil {
+		t.Fatalf("gradPos should be nil without position embedding")
+	}
+}
+
+func TestInputShardRepeatedTokensAccumulate(t *testing.T) {
+	// The same token appearing twice must receive the sum of both gradient
+	// rows (scatter-add, not overwrite).
+	rng := tensor.NewRNG(3)
+	fullW := tensor.Randn(rng, 4, 3, 1)
+	tokens := []int{1, 1, 1}
+	dOut := tensor.FromSlice(3, 3, []float64{1, 0, 0, 0, 1, 0, 0, 0, 1})
+	_, gw, _ := runInputSharded(fullW, nil, tokens, dOut, 2)
+	want := []float64{1, 1, 1}
+	for j, v := range want {
+		if gw.At(1, j) != v {
+			t.Fatalf("gradW row 1 = %v, want %v", gw.Row(1), want)
+		}
+	}
+	// All other rows must be zero.
+	for i := 0; i < 4; i++ {
+		if i == 1 {
+			continue
+		}
+		for j := 0; j < 3; j++ {
+			if gw.At(i, j) != 0 {
+				t.Fatalf("gradW row %d should be zero", i)
+			}
+		}
+	}
+}
+
+func TestInputShardOnlyRankZeroHasPos(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	fullW := tensor.Randn(rng, 8, 4, 1)
+	pos := tensor.Randn(rng, 6, 4, 1)
+	world := comm.NewWorld(4)
+	world.Run(func(rank int) {
+		s := NewInputShard(world, rank, fullW, pos)
+		if rank == 0 && s.Pos == nil {
+			t.Errorf("rank 0 must hold the position embedding")
+		}
+		if rank != 0 && s.Pos != nil {
+			t.Errorf("rank %d must not hold the position embedding", rank)
+		}
+		// Everyone must still participate in forward's all-reduce.
+		s.Forward([]int{0, 1, 2})
+	})
+}
+
+func TestInputBackwardPanicsOnShapeMismatch(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	fullW := tensor.Randn(rng, 4, 2, 1)
+	world := comm.NewWorld(1)
+	world.Run(func(rank int) {
+		s := NewInputShard(world, rank, fullW, nil)
+		defer func() {
+			if recover() == nil {
+				t.Errorf("expected panic on shape mismatch")
+			}
+		}()
+		s.Backward([]int{0, 1}, tensor.New(3, 2))
+	})
+}

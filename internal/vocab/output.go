@@ -1,0 +1,316 @@
+package vocab
+
+import (
+	"fmt"
+	"math"
+
+	"vocabpipe/internal/comm"
+	"vocabpipe/internal/tensor"
+)
+
+// OutputShard is one device's slice of the partitioned output layer: rows
+// [Lo, Hi) of the embedding matrix, stored as W [Hi-Lo, h].
+type OutputShard struct {
+	Rank, P int
+	Lo, Hi  int
+	W       *tensor.Matrix // [Hi-Lo, h]
+	world   *comm.World
+}
+
+// NewOutputShard slices the rank's rows out of the full [V, h] matrix.
+// fullW is only read; the shard owns a copy so per-device weight updates in
+// training do not alias.
+func NewOutputShard(world *comm.World, rank int, fullW *tensor.Matrix) *OutputShard {
+	p := world.Size()
+	lo, hi := ShardRange(fullW.Rows, p, rank)
+	return &OutputShard{
+		Rank:  rank,
+		P:     p,
+		Lo:    lo,
+		Hi:    hi,
+		W:     fullW.SliceRows(lo, hi),
+		world: world,
+	}
+}
+
+// ShardResult is the per-rank outcome of a sharded forward+backward.
+type ShardResult struct {
+	// Loss is the global summed cross-entropy, identical on every rank.
+	Loss float64
+	// GradX is the full ∇X [bs, h], identical on every rank (the paper
+	// implements the final Reduce as an AllReduce to balance communication
+	// volume, §6.1).
+	GradX *tensor.Matrix
+	// GradW is this rank's ∇W slice, shape [Hi-Lo, h].
+	GradW *tensor.Matrix
+	// SoftmaxLocal is this rank's softmax slice [bs, Hi-Lo] (the corrected,
+	// globally-normalized values).
+	SoftmaxLocal *tensor.Matrix
+	// Barriers is the number of communication barriers crossed.
+	Barriers int
+}
+
+// ForwardBackward runs the selected algorithm for inputs X [bs, h] and labels
+// (length bs). Every rank must call it collectively with identical X and
+// labels (X arrives via the C0 broadcast in the pipeline; the numeric tests
+// pass it directly and exercise the broadcast separately).
+func (s *OutputShard) ForwardBackward(x *tensor.Matrix, labels []int, alg Algorithm) *ShardResult {
+	switch alg {
+	case AlgNaive:
+		return s.forwardBackwardNaive(x, labels)
+	case Alg1:
+		return s.forwardBackwardAlg1(x, labels)
+	case Alg2:
+		return s.forwardBackwardAlg2(x, labels)
+	default:
+		panic("vocab: unknown algorithm")
+	}
+}
+
+// localLabelLogit returns, per row, Y[i, g_i] if this shard owns label g_i
+// and 0 otherwise; summed across ranks it yields the label logit needed for
+// the loss. Piggybacked onto an existing all-reduce (fusing small tensors
+// into one collective, as a real implementation would).
+func (s *OutputShard) localLabelLogit(y *tensor.Matrix, labels []int) []float64 {
+	out := make([]float64, len(labels))
+	for i, g := range labels {
+		if g >= s.Lo && g < s.Hi {
+			out[i] = y.At(i, g-s.Lo)
+		}
+	}
+	return out
+}
+
+// subtractLocalG subtracts the one-hot ground truth for labels owned by this
+// shard from m in place (m has shape [bs, Hi-Lo]).
+func (s *OutputShard) subtractLocalG(m *tensor.Matrix, labels []int) {
+	for i, g := range labels {
+		if g >= s.Lo && g < s.Hi {
+			m.Set(i, g-s.Lo, m.At(i, g-s.Lo)-1)
+		}
+	}
+}
+
+// lossFrom computes the summed cross-entropy from global max, global sum and
+// the (summed) label logits.
+func lossFrom(mx, sum, labelLogit []float64) float64 {
+	loss := 0.0
+	for i := range mx {
+		loss += mx[i] + math.Log(sum[i]) - labelLogit[i]
+	}
+	return loss
+}
+
+// forwardBackwardNaive is the direct implementation of Fig 4: three
+// computation passes F1/F2/B separated by three communication barriers.
+func (s *OutputShard) forwardBackwardNaive(x *tensor.Matrix, labels []int) *ShardResult {
+	bs := x.Rows
+
+	// F1: local logits and local max.
+	y := tensor.MatMulT(x, s.W) // [bs, V/p]
+	mx := y.RowMax()
+
+	// Barrier 1: all-reduce max of logits.
+	s.world.AllReduce(s.Rank, mx, comm.OpMax)
+
+	// F2: exponentials against the *global* max, local sum.
+	e := y.ExpShifted(mx)
+	sumAndLogit := make([]float64, 2*bs)
+	for i := 0; i < bs; i++ {
+		row := e.Row(i)
+		acc := 0.0
+		for _, v := range row {
+			acc += v
+		}
+		sumAndLogit[i] = acc
+	}
+	copy(sumAndLogit[bs:], s.localLabelLogit(y, labels))
+
+	// Barrier 2: all-reduce sum of logit exponents (label logit fused in).
+	s.world.AllReduce(s.Rank, sumAndLogit, comm.OpSum)
+	sum := sumAndLogit[:bs]
+	loss := lossFrom(mx, sum, sumAndLogit[bs:])
+
+	// Divide: softmax = e / sum.
+	sm := e
+	for i := 0; i < bs; i++ {
+		inv := 1.0 / sum[i]
+		row := sm.Row(i)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+
+	// B: dY = softmax − G_local; ∇X' = dY·W ; ∇W = dYᵀ·X.
+	dy := sm.Clone()
+	s.subtractLocalG(dy, labels)
+	gradX := tensor.MatMul(dy, s.W)
+	gradW := tensor.TMatMul(dy, x)
+
+	// Barrier 3: reduce ∇X (implemented as all-reduce, §6.1).
+	s.world.ReduceAsAllReduce(s.Rank, gradX.Data, comm.OpSum)
+
+	return &ShardResult{Loss: loss, GradX: gradX, GradW: gradW, SoftmaxLocal: sm, Barriers: 3}
+}
+
+// forwardBackwardAlg1 implements Algorithm 1: the S pass computes a local
+// softmax from local max/sum; barrier C1 fixes it up with two [bs]-sized
+// all-reduces; the T pass computes both matmul gradients; barrier C2 reduces
+// ∇X.
+func (s *OutputShard) forwardBackwardAlg1(x *tensor.Matrix, labels []int) *ShardResult {
+	bs := x.Rows
+
+	// S: everything local — logits, local max/sum, local softmax'.
+	y := tensor.MatMulT(x, s.W)
+	mLocal := y.RowMax()
+	sumLocal := y.RowSumExp(mLocal)
+	smLocal := y.ExpShifted(mLocal)
+	for i := 0; i < bs; i++ {
+		inv := 1.0 / sumLocal[i]
+		if sumLocal[i] == 0 { // empty shard rows: keep zeros
+			inv = 0
+		}
+		row := smLocal.Row(i)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+
+	// C1, step 1: global max.
+	m := append([]float64(nil), mLocal...)
+	s.world.AllReduce(s.Rank, m, comm.OpMax)
+
+	// C1, step 2: rescale local sums into the global frame, all-reduce
+	// (label logit fused into the same collective).
+	sumScaled := make([]float64, bs)
+	for i := 0; i < bs; i++ {
+		sumScaled[i] = sumLocal[i] * math.Exp(mLocal[i]-m[i])
+	}
+	sumAndLogit := make([]float64, 2*bs)
+	copy(sumAndLogit, sumScaled)
+	copy(sumAndLogit[bs:], s.localLabelLogit(y, labels))
+	s.world.AllReduce(s.Rank, sumAndLogit, comm.OpSum)
+	sum := sumAndLogit[:bs]
+	loss := lossFrom(m, sum, sumAndLogit[bs:])
+
+	// T: correct the local softmax (eq. 5) and compute both gradients.
+	ratio := make([]float64, bs)
+	for i := 0; i < bs; i++ {
+		ratio[i] = sumScaled[i] / sum[i]
+	}
+	sm := smLocal.ScaleRows(ratio)
+	dy := sm.Clone()
+	s.subtractLocalG(dy, labels)
+	gradX := tensor.MatMul(dy, s.W)
+	gradW := tensor.TMatMul(dy, x)
+
+	// C2: reduce ∇X.
+	s.world.ReduceAsAllReduce(s.Rank, gradX.Data, comm.OpSum)
+
+	return &ShardResult{Loss: loss, GradX: gradX, GradW: gradW, SoftmaxLocal: sm, Barriers: 2}
+}
+
+// forwardBackwardAlg2 implements Algorithm 2: the S pass additionally
+// computes A = softmax'(Y)·W and B = G·W, so the single barrier C1 assembles
+// ∇X from [bs, h]-sized pieces with only elementwise work (eq. 6). The weight
+// gradient pass T is independent and can be delayed arbitrarily; here it runs
+// immediately after the barrier, but the pipeline scheduler exploits the
+// freedom (§5.1).
+func (s *OutputShard) forwardBackwardAlg2(x *tensor.Matrix, labels []int) *ShardResult {
+	bs := x.Rows
+
+	// S: local logits, local softmax', and both pre-barrier matmuls.
+	y := tensor.MatMulT(x, s.W)
+	mLocal := y.RowMax()
+	sumLocal := y.RowSumExp(mLocal)
+	smLocal := y.ExpShifted(mLocal)
+	for i := 0; i < bs; i++ {
+		inv := 1.0 / sumLocal[i]
+		if sumLocal[i] == 0 {
+			inv = 0
+		}
+		row := smLocal.Row(i)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+	a := tensor.MatMul(smLocal, s.W) // softmax'(Y)·W, [bs, h]
+	g := tensor.New(bs, s.Hi-s.Lo)
+	for i, lbl := range labels {
+		if lbl >= s.Lo && lbl < s.Hi {
+			g.Set(i, lbl-s.Lo, 1)
+		}
+	}
+	b := tensor.MatMul(g, s.W) // G·W, [bs, h]
+
+	// C1: global max, rescaled sum (+fused label logit), then ∇X assembly —
+	// all inside the single barrier, with only [bs] and [bs,h] elementwise
+	// arithmetic between the collectives.
+	m := append([]float64(nil), mLocal...)
+	s.world.AllReduce(s.Rank, m, comm.OpMax)
+	sumScaled := make([]float64, bs)
+	for i := 0; i < bs; i++ {
+		sumScaled[i] = sumLocal[i] * math.Exp(mLocal[i]-m[i])
+	}
+	sumAndLogit := make([]float64, 2*bs)
+	copy(sumAndLogit, sumScaled)
+	copy(sumAndLogit[bs:], s.localLabelLogit(y, labels))
+	s.world.AllReduce(s.Rank, sumAndLogit, comm.OpSum)
+	sum := sumAndLogit[:bs]
+	loss := lossFrom(m, sum, sumAndLogit[bs:])
+
+	ratio := make([]float64, bs)
+	for i := 0; i < bs; i++ {
+		ratio[i] = sumScaled[i] / sum[i]
+	}
+	gradX := a.ScaleRows(ratio).Sub(b)
+	s.world.ReduceAsAllReduce(s.Rank, gradX.Data, comm.OpSum)
+
+	// T (delayable): corrected softmax and the weight gradient.
+	sm := smLocal.ScaleRows(ratio)
+	dy := sm.Clone()
+	s.subtractLocalG(dy, labels)
+	gradW := tensor.TMatMul(dy, x)
+
+	return &ShardResult{Loss: loss, GradX: gradX, GradW: gradW, SoftmaxLocal: sm, Barriers: 1}
+}
+
+// RunSharded is a convenience driver: it shards fullW [V, h] across p ranks,
+// runs alg collectively on every rank (including the C0 broadcast of X from
+// the root rank), and reassembles the global result. It also reports the
+// communication volume observed.
+func RunSharded(fullW, x *tensor.Matrix, labels []int, p int, alg Algorithm) (*Result, int64) {
+	if fullW.Rows%p != 0 {
+		panic(fmt.Sprintf("vocab: V=%d not divisible by p=%d", fullW.Rows, p))
+	}
+	world := comm.NewWorld(p)
+	bs, h := x.Rows, x.Cols
+	results := make([]*ShardResult, p)
+	world.Run(func(rank int) {
+		shard := NewOutputShard(world, rank, fullW)
+		// C0: broadcast X from the device that produced the last transformer
+		// layer output (by convention the last rank).
+		xr := tensor.New(bs, h)
+		if rank == p-1 {
+			xr.CopyFrom(x)
+		}
+		world.Broadcast(rank, p-1, xr.Data)
+		results[rank] = shard.ForwardBackward(xr, labels, alg)
+	})
+
+	out := &Result{
+		Loss:    results[0].Loss,
+		GradX:   results[0].GradX,
+		GradW:   tensor.New(fullW.Rows, h),
+		Softmax: tensor.New(bs, fullW.Rows),
+	}
+	per := fullW.Rows / p
+	for r := 0; r < p; r++ {
+		res := results[r]
+		copy(out.GradW.Data[r*per*h:(r+1)*per*h], res.GradW.Data)
+		for i := 0; i < bs; i++ {
+			copy(out.Softmax.Row(i)[r*per:(r+1)*per], res.SoftmaxLocal.Row(i))
+		}
+	}
+	return out, world.BytesMoved()
+}

@@ -1,0 +1,294 @@
+package vocab
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vocabpipe/internal/tensor"
+)
+
+// makeCase builds a random output-layer problem: W [V,h], X [bs,h], labels.
+func makeCase(seed uint64, bs, h, v int) (*tensor.Matrix, *tensor.Matrix, []int) {
+	rng := tensor.NewRNG(seed)
+	w := tensor.Randn(rng, v, h, 0.5)
+	x := tensor.Randn(rng, bs, h, 1.0)
+	labels := tensor.RandTokens(rng, bs, v)
+	return w, x, labels
+}
+
+func allAlgorithms() []Algorithm { return []Algorithm{AlgNaive, Alg1, Alg2} }
+
+func TestAlgorithmString(t *testing.T) {
+	if AlgNaive.String() != "naive" || Alg1.String() != "vocab-1" || Alg2.String() != "vocab-2" {
+		t.Fatalf("Algorithm String wrong")
+	}
+}
+
+func TestBarrierCounts(t *testing.T) {
+	if AlgNaive.Barriers() != 3 || Alg1.Barriers() != 2 || Alg2.Barriers() != 1 {
+		t.Fatalf("barrier counts must be 3/2/1 (paper §4)")
+	}
+}
+
+func TestPadVocab(t *testing.T) {
+	// §6.1: 256008 on 24 devices pads to 256032 (multiple of 48).
+	if got := PadVocab(256008, 24); got != 256032 {
+		t.Fatalf("PadVocab(256008, 24) = %d, want 256032", got)
+	}
+	if got := PadVocab(48, 24); got != 48 {
+		t.Fatalf("PadVocab exact multiple changed: %d", got)
+	}
+	if got := PadVocab(1, 4); got != 8 {
+		t.Fatalf("PadVocab(1,4) = %d, want 8", got)
+	}
+}
+
+func TestShardRangeCoversVocab(t *testing.T) {
+	v, p := 64, 8
+	covered := make([]bool, v)
+	for r := 0; r < p; r++ {
+		lo, hi := ShardRange(v, p, r)
+		if hi-lo != v/p {
+			t.Fatalf("shard %d has %d rows, want %d", r, hi-lo, v/p)
+		}
+		for i := lo; i < hi; i++ {
+			if covered[i] {
+				t.Fatalf("row %d covered twice", i)
+			}
+			covered[i] = true
+		}
+	}
+	for i, c := range covered {
+		if !c {
+			t.Fatalf("row %d not covered", i)
+		}
+	}
+}
+
+func TestReferenceLossMatchesManual(t *testing.T) {
+	// Tiny case computed by hand: V=2, h=1, W = [[1],[−1]], x=[2], label 0.
+	w := tensor.FromSlice(2, 1, []float64{1, -1})
+	x := tensor.FromSlice(1, 1, []float64{2})
+	res := NewReference(w).ForwardBackward(x, []int{0})
+	// logits = [2, −2]; loss = log(e^2+e^−2) − 2 = log(1+e^−4)
+	want := math.Log(1 + math.Exp(-4))
+	if math.Abs(res.Loss-want) > 1e-12 {
+		t.Fatalf("loss = %v, want %v", res.Loss, want)
+	}
+	// softmax = [σ, 1−σ] with σ = 1/(1+e^−4); dY = [σ−1, 1−σ]
+	sig := 1 / (1 + math.Exp(-4))
+	gx := (sig-1)*1 + (1-sig)*(-1)
+	if math.Abs(res.GradX.At(0, 0)-gx) > 1e-12 {
+		t.Fatalf("gradX = %v, want %v", res.GradX.At(0, 0), gx)
+	}
+}
+
+func TestReferenceGradXFiniteDifference(t *testing.T) {
+	w, x, labels := makeCase(11, 3, 5, 8)
+	ref := NewReference(w)
+	res := ref.ForwardBackward(x, labels)
+	const h = 1e-6
+	for i := 0; i < x.Rows; i++ {
+		for j := 0; j < x.Cols; j++ {
+			orig := x.At(i, j)
+			x.Set(i, j, orig+h)
+			lp := ref.ForwardBackward(x, labels).Loss
+			x.Set(i, j, orig-h)
+			lm := ref.ForwardBackward(x, labels).Loss
+			x.Set(i, j, orig)
+			fd := (lp - lm) / (2 * h)
+			if math.Abs(fd-res.GradX.At(i, j)) > 1e-5 {
+				t.Fatalf("gradX[%d][%d] = %v, finite diff %v", i, j, res.GradX.At(i, j), fd)
+			}
+		}
+	}
+}
+
+func TestReferenceGradWFiniteDifference(t *testing.T) {
+	w, x, labels := makeCase(12, 2, 4, 6)
+	ref := NewReference(w)
+	res := ref.ForwardBackward(x, labels)
+	const h = 1e-6
+	for i := 0; i < w.Rows; i += 2 {
+		for j := 0; j < w.Cols; j++ {
+			orig := w.At(i, j)
+			w.Set(i, j, orig+h)
+			lp := ref.ForwardBackward(x, labels).Loss
+			w.Set(i, j, orig-h)
+			lm := ref.ForwardBackward(x, labels).Loss
+			w.Set(i, j, orig)
+			fd := (lp - lm) / (2 * h)
+			if math.Abs(fd-res.GradW.At(i, j)) > 1e-5 {
+				t.Fatalf("gradW[%d][%d] = %v, finite diff %v", i, j, res.GradW.At(i, j), fd)
+			}
+		}
+	}
+}
+
+// TestShardedMatchesReference is the core correctness claim (Appendix E):
+// every partitioned variant must reproduce the unpartitioned layer.
+func TestShardedMatchesReference(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8} {
+		w, x, labels := makeCase(uint64(100+p), 6, 16, 8*p)
+		want := NewReference(w).ForwardBackward(x, labels)
+		for _, alg := range allAlgorithms() {
+			got, _ := RunSharded(w, x, labels, p, alg)
+			if math.Abs(got.Loss-want.Loss) > 1e-9 {
+				t.Errorf("p=%d %v: loss %v vs reference %v", p, alg, got.Loss, want.Loss)
+			}
+			if d := got.GradX.MaxAbsDiff(want.GradX); d > 1e-9 {
+				t.Errorf("p=%d %v: gradX differs by %g", p, alg, d)
+			}
+			if d := got.GradW.MaxAbsDiff(want.GradW); d > 1e-9 {
+				t.Errorf("p=%d %v: gradW differs by %g", p, alg, d)
+			}
+			if d := got.Softmax.MaxAbsDiff(want.Softmax); d > 1e-12 {
+				t.Errorf("p=%d %v: softmax differs by %g", p, alg, d)
+			}
+		}
+	}
+}
+
+func TestShardedVariantsAgreeExactly(t *testing.T) {
+	// All three variants see the same shard data; Alg1 and Naive perform the
+	// same matmuls in the same order, so they should agree very tightly.
+	w, x, labels := makeCase(200, 4, 8, 32)
+	naive, _ := RunSharded(w, x, labels, 4, AlgNaive)
+	a1, _ := RunSharded(w, x, labels, 4, Alg1)
+	a2, _ := RunSharded(w, x, labels, 4, Alg2)
+	if d := naive.GradX.MaxAbsDiff(a1.GradX); d > 1e-10 {
+		t.Errorf("naive vs alg1 gradX differ by %g", d)
+	}
+	if d := a1.GradX.MaxAbsDiff(a2.GradX); d > 1e-10 {
+		t.Errorf("alg1 vs alg2 gradX differ by %g", d)
+	}
+	if math.Abs(a1.Loss-a2.Loss) > 1e-10 {
+		t.Errorf("alg1 vs alg2 loss differ: %v vs %v", a1.Loss, a2.Loss)
+	}
+}
+
+func TestShardedDeterministicAcrossRuns(t *testing.T) {
+	w, x, labels := makeCase(300, 5, 12, 24)
+	first, _ := RunSharded(w, x, labels, 4, Alg2)
+	for i := 0; i < 5; i++ {
+		again, _ := RunSharded(w, x, labels, 4, Alg2)
+		if again.Loss != first.Loss {
+			t.Fatalf("run %d: loss changed: %v vs %v", i, again.Loss, first.Loss)
+		}
+		if d := again.GradW.MaxAbsDiff(first.GradW); d != 0 {
+			t.Fatalf("run %d: gradW not bit-identical (%g)", i, d)
+		}
+	}
+}
+
+func TestShardedLargeLogitsStable(t *testing.T) {
+	// Safe-softmax must survive extreme logits on only one shard.
+	rng := tensor.NewRNG(400)
+	w := tensor.Randn(rng, 16, 4, 1)
+	// Blow up shard 2's weights so the global max lives there.
+	for i := 8; i < 12; i++ {
+		for j := 0; j < 4; j++ {
+			w.Set(i, j, w.At(i, j)*200)
+		}
+	}
+	x := tensor.Randn(rng, 3, 4, 1)
+	labels := []int{0, 9, 15}
+	want := NewReference(w).ForwardBackward(x, labels)
+	for _, alg := range allAlgorithms() {
+		got, _ := RunSharded(w, x, labels, 4, alg)
+		if math.IsNaN(got.Loss) || math.IsInf(got.Loss, 0) {
+			t.Fatalf("%v: loss not finite: %v", alg, got.Loss)
+		}
+		if math.Abs(got.Loss-want.Loss) > 1e-9*math.Abs(want.Loss) {
+			t.Fatalf("%v: loss %v vs %v", alg, got.Loss, want.Loss)
+		}
+	}
+}
+
+func TestShardedSoftmaxRowsSumToOne(t *testing.T) {
+	w, x, labels := makeCase(500, 7, 10, 40)
+	for _, alg := range allAlgorithms() {
+		res, _ := RunSharded(w, x, labels, 8, alg)
+		for i := 0; i < res.Softmax.Rows; i++ {
+			s := 0.0
+			for _, v := range res.Softmax.Row(i) {
+				s += v
+			}
+			if math.Abs(s-1) > 1e-10 {
+				t.Fatalf("%v: softmax row %d sums to %v", alg, i, s)
+			}
+		}
+	}
+}
+
+func TestCommunicationVolumeOrdering(t *testing.T) {
+	// The optimizations trade barrier count, not bytes: Alg2 still moves the
+	// same [bs,h] reduce plus [bs] reductions. What must strictly shrink is
+	// the number of collectives blocked on (barriers). Verify bytes are of
+	// the same order while barrier counts drop 3→2→1.
+	w, x, labels := makeCase(600, 8, 16, 32)
+	_, bytesNaive := RunSharded(w, x, labels, 4, AlgNaive)
+	_, bytes1 := RunSharded(w, x, labels, 4, Alg1)
+	_, bytes2 := RunSharded(w, x, labels, 4, Alg2)
+	if bytesNaive <= 0 || bytes1 <= 0 || bytes2 <= 0 {
+		t.Fatalf("expected nonzero communication: %d %d %d", bytesNaive, bytes1, bytes2)
+	}
+	ratio := float64(bytes2) / float64(bytesNaive)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("bytes should be same order of magnitude: naive=%d alg2=%d", bytesNaive, bytes2)
+	}
+}
+
+func TestGradWShardOwnership(t *testing.T) {
+	// Each rank's GradW slice must exactly equal the corresponding rows of
+	// the reference gradient — no cross-shard leakage.
+	w, x, labels := makeCase(700, 4, 6, 12)
+	want := NewReference(w).ForwardBackward(x, labels)
+	got, _ := RunSharded(w, x, labels, 3, Alg2)
+	for r := 0; r < 3; r++ {
+		lo, hi := ShardRange(12, 3, r)
+		wantSlice := want.GradW.SliceRows(lo, hi)
+		gotSlice := got.GradW.SliceRows(lo, hi)
+		if d := wantSlice.MaxAbsDiff(gotSlice); d > 1e-9 {
+			t.Fatalf("rank %d gradW slice differs by %g", r, d)
+		}
+	}
+}
+
+func TestPropShardedLossMatchesReference(t *testing.T) {
+	f := func(seed uint64, pRaw, bsRaw, hRaw uint8, algRaw uint8) bool {
+		p := []int{1, 2, 4}[int(pRaw)%3]
+		bs := int(bsRaw%5) + 1
+		h := int(hRaw%6) + 2
+		v := p * (int(seed%4) + 2)
+		alg := allAlgorithms()[int(algRaw)%3]
+		w, x, labels := makeCase(seed, bs, h, v)
+		want := NewReference(w).ForwardBackward(x, labels)
+		got, _ := RunSharded(w, x, labels, p, alg)
+		return math.Abs(got.Loss-want.Loss) <= 1e-9*(1+math.Abs(want.Loss)) &&
+			got.GradX.MaxAbsDiff(want.GradX) <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardRangePanicsOnIndivisible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic when V %% p != 0")
+		}
+	}()
+	ShardRange(10, 3, 0)
+}
+
+func TestReferencePanicsOnBadLabel(t *testing.T) {
+	w, x, _ := makeCase(800, 2, 4, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for out-of-range label")
+		}
+	}()
+	NewReference(w).ForwardBackward(x, []int{0, 99})
+}

@@ -1,0 +1,154 @@
+// Package vocab implements the paper's primary contribution: the output and
+// input vocabulary layers partitioned across the vocabulary dimension over
+// all pipeline devices (§3–§4 and Appendix C of "Balancing Pipeline
+// Parallelism with Vocabulary Parallelism", MLSys 2025).
+//
+// Three output-layer variants are provided, differing in the number of
+// cross-device communication barriers per microbatch:
+//
+//   - AlgNaive — 3 barriers (Fig 4/6): all-reduce max, all-reduce sum,
+//     reduce of ∇X, each splitting the computation into F1/F2/B passes.
+//   - Alg1 — 2 barriers (§4.3, Algorithm 1): online-softmax-style reordering
+//     moves both logit reductions after the local softmax into one barrier C1;
+//     the ∇X reduce remains as C2.
+//   - Alg2 — 1 barrier (§4.4, Algorithm 2): the input-gradient matmuls are
+//     also computed locally before the barrier, so ∇X is assembled inside C1
+//     with only lightweight [bs,h] arithmetic; the weight-gradient pass T can
+//     be delayed arbitrarily (zero-bubble style).
+//
+// All variants produce losses and gradients identical (to float64 rounding)
+// to the unpartitioned Reference layer; the tests assert this and also check
+// gradients against finite differences.
+//
+// Cross-entropy convention: the loss is the SUM over the b·s tokens of
+// -log softmax(Y)[i, label_i], matching the paper's equations (3)–(4) where
+// ∇Y = softmax(Y) − G. Callers wanting a mean loss scale by 1/(b·s).
+package vocab
+
+import (
+	"fmt"
+	"math"
+
+	"vocabpipe/internal/tensor"
+)
+
+// Algorithm selects the output-layer variant.
+type Algorithm int
+
+const (
+	// AlgNaive is the direct partitioning with 3 communication barriers.
+	AlgNaive Algorithm = iota
+	// Alg1 applies the forward-phase optimization (2 barriers).
+	Alg1
+	// Alg2 additionally applies the backward-phase optimization (1 barrier).
+	Alg2
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AlgNaive:
+		return "naive"
+	case Alg1:
+		return "vocab-1"
+	case Alg2:
+		return "vocab-2"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Barriers returns the number of communication barriers the variant places
+// between the forward and backward pass of the last transformer layer. This
+// equals the activation-memory overhead in microbatches when integrated into
+// a pipeline schedule (§5.2).
+func (a Algorithm) Barriers() int {
+	switch a {
+	case AlgNaive:
+		return 3
+	case Alg1:
+		return 2
+	case Alg2:
+		return 1
+	default:
+		panic("vocab: unknown algorithm")
+	}
+}
+
+// PadVocab rounds V up to a multiple of 2p for memory alignment, as §6.1
+// recommends (e.g. 256008 → 256032 on 24 devices).
+func PadVocab(v, p int) int {
+	if v <= 0 || p <= 0 {
+		panic("vocab: PadVocab requires positive arguments")
+	}
+	unit := 2 * p
+	return (v + unit - 1) / unit * unit
+}
+
+// ShardRange returns the half-open row range [lo, hi) of the vocabulary owned
+// by rank out of p devices. V must be divisible by p (callers pad first).
+func ShardRange(v, p, rank int) (lo, hi int) {
+	if v%p != 0 {
+		panic(fmt.Sprintf("vocab: V=%d not divisible by p=%d (pad first)", v, p))
+	}
+	per := v / p
+	return rank * per, (rank + 1) * per
+}
+
+// Result carries the outputs of a full forward+backward through the output
+// layer.
+type Result struct {
+	// Loss is the summed cross-entropy over all tokens.
+	Loss float64
+	// GradX is ∇X = (softmax(Y) − G)·W, shape [bs, h].
+	GradX *tensor.Matrix
+	// GradW is ∇W = (softmax(Y) − G)ᵀ·X. For sharded runs this is the
+	// reassembled [V, h] gradient; each rank computes only its own rows.
+	GradW *tensor.Matrix
+	// Softmax is the full softmax(Y), shape [bs, V]; reassembled for sharded
+	// runs. Retained for test comparison; production kernels would not
+	// materialize it globally.
+	Softmax *tensor.Matrix
+}
+
+// Reference is the unpartitioned output layer: logits Y = X·Wᵀ with W of
+// shape [V, h], safe softmax, cross-entropy against integer labels.
+type Reference struct {
+	W *tensor.Matrix // [V, h]
+}
+
+// NewReference wraps an embedding matrix W of shape [V, h].
+func NewReference(w *tensor.Matrix) *Reference { return &Reference{W: w} }
+
+// ForwardBackward computes loss, ∇X and ∇W for inputs X [bs, h] and labels
+// (length bs, values in [0, V)).
+func (r *Reference) ForwardBackward(x *tensor.Matrix, labels []int) *Result {
+	bs := x.Rows
+	if len(labels) != bs {
+		panic(fmt.Sprintf("vocab: %d labels for %d rows", len(labels), bs))
+	}
+	y := tensor.MatMulT(x, r.W) // [bs, V]
+	mx := y.RowMax()
+	sum := y.RowSumExp(mx)
+	sm := y.ExpShifted(mx)
+	loss := 0.0
+	for i := 0; i < bs; i++ {
+		g := labels[i]
+		if g < 0 || g >= r.W.Rows {
+			panic(fmt.Sprintf("vocab: label %d out of range [0,%d)", g, r.W.Rows))
+		}
+		loss += mx[i] + math.Log(sum[i]) - y.At(i, g)
+		inv := 1.0 / sum[i]
+		row := sm.Row(i)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+	// dY = softmax − G
+	dy := sm.Clone()
+	for i := 0; i < bs; i++ {
+		dy.Set(i, labels[i], dy.At(i, labels[i])-1)
+	}
+	gradX := tensor.MatMul(dy, r.W) // [bs, h]
+	gradW := tensor.TMatMul(dy, x)  // [V, h]
+	return &Result{Loss: loss, GradX: gradX, GradW: gradW, Softmax: sm}
+}

@@ -1,318 +1,158 @@
 // vpbench regenerates every table and figure of "Balancing Pipeline
 // Parallelism with Vocabulary Parallelism" (MLSys 2025) on the simulated
-// substrate, printing measured values next to the paper's. Run with no
-// arguments for the full suite, or name experiments:
+// substrate, printing measured values next to the paper's. Each experiment is
+// a declarative sweep.Grid evaluated concurrently by the sweep engine. Run
+// with no arguments for the full suite, or name experiments:
 //
-//	go run ./cmd/vpbench [fig1|fig2|fig3|table3|table4|table5|table6|
-//	                      blocks|interlaced-mem|ablation-b2|fig17|all]
+//	go run ./cmd/vpbench [flags] [fig1|fig2|fig3|table3|table4|table5|table6|
+//	                              blocks|interlaced-mem|ablation-b2|fig17|all]
+//
+// Flags:
+//
+//	-parallel N   sweep worker count (default: GOMAXPROCS)
+//	-json         emit machine-readable JSON records instead of text tables
+//	-csv          emit CSV records instead of text tables
+//	-out FILE     write output to FILE instead of stdout
+//	-grid SPEC    run a user-defined sweep, e.g.
+//	              -grid 'model=4B;seq=2048,4096;vocab=32k,256k;method=1f1b'
+//	-v            print per-cell progress to stderr
 package main
 
 import (
+	"flag"
 	"fmt"
-	"math"
+	"io"
 	"os"
-	"strings"
 
-	"vocabpipe/internal/costmodel"
-	"vocabpipe/internal/layout"
-	"vocabpipe/internal/pipeline"
 	"vocabpipe/internal/report"
-	"vocabpipe/internal/schedule"
-	"vocabpipe/internal/sim"
-	"vocabpipe/internal/trace"
-	"vocabpipe/internal/transformer"
-	"vocabpipe/internal/vocab"
+	"vocabpipe/internal/sweep"
 )
 
 func main() {
-	cmds := os.Args[1:]
-	if len(cmds) == 0 {
-		cmds = []string{"all"}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses flags, selects experiments,
+// evaluates their grids on the sweep engine and renders to stdout.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vpbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	parallel := fs.Int("parallel", 0, "sweep worker count (default: GOMAXPROCS)")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON records instead of text tables")
+	csvOut := fs.Bool("csv", false, "emit CSV records instead of text tables")
+	outFile := fs.String("out", "", "write output to `FILE` instead of stdout")
+	gridSpec := fs.String("grid", "", "user-defined sweep `SPEC` (key=v1,v2;... with keys model, seq, vocab, method, micro, devices)")
+	verbose := fs.Bool("v", false, "print per-cell progress to stderr")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	for _, cmd := range cmds {
-		switch cmd {
-		case "all":
-			fig1()
-			fig2()
-			fig3()
-			table4()
-			table3()
-			table5()
-			table6()
-			blocks()
-			interlacedMem()
-			ablationB2()
-			fig17()
-		case "fig1":
-			fig1()
-		case "fig2":
-			fig2()
-		case "fig3":
-			fig3()
-		case "table3":
-			table3()
-		case "table4":
-			table4()
-		case "table5":
-			table5()
-		case "table6":
-			table6()
-		case "blocks":
-			blocks()
-		case "interlaced-mem":
-			interlacedMem()
-		case "ablation-b2":
-			ablationB2()
-		case "fig17":
-			fig17()
-		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", cmd)
-			os.Exit(2)
+	if *jsonOut && *csvOut {
+		fmt.Fprintln(stderr, "vpbench: -json and -csv are mutually exclusive")
+		return 2
+	}
+
+	// Select experiments. A custom -grid runs after any named experiments;
+	// bare "-grid ..." with no names runs only the custom sweep.
+	var selected []experiment
+	names := fs.Args()
+	if len(names) == 0 && *gridSpec == "" {
+		names = []string{"all"}
+	}
+	for _, name := range names {
+		if name == "all" {
+			selected = append(selected, experiments...)
+			continue
 		}
-	}
-}
-
-func header(s string) {
-	fmt.Printf("\n%s\n%s\n", s, strings.Repeat("=", len(s)))
-}
-
-// fig1 renders the repeating bubble pattern of an imbalanced pipeline.
-func fig1() {
-	header("Figure 1 — bubbles from an extra output layer on the last stage")
-	stages := make([]schedule.Stage, 4)
-	for i := range stages {
-		stages[i] = schedule.Stage{F: 1, B: 2, ActBytes: 1}
-	}
-	balanced := schedule.MustBuild(&schedule.Spec{P: 4, M: 8, Chunks: 1, Stages: append([]schedule.Stage(nil), stages...)})
-	stages[3].F += 1
-	stages[3].B += 2
-	imbalanced := schedule.MustBuild(&schedule.Spec{P: 4, M: 8, Chunks: 1, Stages: stages})
-	fmt.Println("balanced 1F1B:")
-	fmt.Print(trace.ASCII(balanced, 110))
-	fmt.Println("with an output layer (1 extra transformer-layer equivalent) on device 3:")
-	fmt.Print(trace.ASCII(imbalanced, 110))
-	fmt.Printf("makespan %.0f -> %.0f; device-0 bubble %s -> %s\n",
-		balanced.Makespan, imbalanced.Makespan,
-		report.Pct(balanced.BubbleRatio(0)), report.Pct(imbalanced.BubbleRatio(0)))
-}
-
-// fig2 prints the compute/memory ratios of the vocabulary layers for
-// Gemma2-9B across vocabulary sizes.
-func fig2() {
-	header("Figure 2 — vocabulary vs transformer layer ratios (Gemma2-9B)")
-	t := report.New("", "vocab", "compute ratio (output)", "compute ratio (input)", "memory ratio (each vocab layer)")
-	for _, v := range costmodel.VocabSizes {
-		c := costmodel.Gemma2_9B().WithVocab(v)
-		t.Add(fmt.Sprintf("%dk", v/1024),
-			c.OutputToTransformerRatio(),
-			c.InputLayerFLOPs()/c.TransformerLayerFLOPs(),
-			c.VocabToTransformerParamRatio())
-	}
-	fmt.Print(t.String())
-	fmt.Println("paper: at 256k both compute and parameter memory of the output layer ≈5x a transformer layer")
-}
-
-// fig3 shows per-device compute and memory with and without transformer
-// layer redistribution (7B, V=128k, 16 stages).
-func fig3() {
-	header("Figure 3 — layer redistribution on 7B, V=128k, 16 stages")
-	cfg := costmodel.Fig3Config()
-	base, err := layout.Baseline(cfg, 16)
-	if err != nil {
-		panic(err)
-	}
-	redis := layout.Redis(cfg, 16)
-	t := report.New("", "stage", "base layers", "base compute", "base params GB", "redis layers", "redis compute", "redis params GB")
-	for s := 0; s < 16; s++ {
-		t.Add(s,
-			base[s].TransformerLayers, base[s].ComputeUnits(cfg), report.GB(base[s].ParamBytes(cfg)),
-			redis[s].TransformerLayers, redis[s].ComputeUnits(cfg), report.GB(redis[s].ParamBytes(cfg)))
-	}
-	fmt.Print(t.String())
-	fmt.Printf("output layer = %.2fx transformer compute (paper 2.4x), %.2fx parameter memory (paper 2.6x)\n",
-		cfg.OutputToTransformerRatio(), cfg.VocabToTransformerParamRatio())
-	fmt.Printf("max/mean compute: baseline %.2f, redis %.2f (imbalance persists after redistribution)\n",
-		layout.MaxComputeUnits(cfg, base)/layout.MeanComputeUnits(cfg, base),
-		layout.MaxComputeUnits(cfg, redis)/layout.MeanComputeUnits(cfg, redis))
-}
-
-// table4 prints the analytical cost formulas evaluated on the 4B model.
-func table4() {
-	header("Table 4 — compute and memory cost of vocabulary and transformer layers")
-	c, _ := costmodel.ConfigByName("4B")
-	c = c.WithVocab(128 * 1024)
-	t := report.New("", "layer", "compute FLOPs", "param memory (bytes, fp16)")
-	t.Add("transformer", fmt.Sprintf("bsh(72h+12s) = %.3g", c.TransformerLayerFLOPs()), fmt.Sprintf("24h^2 = %.3g", 2*c.TransformerLayerParams()))
-	t.Add("input", fmt.Sprintf("3bsh = %.3g", c.InputLayerFLOPs()), fmt.Sprintf("2hV = %.3g", 2*c.VocabLayerParams()))
-	t.Add("output", fmt.Sprintf("6bshV = %.3g", c.OutputLayerFLOPs()), fmt.Sprintf("2hV = %.3g", 2*c.VocabLayerParams()))
-	fmt.Print(t.String())
-}
-
-// table3 regenerates the scaling-factor table from the calibrated kernel
-// model (p=8 and p=32 anchor the fit; p=16 is predicted).
-func table3() {
-	header("Table 3 — scaling factor of vocabulary layers vs linear scaling (V=256k)")
-	t := report.New("", "seq", "layer", "8GPU", "16GPU", "32GPU")
-	for _, seq := range []int{2048, 4096} {
-		rows := []struct {
-			name string
-			f    func(p int) float64
-		}{
-			{"output-vocab-1", func(p int) float64 { return costmodel.OutputScalingFactor(costmodel.Alg1Kind, seq, p) }},
-			{"output-vocab-2", func(p int) float64 { return costmodel.OutputScalingFactor(costmodel.Alg2Kind, seq, p) }},
-			{"input", func(p int) float64 { return costmodel.InputScalingFactor(seq, p) }},
+		e, ok := experimentByName(name)
+		if !ok {
+			fmt.Fprintf(stderr, "unknown experiment %q\n", name)
+			return 2
 		}
-		for _, r := range rows {
-			paper := paperTable3[seq][r.name]
-			t.Add(seq, r.name,
-				report.PaperVs(100*r.f(8), paper[0]),
-				report.PaperVs(100*r.f(16), paper[1]),
-				report.PaperVs(100*r.f(32), paper[2]))
-		}
+		selected = append(selected, e)
 	}
-	fmt.Print(t.String())
-}
+	if *gridSpec != "" {
+		g, err := sweep.ParseGrid(*gridSpec)
+		if err != nil {
+			fmt.Fprintf(stderr, "vpbench: %v\n", err)
+			return 2
+		}
+		selected = append(selected, experiment{
+			name:   g.Name,
+			grid:   func() *sweep.Grid { return g },
+			render: renderGridTable,
+		})
+	}
 
-// table5 regenerates the 1F1B comparison (also Figs 11 and 12).
-func table5() {
-	header("Table 5 / Figures 11-12 — methods on 1F1B (MFU % and peak memory GB)")
-	for _, cfg := range costmodel.OneF1BConfigs() {
-		for _, seq := range costmodel.SeqLengths {
-			t := report.New(fmt.Sprintf("%s, %d GPUs, seq %d", cfg.Name, cfg.Devices, seq),
-				"method", "metric", "32k", "64k", "128k", "256k")
-			for _, m := range sim.OneF1BMethods {
-				paper := paperTable5[cfg.Name][seq][m.String()]
-				mfuRow := []any{m.String(), "MFU%"}
-				memRow := []any{m.String(), "peak GB"}
-				for vi, v := range costmodel.VocabSizes {
-					r := sim.MustRun(cfg.WithSeq(seq).WithVocab(v), m)
-					if r.OOM {
-						mfuRow = append(mfuRow, fmt.Sprintf("OOM (paper %s)", paperStr(paper.mfu[vi])))
-						memRow = append(memRow, fmt.Sprintf(">80 (paper %s)", paperStr(paper.mem[vi])))
-						continue
-					}
-					mfuRow = append(mfuRow, report.PaperVs(100*r.MFU, paper.mfu[vi]))
-					memRow = append(memRow, report.PaperVs(r.MaxMem/costmodel.GiB, paper.mem[vi]))
-				}
-				t.Add(mfuRow...)
-				t.Add(memRow...)
+	w := io.Writer(stdout)
+	var outF *os.File
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "vpbench: %v\n", err)
+			return 1
+		}
+		outF = f
+		w = f
+	}
+
+	opt := sweep.Options{Parallel: *parallel}
+	if *verbose {
+		opt.OnCell = func(done, total int, r sweep.CellResult) {
+			status := ""
+			switch {
+			case r.Err != nil:
+				status = "  ERROR: " + r.Err.Error()
+			case r.Result != nil && r.Result.OOM:
+				status = "  OOM"
 			}
-			fmt.Print(t.String())
-			fmt.Println()
+			fmt.Fprintf(stderr, "[%d/%d] %s %s%s\n", done, total, r.Experiment, r.Label, status)
 		}
 	}
-}
 
-func paperStr(v float64) string {
-	if v < 0 {
-		return "OOM"
-	}
-	return fmt.Sprintf("%.2f", v)
-}
-
-// table6 regenerates the V-Half comparison (also Figs 13 and 14).
-func table6() {
-	header("Table 6 / Figures 13-14 — methods on V-Half (MFU % and peak memory GB)")
-	for _, cfg := range costmodel.VHalfConfigs() {
-		for _, seq := range costmodel.SeqLengths {
-			t := report.New(fmt.Sprintf("%s, %d GPUs, seq %d", cfg.Name, cfg.Devices, seq),
-				"method", "metric", "32k", "64k", "128k", "256k")
-			for _, m := range sim.VHalfMethods {
-				paper := paperTable6[cfg.Name][seq][m.String()]
-				mfuRow := []any{m.String(), "MFU%"}
-				memRow := []any{m.String(), "max/min GB"}
-				for vi, v := range costmodel.VocabSizes {
-					r := sim.MustRun(cfg.WithSeq(seq).WithVocab(v), m)
-					if r.OOM {
-						mfuRow = append(mfuRow, fmt.Sprintf("OOM (paper %s)", paperStr(paper.mfu[vi])))
-						memRow = append(memRow, fmt.Sprintf(">80 (paper %s)", paperStr(paper.mem[vi])))
-						continue
-					}
-					mfuRow = append(mfuRow, report.PaperVs(100*r.MFU, paper.mfu[vi]))
-					memRow = append(memRow, fmt.Sprintf("%s/%s (paper %s)",
-						report.GB(r.MaxMem), report.GB(r.MinMem), paperStr(paper.mem[vi])))
-				}
-				t.Add(mfuRow...)
-				t.Add(memRow...)
+	var records []report.Record
+	cellsFailed := false
+	for _, e := range selected {
+		var res *sweep.Results
+		if e.grid != nil {
+			res = sweep.Run(e.grid(), opt)
+			if len(res.Errs()) > 0 {
+				cellsFailed = true
 			}
-			fmt.Print(t.String())
-			fmt.Println()
+		}
+		if *jsonOut || *csvOut {
+			// Machine-readable mode skips text rendering.
+			if res == nil {
+				fmt.Fprintf(stderr, "vpbench: note: %s is closed-form and has no machine-readable records\n", e.name)
+				continue
+			}
+			records = append(records, res.Records()...)
+			continue
+		}
+		e.render(w, res)
+	}
+
+	if *jsonOut {
+		if err := report.WriteJSON(w, records); err != nil {
+			fmt.Fprintf(stderr, "vpbench: %v\n", err)
+			return 1
 		}
 	}
-}
-
-// blocks renders the building blocks / schedules of Figs 9, 10, 15 and 16.
-func blocks() {
-	header("Figures 9/10/15/16 — building blocks and schedules")
-	mk := func(name string, m sim.Method, cfgName string) {
-		cfg, _ := costmodel.ConfigByName(cfgName)
-		cfg.NumMicro = 2 * cfg.Devices
-		cfg = cfg.WithVocab(128 * 1024)
-		r := sim.MustRun(cfg, m)
-		fmt.Printf("\n%s (%s, %d devices, %d microbatches): in-flight per device %v\n",
-			name, cfgName, cfg.Devices, cfg.NumMicro, r.InFlight)
-		fmt.Print(trace.ASCII(r.Timeline, 140))
+	if *csvOut {
+		if err := report.WriteCSV(w, records); err != nil {
+			fmt.Fprintf(stderr, "vpbench: %v\n", err)
+			return 1
+		}
 	}
-	mk("1F1B baseline", sim.Baseline, "4B")
-	mk("1F1B + Vocab-1 (Fig 10a: p+2 in-flight)", sim.Vocab1, "4B")
-	mk("1F1B + Vocab-2 (Fig 10b: p+1 in-flight)", sim.Vocab2, "4B")
-	mk("Interlaced (Fig 15b: ~1.5p in-flight)", sim.Interlaced, "4B")
-	mk("V-Half + Vocab-1 (Fig 16)", sim.VHalfVocab1, "7B")
-}
-
-// interlacedMem quantifies Appendix B.1's 1.5x activation memory claim.
-func interlacedMem() {
-	header("Appendix B.1 — interlaced pipeline activation memory (vs 1F1B)")
-	t := report.New("", "p", "1F1B in-flight (dev 0)", "interlaced in-flight (dev 0)", "ratio")
-	cfg, _ := costmodel.ConfigByName("4B")
-	cfg.NumMicro = 48
-	b := sim.MustRun(cfg, sim.Baseline)
-	i := sim.MustRun(cfg, sim.Interlaced)
-	t.Add(cfg.Devices, b.InFlight[0], i.InFlight[0], float64(i.InFlight[0])/float64(b.InFlight[0]))
-	fmt.Print(t.String())
-	fmt.Println("paper: the interlaced building block enlarges the lifespan from 3p to ~4.5p ⇒ 1.5x activation memory")
-}
-
-// ablationB2 removes the interlaced pipeline's synchronous all-reduces.
-func ablationB2() {
-	header("Appendix B.2 — removing synchronous all-reduces from interlaced (21B, 32 GPUs)")
-	cfg, _ := costmodel.ConfigByName("21B")
-	cfg = cfg.WithVocab(256 * 1024)
-	withSync := sim.MustRun(cfg, sim.Interlaced).IterTime
-	spec, err := sim.BuildSpec(cfg, sim.Interlaced)
-	if err != nil {
-		panic(err)
+	if outF != nil {
+		if err := outF.Close(); err != nil {
+			fmt.Fprintf(stderr, "vpbench: %v\n", err)
+			return 1
+		}
 	}
-	spec.Interlaced.SyncTime = 0
-	tl, err := schedule.Build(spec)
-	if err != nil {
-		panic(err)
+	if cellsFailed {
+		// Per-cell failures are reported in the output (error rows/records)
+		// but must still fail the process for scripted use.
+		return 1
 	}
-	fmt.Printf("iteration time with sync: %.3fs, without: %.3fs — improvement %.2f%% (paper ~10.95%%)\n",
-		withSync, tl.Makespan, 100*(withSync-tl.Makespan)/withSync)
-}
-
-// fig17 compares serial vs vocabulary-parallel training loss curves.
-func fig17() {
-	header("Figure 17 / Appendix E — convergence of vocab-parallel vs original")
-	cfg := pipeline.TrainConfig{
-		Model:     transformer.ModelConfig{Vocab: 64, MaxSeq: 16, Hidden: 16, Layers: 2, Heads: 2},
-		Steps:     120,
-		SeqLen:    16,
-		LR:        5e-3,
-		Seed:      7,
-		Devices:   4,
-		Algorithm: vocab.Alg2,
-	}
-	serial := pipeline.TrainSerial(cfg)
-	par := pipeline.TrainVocabParallel(cfg)
-	t := report.New("", "step", "loss (original)", "loss (vocab parallel)", "|diff|")
-	for i := 0; i < len(serial); i += 20 {
-		t.Add(i, serial[i].Loss, par[i].Loss, fmt.Sprintf("%.2e", math.Abs(serial[i].Loss-par[i].Loss)))
-	}
-	last := len(serial) - 1
-	t.Add(last, serial[last].Loss, par[last].Loss, fmt.Sprintf("%.2e", math.Abs(serial[last].Loss-par[last].Loss)))
-	fmt.Print(t.String())
-	fmt.Printf("max per-step divergence over %d steps: %.3g (float64 round-off only)\n",
-		cfg.Steps, pipeline.MaxLossDiff(serial, par))
+	return 0
 }

@@ -1,8 +1,8 @@
 package main
 
-// Paper-reported values (Tables 3, 5 and 6 of arXiv:2411.05288v2), used to
-// print measured-vs-paper comparisons. A value of -1 marks the paper's OOM
-// dashes.
+// Paper-reported values (Tables 3, 5 and 6 of arXiv:2411.05288v2), used by
+// the renderers in experiments.go to print measured-vs-paper comparisons. A
+// value of -1 marks the paper's OOM dashes.
 
 // cell is {MFU%, peak GB} per vocabulary size 32k/64k/128k/256k.
 type cell struct{ mfu, mem [4]float64 }

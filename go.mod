@@ -1,0 +1,3 @@
+module vocabpipe
+
+go 1.24

@@ -1,0 +1,73 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Record is one machine-readable experiment cell: the sweep axes that
+// produced it plus the paper's metrics. Field order is the canonical column
+// order of the CSV emitter; values are deterministic, so both emitters are
+// byte-stable across runs and worker counts.
+type Record struct {
+	Experiment string  `json:"experiment"`
+	Label      string  `json:"label"`
+	Model      string  `json:"model,omitempty"`
+	Devices    int     `json:"devices,omitempty"`
+	Seq        int     `json:"seq,omitempty"`
+	Vocab      int     `json:"vocab,omitempty"`
+	NumMicro   int     `json:"microbatches,omitempty"`
+	Method     string  `json:"method,omitempty"`
+	Error      string  `json:"error,omitempty"`
+	OOM        bool    `json:"oom,omitempty"`
+	IterTimeS  float64 `json:"iter_time_s,omitempty"`
+	MFUPct     float64 `json:"mfu_pct,omitempty"`
+	PeakMemGB  float64 `json:"peak_mem_gb,omitempty"`
+	MinMemGB   float64 `json:"min_mem_gb,omitempty"`
+	BubblePct  float64 `json:"bubble_pct,omitempty"`
+}
+
+// WriteJSON emits records as an indented JSON array.
+func WriteJSON(w io.Writer, recs []Record) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if recs == nil {
+		recs = []Record{}
+	}
+	return enc.Encode(recs)
+}
+
+// recordColumns is the CSV header, matching Record's field order.
+var recordColumns = []string{
+	"experiment", "label", "model", "devices", "seq", "vocab", "microbatches",
+	"method", "error", "oom", "iter_time_s", "mfu_pct", "peak_mem_gb",
+	"min_mem_gb", "bubble_pct",
+}
+
+// WriteCSV emits records as CSV with a fixed header row.
+func WriteCSV(w io.Writer, recs []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(recordColumns); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		row := []string{
+			r.Experiment, r.Label, r.Model,
+			strconv.Itoa(r.Devices), strconv.Itoa(r.Seq), strconv.Itoa(r.Vocab),
+			strconv.Itoa(r.NumMicro), r.Method, r.Error,
+			strconv.FormatBool(r.OOM),
+			floatCell(r.IterTimeS), floatCell(r.MFUPct), floatCell(r.PeakMemGB),
+			floatCell(r.MinMemGB), floatCell(r.BubblePct),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func floatCell(v float64) string { return fmt.Sprintf("%.6g", v) }

@@ -1,0 +1,92 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{Experiment: "table5", Label: "4B/seq2048/V32k/baseline", Model: "4B",
+			Devices: 8, Seq: 2048, Vocab: 32768, NumMicro: 128, Method: "baseline",
+			IterTimeS: 1.25, MFUPct: 46.2, PeakMemGB: 14.9, MinMemGB: 10.1, BubblePct: 8.5},
+		{Experiment: "table5", Label: "4B/seq2048/V256k/baseline", Model: "4B",
+			Devices: 8, Seq: 2048, Vocab: 262144, NumMicro: 128, Method: "baseline",
+			OOM: true, IterTimeS: 2.5, MFUPct: 25.2, PeakMemGB: 85.0, MinMemGB: 20.0, BubblePct: 30.0},
+		{Experiment: "custom", Label: "broken", Error: "layout: 32 layers not divisible by 7 stages"},
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	var back []Record
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if len(back) != 3 || back[0].MFUPct != 46.2 || !back[1].OOM || back[2].Error == "" {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Fatalf("nil records should emit [], got %q", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want header + 3 rows:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "experiment,label,model,devices,") {
+		t.Errorf("header %q", lines[0])
+	}
+	for i, line := range lines {
+		if got := strings.Count(line, ",") + 1; got != len(recordColumns) {
+			t.Errorf("line %d has %d columns, want %d: %q", i, got, len(recordColumns), line)
+		}
+	}
+	if !strings.Contains(lines[2], "true") {
+		t.Errorf("OOM row lost its flag: %q", lines[2])
+	}
+}
+
+// TestEmittersDeterministic proves repeated emission is byte-identical.
+func TestEmittersDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	recs := sampleRecords()
+	if err := WriteJSON(&a, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&b, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("JSON emission is not deterministic")
+	}
+	a.Reset()
+	b.Reset()
+	if err := WriteCSV(&a, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&b, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("CSV emission is not deterministic")
+	}
+}

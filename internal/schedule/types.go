@@ -23,7 +23,10 @@
 // traces are measured rather than assumed.
 package schedule
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // PassType enumerates the kinds of work a device performs.
 type PassType int
@@ -160,7 +163,9 @@ type Spec struct {
 	CapScale float64
 }
 
-// Validate checks structural consistency.
+// Validate checks structural consistency. Every duration and byte count must
+// be finite and non-negative: a NaN or Inf would silently poison the greedy
+// scheduler's start-time comparisons and every downstream metric.
 func (s *Spec) Validate() error {
 	if s.P <= 0 || s.M <= 0 {
 		return fmt.Errorf("schedule: P=%d M=%d must be positive", s.P, s.M)
@@ -177,9 +182,29 @@ func (s *Spec) Validate() error {
 	if s.Vocab != nil && s.Vocab.Barriers != 1 && s.Vocab.Barriers != 2 {
 		return fmt.Errorf("schedule: Vocab.Barriers=%d (want 1 or 2)", s.Vocab.Barriers)
 	}
+	bad := func(v float64) bool { return v < 0 || math.IsNaN(v) || math.IsInf(v, 0) }
 	for i, st := range s.Stages {
-		if st.F < 0 || st.B < 0 || st.W < 0 {
-			return fmt.Errorf("schedule: stage %d has negative duration", i)
+		if bad(st.F) || bad(st.B) || bad(st.W) {
+			return fmt.Errorf("schedule: stage %d has negative or non-finite duration", i)
+		}
+		if bad(st.ActBytes) || bad(st.ParamBytes) || bad(st.ExtraActBytes) {
+			return fmt.Errorf("schedule: stage %d has negative or non-finite memory", i)
+		}
+	}
+	if bad(s.SendTime) {
+		return fmt.Errorf("schedule: SendTime is negative or non-finite")
+	}
+	if bad(s.CapScale) {
+		return fmt.Errorf("schedule: CapScale is negative or non-finite")
+	}
+	if v := s.Vocab; v != nil {
+		if bad(v.SDur) || bad(v.TDur) || bad(v.BcastTime) || bad(v.C1Time) || bad(v.C2Time) || bad(v.ActBytes) {
+			return fmt.Errorf("schedule: Vocab has a negative or non-finite field")
+		}
+	}
+	if iv := s.Interlaced; iv != nil {
+		if bad(iv.VDur) || bad(iv.SyncTime) || bad(iv.ActBytes) {
+			return fmt.Errorf("schedule: Interlaced has a negative or non-finite field")
 		}
 	}
 	return nil

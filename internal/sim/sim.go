@@ -61,6 +61,19 @@ var OneF1BMethods = []Method{Baseline, Redis, Vocab1, Vocab2, Interlaced}
 // VHalfMethods are the two systems compared in Table 6 / Figs 13-14.
 var VHalfMethods = []Method{VHalfBaseline, VHalfVocab1}
 
+// AllMethods lists every method, in declaration order.
+var AllMethods = []Method{Baseline, Redis, Vocab1, Vocab2, Interlaced, VHalfBaseline, VHalfVocab1}
+
+// MethodByName resolves a method's String() name ("baseline", "vocab-1", ...).
+func MethodByName(name string) (Method, bool) {
+	for _, m := range AllMethods {
+		if m.String() == name {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
 // Result is one cell of a paper table.
 type Result struct {
 	Config   costmodel.Config
@@ -86,6 +99,13 @@ func Run(cfg costmodel.Config, m Method) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return FromTimeline(cfg, m, tl), nil
+}
+
+// FromTimeline measures a built timeline into a Result. Used by Run and by
+// ablations that mutate a spec before building (e.g. Appendix B.2's
+// sync-free interlaced pipeline).
+func FromTimeline(cfg costmodel.Config, m Method, tl *schedule.Timeline) *Result {
 	mem := tl.PeakMemoryBytes(costmodel.RuntimeOverheadBytes)
 	res := &Result{
 		Config:   cfg,
@@ -105,7 +125,7 @@ func Run(cfg costmodel.Config, m Method) (*Result, error) {
 			res.OOM = true
 		}
 	}
-	return res, nil
+	return res
 }
 
 // MustRun panics on configuration errors (used by benches over the zoo).

@@ -1,0 +1,278 @@
+// Package sweep evaluates (config × method) experiment grids concurrently.
+//
+// A Grid declares the sweep axes (model configurations, sequence lengths,
+// vocabulary sizes, methods); Expand turns it into an ordered list of Cells
+// and Run evaluates the cells on a worker pool via sim.Run. Results are
+// returned in expansion order regardless of worker count, each cell captures
+// its own error (a failing or OOM cell reports instead of aborting the grid),
+// and an optional progress callback observes completions as they happen.
+//
+// The engine is the seam every vpbench experiment goes through: paper tables
+// are fixed grids, and user-defined scenarios (see ParseGrid) reuse the same
+// machinery.
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"vocabpipe/internal/costmodel"
+	"vocabpipe/internal/report"
+	"vocabpipe/internal/sim"
+)
+
+// EvalFunc evaluates one cell. The default (nil) evaluator is sim.Run on the
+// cell's Config and Method; experiments with bespoke pipelines (ablations,
+// synthetic schedules) install their own.
+type EvalFunc func(Cell) (*sim.Result, error)
+
+// Cell is one point of a sweep: a configuration, a method, and an optional
+// custom evaluator.
+type Cell struct {
+	// Experiment is the owning grid's name (filled in by Expand).
+	Experiment string
+	// Label uniquely identifies the cell within its grid,
+	// e.g. "4B/seq2048/V32k/vocab-1".
+	Label  string
+	Config costmodel.Config
+	Method sim.Method
+	// Eval overrides the default sim.Run evaluator when non-nil.
+	Eval EvalFunc `json:"-"`
+}
+
+// Grid declares a sweep. Either list Cells explicitly, or declare the axes
+// and let Expand take the cross product (Configs × Seqs × Vocabs × Methods,
+// in that nesting order). Empty Seqs/Vocabs keep each config's own value.
+type Grid struct {
+	Name string
+	// Cells, when non-empty, is used verbatim (the axes are ignored).
+	Cells []Cell
+	// Axes of the cross product.
+	Configs []costmodel.Config
+	Seqs    []int
+	Vocabs  []int
+	Methods []sim.Method
+	// Eval, when non-nil, evaluates every expanded cell (cell-level Eval
+	// still wins).
+	Eval EvalFunc
+	// KeepTimelines retains each Result's Timeline. The default drops it
+	// after metrics are extracted so large grids don't pin every schedule
+	// in memory; experiments that render traces opt back in.
+	KeepTimelines bool
+}
+
+// Expand returns the grid's cells in deterministic order.
+func (g *Grid) Expand() []Cell {
+	if len(g.Cells) > 0 {
+		cells := make([]Cell, len(g.Cells))
+		copy(cells, g.Cells)
+		for i := range cells {
+			cells[i].Experiment = g.Name
+			if cells[i].Eval == nil {
+				cells[i].Eval = g.Eval
+			}
+		}
+		return cells
+	}
+	var cells []Cell
+	for _, cfg := range g.Configs {
+		seqs := g.Seqs
+		if len(seqs) == 0 {
+			seqs = []int{cfg.Seq}
+		}
+		for _, seq := range seqs {
+			vocabs := g.Vocabs
+			if len(vocabs) == 0 {
+				vocabs = []int{cfg.Vocab}
+			}
+			for _, v := range vocabs {
+				for _, m := range g.Methods {
+					c := cfg.WithSeq(seq).WithVocab(v)
+					cells = append(cells, Cell{
+						Experiment: g.Name,
+						Label:      CellLabel(c, m),
+						Config:     c,
+						Method:     m,
+						Eval:       g.Eval,
+					})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// CellLabel is the canonical label for an axes-expanded cell.
+func CellLabel(cfg costmodel.Config, m sim.Method) string {
+	return fmt.Sprintf("%s/seq%d/V%dk/%s", cfg.Name, cfg.Seq, cfg.Vocab/1024, m)
+}
+
+// CellResult is one evaluated cell. Exactly one of Result/Err is meaningful;
+// an OOM run is a successful Result with Result.OOM set.
+type CellResult struct {
+	Cell
+	Index  int // position in expansion order
+	Result *sim.Result
+	Err    error
+}
+
+// Options tunes a Run.
+type Options struct {
+	// Parallel is the worker count; values < 1 default to GOMAXPROCS.
+	Parallel int
+	// OnCell, when non-nil, is called after each cell completes with the
+	// number done so far and the grid total. Calls are serialized, but
+	// arrive in completion order, not expansion order.
+	OnCell func(done, total int, r CellResult)
+}
+
+// Results holds a grid's evaluated cells in expansion order.
+type Results struct {
+	Grid  *Grid
+	Cells []CellResult
+}
+
+// Run evaluates every cell of the grid and returns results in expansion
+// order regardless of Options.Parallel.
+func Run(g *Grid, opt Options) *Results {
+	cells := g.Expand()
+	results := make([]CellResult, len(cells))
+	workers := opt.Parallel
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards done counter and OnCell
+	done := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = evalCell(cells[i], i, g.KeepTimelines)
+				if opt.OnCell != nil {
+					mu.Lock()
+					done++
+					opt.OnCell(done, len(cells), results[i])
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range cells {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return &Results{Grid: g, Cells: results}
+}
+
+// evalCell evaluates one cell, converting panics into per-cell errors so a
+// degenerate configuration cannot abort the grid.
+func evalCell(c Cell, index int, keepTimeline bool) (res CellResult) {
+	res = CellResult{Cell: c, Index: index}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Result = nil
+			res.Err = fmt.Errorf("sweep: cell %q panicked: %v", c.Label, r)
+		}
+	}()
+	eval := c.Eval
+	if eval == nil {
+		eval = func(c Cell) (*sim.Result, error) { return sim.Run(c.Config, c.Method) }
+	}
+	r, err := eval(c)
+	if err != nil {
+		res.Err = fmt.Errorf("sweep: cell %q: %w", c.Label, err)
+		return res
+	}
+	if r != nil && !keepTimeline {
+		r.Timeline = nil
+	}
+	res.Result = r
+	return res
+}
+
+// Get returns the cell with the given label, or nil.
+func (r *Results) Get(label string) *CellResult {
+	for i := range r.Cells {
+		if r.Cells[i].Label == label {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// MustGet returns the successful result for a label and panics on a missing
+// or failed cell — for renderers of fixed paper grids, where a miss is a
+// programming error.
+func (r *Results) MustGet(label string) *sim.Result {
+	c := r.Get(label)
+	if c == nil {
+		panic(fmt.Sprintf("sweep: no cell %q in grid %q", label, r.Grid.Name))
+	}
+	if c.Err != nil {
+		panic(fmt.Sprintf("sweep: cell %q failed: %v", label, c.Err))
+	}
+	return c.Result
+}
+
+// Errs returns the errors of all failed cells, in expansion order.
+func (r *Results) Errs() []error {
+	var errs []error
+	for i := range r.Cells {
+		if r.Cells[i].Err != nil {
+			errs = append(errs, r.Cells[i].Err)
+		}
+	}
+	return errs
+}
+
+// Records converts the results into machine-readable report records, in
+// expansion order.
+func (r *Results) Records() []report.Record {
+	recs := make([]report.Record, 0, len(r.Cells))
+	for i := range r.Cells {
+		recs = append(recs, recordOf(&r.Cells[i]))
+	}
+	return recs
+}
+
+func recordOf(c *CellResult) report.Record {
+	rec := report.Record{
+		Experiment: c.Experiment,
+		Label:      c.Label,
+		Model:      c.Config.Name,
+		Devices:    c.Config.Devices,
+		Seq:        c.Config.Seq,
+		Vocab:      c.Config.Vocab,
+		NumMicro:   c.Config.NumMicro,
+	}
+	if c.Config.Name != "" {
+		// Synthetic cells (custom Eval, no model config) carry no meaningful
+		// method: the zero value would mislabel them as "baseline".
+		rec.Method = c.Method.String()
+	}
+	if c.Err != nil {
+		rec.Error = c.Err.Error()
+		return rec
+	}
+	if r := c.Result; r != nil {
+		rec.OOM = r.OOM
+		rec.IterTimeS = r.IterTime
+		rec.MFUPct = 100 * r.MFU
+		rec.PeakMemGB = r.MaxMem / costmodel.GiB
+		rec.BubblePct = 100 * r.Bubble
+		if !math.IsInf(r.MinMem, 1) { // unset on synthetic results
+			rec.MinMemGB = r.MinMem / costmodel.GiB
+		}
+	}
+	return rec
+}

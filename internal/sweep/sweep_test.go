@@ -1,0 +1,305 @@
+package sweep
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"vocabpipe/internal/costmodel"
+	"vocabpipe/internal/report"
+	"vocabpipe/internal/sim"
+)
+
+// tinyConfig is a small, fast configuration for engine tests.
+func tinyConfig() costmodel.Config {
+	return costmodel.Config{Name: "tiny", Devices: 4, Layers: 8, Heads: 4,
+		Hidden: 256, Seq: 128, MicroBatch: 1, NumMicro: 8, Vocab: 8 * 1024}
+}
+
+func tinyGrid() *Grid {
+	return &Grid{
+		Name:    "tiny",
+		Configs: []costmodel.Config{tinyConfig()},
+		Seqs:    []int{128, 256},
+		Vocabs:  []int{4 * 1024, 8 * 1024},
+		Methods: sim.OneF1BMethods,
+	}
+}
+
+func TestExpandCrossProduct(t *testing.T) {
+	g := tinyGrid()
+	cells := g.Expand()
+	if want := 1 * 2 * 2 * len(sim.OneF1BMethods); len(cells) != want {
+		t.Fatalf("Expand: got %d cells, want %d", len(cells), want)
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		if c.Experiment != "tiny" {
+			t.Errorf("cell %q: experiment %q, want tiny", c.Label, c.Experiment)
+		}
+		if seen[c.Label] {
+			t.Errorf("duplicate label %q", c.Label)
+		}
+		seen[c.Label] = true
+	}
+	if want := "tiny/seq128/V4k/baseline"; cells[0].Label != want {
+		t.Errorf("first label %q, want %q", cells[0].Label, want)
+	}
+}
+
+func TestExpandDefaultsAxesToConfig(t *testing.T) {
+	g := &Grid{Name: "g", Configs: []costmodel.Config{tinyConfig()}, Methods: []sim.Method{sim.Baseline}}
+	cells := g.Expand()
+	if len(cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(cells))
+	}
+	if cells[0].Config.Seq != 128 || cells[0].Config.Vocab != 8*1024 {
+		t.Errorf("empty axes should keep the config's seq/vocab, got %+v", cells[0].Config)
+	}
+}
+
+// TestDeterministicOrder proves result order and content are identical
+// regardless of worker count.
+func TestDeterministicOrder(t *testing.T) {
+	g := tinyGrid()
+	var baseline []report.Record
+	for _, workers := range []int{1, 2, 4, 16} {
+		res := Run(g, Options{Parallel: workers})
+		if len(res.Cells) != len(g.Expand()) {
+			t.Fatalf("parallel=%d: %d results, want %d", workers, len(res.Cells), len(g.Expand()))
+		}
+		for i, c := range res.Cells {
+			if c.Index != i {
+				t.Fatalf("parallel=%d: cell %d has index %d", workers, i, c.Index)
+			}
+			if c.Err != nil {
+				t.Fatalf("parallel=%d: cell %q failed: %v", workers, c.Label, c.Err)
+			}
+		}
+		recs := res.Records()
+		if baseline == nil {
+			baseline = recs
+			continue
+		}
+		if !reflect.DeepEqual(recs, baseline) {
+			t.Fatalf("parallel=%d: records differ from parallel=1", workers)
+		}
+	}
+}
+
+// TestPerCellErrorCapture proves a failing cell reports its own error while
+// the rest of the grid completes.
+func TestPerCellErrorCapture(t *testing.T) {
+	bad := tinyConfig()
+	bad.Layers = 7 // not divisible by 4 stages: layout.Baseline errors
+	g := &Grid{
+		Name:    "mixed",
+		Configs: []costmodel.Config{tinyConfig(), bad},
+		Methods: []sim.Method{sim.Baseline},
+	}
+	res := Run(g, Options{Parallel: 4})
+	if len(res.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(res.Cells))
+	}
+	if res.Cells[0].Err != nil || res.Cells[0].Result == nil {
+		t.Errorf("good cell: err=%v result=%v", res.Cells[0].Err, res.Cells[0].Result)
+	}
+	if res.Cells[1].Err == nil || !strings.Contains(res.Cells[1].Err.Error(), "not divisible") {
+		t.Errorf("bad cell: err=%v, want a layout error", res.Cells[1].Err)
+	}
+	if errs := res.Errs(); len(errs) != 1 {
+		t.Errorf("Errs: got %d, want 1", len(errs))
+	}
+	rec := res.Records()[1]
+	if rec.Error == "" {
+		t.Errorf("bad cell's record has no error: %+v", rec)
+	}
+}
+
+// TestPanicCapture proves a panicking evaluator becomes a per-cell error.
+func TestPanicCapture(t *testing.T) {
+	g := &Grid{Name: "p", Cells: []Cell{
+		{Label: "boom", Eval: func(Cell) (*sim.Result, error) { panic("kaboom") }},
+		{Label: "ok", Eval: func(Cell) (*sim.Result, error) { return &sim.Result{IterTime: 1}, nil }},
+	}}
+	res := Run(g, Options{Parallel: 2})
+	if err := res.Cells[0].Err; err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Errorf("panic cell: err=%v, want panic capture", err)
+	}
+	if res.Cells[1].Err != nil || res.Cells[1].Result.IterTime != 1 {
+		t.Errorf("ok cell damaged by sibling panic: %+v", res.Cells[1])
+	}
+}
+
+// TestProgressCallback proves OnCell fires once per cell with a serialized,
+// monotonically increasing done count.
+func TestProgressCallback(t *testing.T) {
+	g := tinyGrid()
+	total := len(g.Expand())
+	var dones []int
+	res := Run(g, Options{Parallel: 4, OnCell: func(done, tot int, r CellResult) {
+		if tot != total {
+			t.Errorf("OnCell total=%d, want %d", tot, total)
+		}
+		dones = append(dones, done)
+	}})
+	if len(dones) != total {
+		t.Fatalf("OnCell fired %d times, want %d", len(dones), total)
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("OnCell done sequence %v not monotone", dones)
+		}
+	}
+	_ = res
+}
+
+func TestCustomEvalAndKeepTimelines(t *testing.T) {
+	g := &Grid{
+		Name:          "keep",
+		Configs:       []costmodel.Config{tinyConfig()},
+		Methods:       []sim.Method{sim.Baseline, sim.Vocab1},
+		KeepTimelines: true,
+	}
+	res := Run(g, Options{Parallel: 1})
+	for _, c := range res.Cells {
+		if c.Result.Timeline == nil {
+			t.Errorf("cell %q: timeline dropped despite KeepTimelines", c.Label)
+		}
+	}
+	g.KeepTimelines = false
+	res = Run(g, Options{Parallel: 1})
+	for _, c := range res.Cells {
+		if c.Result.Timeline != nil {
+			t.Errorf("cell %q: timeline retained without KeepTimelines", c.Label)
+		}
+	}
+}
+
+func TestGetAndMustGet(t *testing.T) {
+	g := &Grid{Name: "g", Configs: []costmodel.Config{tinyConfig()}, Methods: []sim.Method{sim.Baseline}}
+	res := Run(g, Options{})
+	label := CellLabel(tinyConfig(), sim.Baseline)
+	if res.Get(label) == nil {
+		t.Fatalf("Get(%q) = nil", label)
+	}
+	if res.Get("nope") != nil {
+		t.Errorf("Get(nope) should be nil")
+	}
+	if r := res.MustGet(label); r == nil || r.IterTime <= 0 {
+		t.Errorf("MustGet returned %+v", r)
+	}
+	mustPanic(t, func() { res.MustGet("nope") })
+
+	failing := &Grid{Name: "f", Cells: []Cell{
+		{Label: "bad", Eval: func(Cell) (*sim.Result, error) { return nil, errors.New("nope") }},
+	}}
+	fres := Run(failing, Options{})
+	mustPanic(t, func() { fres.MustGet("bad") })
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	fn()
+}
+
+// TestRecordsStableBytes proves the JSON emitter is byte-stable across runs
+// and worker counts — the property vpbench's golden test relies on.
+func TestRecordsStableBytes(t *testing.T) {
+	g := tinyGrid()
+	var first []byte
+	for _, workers := range []int{1, 8} {
+		var buf bytes.Buffer
+		if err := report.WriteJSON(&buf, Run(g, Options{Parallel: workers}).Records()); err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(first, buf.Bytes()) {
+			t.Fatalf("JSON output differs between worker counts")
+		}
+	}
+}
+
+func TestParseGrid(t *testing.T) {
+	g, err := ParseGrid("model=4B;seq=2048,4096;vocab=32k,65536;method=vocab-1,vocab-2;micro=16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := g.Expand()
+	if len(cells) != 2*2*2 {
+		t.Fatalf("got %d cells, want 8", len(cells))
+	}
+	for _, c := range cells {
+		if c.Config.NumMicro != 16 {
+			t.Errorf("cell %q: NumMicro=%d, want 16", c.Label, c.Config.NumMicro)
+		}
+	}
+	if cells[0].Config.Vocab != 32*1024 || cells[1].Config.Vocab != 32*1024 {
+		t.Errorf("vocab k-suffix not applied: %+v", cells[0].Config)
+	}
+
+	if g, err := ParseGrid("model=4B"); err != nil {
+		t.Errorf("methods should default to all: %v", err)
+	} else if len(g.Methods) != len(sim.AllMethods) {
+		t.Errorf("default methods = %v", g.Methods)
+	}
+
+	for _, bad := range []string{
+		"",                     // no model
+		"seq=2048",             // no model
+		"model=999B",           // unknown model
+		"model=4B;method=nope", // unknown method
+		"model=4B;turbo=1",     // unknown key
+		"model=4B;seq=zero",    // bad int
+		"model=4B;vocab=-1",    // negative
+		"model=4B;micro=1,2",   // multi-valued micro
+		"model=4B,bananas",     // one good, one bad model
+		"model=4B;seq",         // not key=value
+	} {
+		if _, err := ParseGrid(bad); err == nil {
+			t.Errorf("ParseGrid(%q) should fail", bad)
+		}
+	}
+
+	// Method groups expand.
+	g, err = ParseGrid("model=7B;method=vhalf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.Methods, sim.VHalfMethods) {
+		t.Errorf("vhalf group = %v", g.Methods)
+	}
+}
+
+// TestParseGridDeviceOverrideErrorsPerCell proves an invalid devices
+// override reports per-cell rather than failing the grid.
+func TestParseGridDeviceOverrideErrorsPerCell(t *testing.T) {
+	g, err := ParseGrid("model=4B;devices=7;method=baseline") // 32 layers % 7 != 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(g, Options{Parallel: 2})
+	if len(res.Cells) != 1 || res.Cells[0].Err == nil {
+		t.Fatalf("want one failing cell, got %+v", res.Cells)
+	}
+}
+
+func BenchmarkSweepTinyGrid(b *testing.B) {
+	g := tinyGrid()
+	for i := 0; i < b.N; i++ {
+		res := Run(g, Options{})
+		if errs := res.Errs(); len(errs) > 0 {
+			b.Fatal(errs[0])
+		}
+	}
+}

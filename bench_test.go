@@ -257,6 +257,41 @@ func BenchmarkAllReduce(b *testing.B) {
 	})
 }
 
+// BenchmarkEngine compares the event-driven schedule engine (heap) against
+// the scan-based reference engine (scan) on the largest Table 5 config: 21B,
+// 32 devices, 128 microbatches, seq 4096, 256k vocabulary. The two produce
+// bit-identical timelines (see internal/schedule differential tests); this
+// benchmark tracks the dispatch-loop speedup itself.
+func BenchmarkEngine(b *testing.B) {
+	cfg, _ := costmodel.ConfigByName("21B")
+	cfg = cfg.WithSeq(4096).WithVocab(256 * 1024)
+	for _, tc := range []struct {
+		method sim.Method
+		name   string
+	}{{sim.Vocab1, "vocab-1"}, {sim.Baseline, "baseline"}} {
+		spec, err := sim.BuildSpec(cfg, tc.method)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("heap/"+tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := schedule.Build(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("scan/"+tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := schedule.BuildScan(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkScheduleConstruction measures the greedy constructor itself at
 // paper scale (32 devices, 128 microbatches).
 func BenchmarkScheduleConstruction(b *testing.B) {

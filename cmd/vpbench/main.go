@@ -16,6 +16,14 @@
 //	-grid SPEC    run a user-defined sweep, e.g.
 //	              -grid 'model=4B;seq=2048,4096;vocab=32k,256k;method=1f1b'
 //	-v            print per-cell progress to stderr
+//
+// Perf modes (see perf.go and internal/perf):
+//
+//	-perf                  run the perf suite, emit a BENCH report (JSON)
+//	-perf-time D           measuring time per perf case (0 = one iteration)
+//	-perf-compare OLD NEW  diff two BENCH reports; exit 3 past tolerance
+//	-perf-tolerance X        allowed relative ns/op growth (default 3)
+//	-perf-alloc-tolerance X  allowed relative allocs/op growth (default 0.5)
 package main
 
 import (
@@ -24,9 +32,24 @@ import (
 	"io"
 	"os"
 
+	"vocabpipe/internal/perf"
 	"vocabpipe/internal/report"
 	"vocabpipe/internal/sweep"
 )
+
+// openOut resolves the -out flag: the file when set, stdout otherwise. The
+// caller closes the returned *os.File when non-nil.
+func openOut(path string, stdout io.Writer, stderr io.Writer) (io.Writer, *os.File, int) {
+	if path == "" {
+		return stdout, nil, 0
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "vpbench: %v\n", err)
+		return nil, nil, 1
+	}
+	return f, f, 0
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -43,12 +66,73 @@ func run(args []string, stdout, stderr io.Writer) int {
 	outFile := fs.String("out", "", "write output to `FILE` instead of stdout")
 	gridSpec := fs.String("grid", "", "user-defined sweep `SPEC` (key=v1,v2;... with keys model, seq, vocab, method, micro, devices)")
 	verbose := fs.Bool("v", false, "print per-cell progress to stderr")
+	perfRun := fs.Bool("perf", false, "run the perf suite and emit a BENCH report (JSON)")
+	perfCompare := fs.Bool("perf-compare", false, "compare two BENCH files given as arguments (old new)")
+	perfTime := fs.Duration("perf-time", 0, "target measuring time per perf case (0 = single iteration)")
+	perfTol := fs.Float64("perf-tolerance", perf.DefaultTolerance.Time, "allowed relative ns/op growth before -perf-compare fails")
+	perfAllocTol := fs.Float64("perf-alloc-tolerance", perf.DefaultTolerance.Allocs, "allowed relative allocs/op growth before -perf-compare fails")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *jsonOut && *csvOut {
 		fmt.Fprintln(stderr, "vpbench: -json and -csv are mutually exclusive")
 		return 2
+	}
+	// Reject flags outside the mode they apply to instead of silently
+	// ignoring them (a dropped flag makes the user believe it took effect).
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if !*perfRun && explicit["perf-time"] {
+		fmt.Fprintln(stderr, "vpbench: -perf-time only applies to -perf")
+		return 2
+	}
+	if !*perfCompare && (explicit["perf-tolerance"] || explicit["perf-alloc-tolerance"]) {
+		fmt.Fprintln(stderr, "vpbench: -perf-tolerance/-perf-alloc-tolerance only apply to -perf-compare")
+		return 2
+	}
+	if *perfRun || *perfCompare {
+		if *perfRun && *perfCompare {
+			fmt.Fprintln(stderr, "vpbench: -perf and -perf-compare are mutually exclusive")
+			return 2
+		}
+		if *jsonOut || *csvOut {
+			fmt.Fprintln(stderr, "vpbench: perf modes have a fixed output format (drop -json/-csv)")
+			return 2
+		}
+		if *gridSpec != "" || *parallel != 0 {
+			fmt.Fprintln(stderr, "vpbench: -grid and -parallel do not apply to perf modes")
+			return 2
+		}
+		if *perfRun && len(fs.Args()) > 0 {
+			fmt.Fprintf(stderr, "vpbench: -perf runs the whole suite and takes no experiment names (got %q)\n", fs.Args())
+			return 2
+		}
+		// Validate -perf-compare arguments before openOut truncates -out.
+		if *perfCompare && len(fs.Args()) != 2 {
+			fmt.Fprintln(stderr, "vpbench: -perf-compare takes exactly two BENCH files (old new)")
+			return 2
+		}
+		w, outF, code := openOut(*outFile, stdout, stderr)
+		if code != 0 {
+			return code
+		}
+		var rc int
+		if *perfRun {
+			rc = runPerf(w, stderr, *perfTime, *verbose)
+		} else {
+			tol := perf.Tolerance{Time: *perfTol, Allocs: *perfAllocTol,
+				AllocSlack: perf.DefaultTolerance.AllocSlack}
+			rc = runPerfCompare(w, stderr, fs.Args(), tol)
+		}
+		if outF != nil {
+			if err := outF.Close(); err != nil {
+				fmt.Fprintf(stderr, "vpbench: %v\n", err)
+				if rc == 0 {
+					rc = 1
+				}
+			}
+		}
+		return rc
 	}
 
 	// Select experiments. A custom -grid runs after any named experiments;
@@ -83,16 +167,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		})
 	}
 
-	w := io.Writer(stdout)
-	var outF *os.File
-	if *outFile != "" {
-		f, err := os.Create(*outFile)
-		if err != nil {
-			fmt.Fprintf(stderr, "vpbench: %v\n", err)
-			return 1
-		}
-		outF = f
-		w = f
+	w, outF, code := openOut(*outFile, stdout, stderr)
+	if code != 0 {
+		return code
 	}
 
 	opt := sweep.Options{Parallel: *parallel}

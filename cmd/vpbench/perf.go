@@ -1,0 +1,69 @@
+package main
+
+// Perf modes of the vpbench CLI, backed by internal/perf:
+//
+//	vpbench -perf [-out BENCH_PR.json] [-perf-time 500ms] [-v]
+//	    runs the paper-scale perf suite and emits a schema-versioned BENCH
+//	    report (JSON). The default is quick mode (one iteration per case,
+//	    the CI `-benchtime 1x` equivalent); -perf-time enables a timed run.
+//
+//	vpbench -perf-compare OLD.json NEW.json [-perf-tolerance 3] \
+//	        [-perf-alloc-tolerance 0.5]
+//	    diffs two BENCH reports and exits 3 when any case regressed past
+//	    the tolerance — the gate CI applies between the committed
+//	    BENCH_0.json baseline and the PR's fresh BENCH_PR.json.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"vocabpipe/internal/perf"
+	"vocabpipe/internal/report"
+)
+
+// exitPerfRegression distinguishes a tolerance failure from usage (2) and
+// runtime (1) errors so CI can tell "measurably slower" apart from "broken".
+const exitPerfRegression = 3
+
+func runPerf(w, stderr io.Writer, minTime time.Duration, verbose bool) int {
+	opt := perf.Options{MinTime: minTime}
+	if verbose {
+		opt.OnCase = func(c report.BenchCase) {
+			fmt.Fprintf(stderr, "%-44s %12.4g ns/op %10.0f allocs/op\n",
+				c.Name, c.NsPerOp, c.AllocsPerOp)
+		}
+	}
+	r := perf.RunSuite(perf.Suite(), opt)
+	if err := report.WriteBench(w, r); err != nil {
+		fmt.Fprintf(stderr, "vpbench: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// runPerfCompare diffs files[0] (baseline) against files[1]; the caller has
+// already validated the argument count (before -out is opened/truncated).
+func runPerfCompare(w, stderr io.Writer, files []string, tol perf.Tolerance) int {
+	oldR, err := report.ReadBenchFile(files[0])
+	if err != nil {
+		fmt.Fprintf(stderr, "vpbench: %v\n", err)
+		return 1
+	}
+	newR, err := report.ReadBenchFile(files[1])
+	if err != nil {
+		fmt.Fprintf(stderr, "vpbench: %v\n", err)
+		return 1
+	}
+	deltas, regressed := perf.Compare(oldR, newR, tol)
+	if err := perf.WriteDeltas(w, oldR, newR, deltas); err != nil {
+		fmt.Fprintf(stderr, "vpbench: %v\n", err)
+		return 1
+	}
+	if regressed {
+		fmt.Fprintf(stderr, "vpbench: perf regression past tolerance (time %+.0f%%, allocs %+.0f%%)\n",
+			100*tol.Time, 100*tol.Allocs)
+		return exitPerfRegression
+	}
+	return 0
+}

@@ -1,0 +1,147 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+
+	"vocabpipe/internal/report"
+)
+
+// Tolerance bounds how much a case may degrade before Compare flags it.
+// Wall-time is machine-dependent (a CI runner is not the baseline host), so
+// the time tolerance is deliberately generous and the alloc tolerance —
+// machine-independent — is the tighter signal.
+type Tolerance struct {
+	// Time is the allowed relative slowdown: 3 fails a case at >4x the
+	// baseline ns/op.
+	Time float64
+	// Allocs is the allowed relative growth in allocs/op.
+	Allocs float64
+	// AllocSlack is an absolute allocs/op floor under which alloc growth is
+	// ignored (single-iteration runs jitter by a few allocations).
+	AllocSlack float64
+}
+
+// DefaultTolerance is what the CI gate uses: catch catastrophic time
+// regressions (an accidental O(P) rescan re-introduced is ~10x) without
+// flapping on runner variance, and hold allocs/op to modest growth.
+var DefaultTolerance = Tolerance{Time: 3, Allocs: 0.5, AllocSlack: 256}
+
+// Delta is one case's comparison outcome.
+type Delta struct {
+	Name       string
+	Status     string // "ok", "regressed", "added", "removed"
+	OldNs      float64
+	NewNs      float64
+	TimeRatio  float64 // new/old
+	OldAllocs  float64
+	NewAllocs  float64
+	AllocRatio float64 // new/old
+	Reason     string  // non-empty when Status == "regressed"
+}
+
+// Compare diffs two BENCH reports case by case. It returns one Delta per
+// case name present in either report and whether any case regressed past
+// the tolerance. Added and removed cases are reported but never gate: a PR
+// that extends the suite must not need a simultaneous baseline update to
+// pass. When the two reports were measured at different GOMAXPROCS, the
+// wall-time gate is skipped entirely (sweep-grid throughput scales with
+// worker count, so the ratio reflects the hosts, not the code); the
+// machine-independent allocs/op gate still applies.
+func Compare(old, new *report.BenchReport, tol Tolerance) ([]Delta, bool) {
+	var deltas []Delta
+	regressed := false
+	timeGate := old.MaxProcs == 0 || new.MaxProcs == 0 || old.MaxProcs == new.MaxProcs
+	for _, oc := range old.Cases {
+		nc := new.Case(oc.Name)
+		if nc == nil {
+			deltas = append(deltas, Delta{Name: oc.Name, Status: "removed",
+				OldNs: oc.NsPerOp, OldAllocs: oc.AllocsPerOp})
+			continue
+		}
+		d := Delta{
+			Name:      oc.Name,
+			Status:    "ok",
+			OldNs:     oc.NsPerOp,
+			NewNs:     nc.NsPerOp,
+			OldAllocs: oc.AllocsPerOp,
+			NewAllocs: nc.AllocsPerOp,
+		}
+		if oc.NsPerOp > 0 {
+			d.TimeRatio = nc.NsPerOp / oc.NsPerOp
+		}
+		if oc.AllocsPerOp > 0 {
+			d.AllocRatio = nc.AllocsPerOp / oc.AllocsPerOp
+		}
+		if timeGate && oc.NsPerOp > 0 && nc.NsPerOp > oc.NsPerOp*(1+tol.Time) {
+			d.Status = "regressed"
+			d.Reason = fmt.Sprintf("ns/op %.3g -> %.3g (%.2fx > %.2fx allowed)",
+				oc.NsPerOp, nc.NsPerOp, d.TimeRatio, 1+tol.Time)
+		}
+		if nc.AllocsPerOp > tol.AllocSlack && oc.AllocsPerOp > 0 &&
+			nc.AllocsPerOp > oc.AllocsPerOp*(1+tol.Allocs)+tol.AllocSlack {
+			d.Status = "regressed"
+			reason := fmt.Sprintf("allocs/op %.0f -> %.0f (%.2fx > %.2fx allowed)",
+				oc.AllocsPerOp, nc.AllocsPerOp, d.AllocRatio, 1+tol.Allocs)
+			if d.Reason != "" {
+				d.Reason += "; " + reason
+			} else {
+				d.Reason = reason
+			}
+		}
+		if d.Status == "regressed" {
+			regressed = true
+		}
+		deltas = append(deltas, d)
+	}
+	for _, nc := range new.Cases {
+		if old.Case(nc.Name) == nil {
+			deltas = append(deltas, Delta{Name: nc.Name, Status: "added",
+				NewNs: nc.NsPerOp, NewAllocs: nc.AllocsPerOp})
+		}
+	}
+	return deltas, regressed
+}
+
+// WriteDeltas renders a comparison as a fixed-width text table.
+func WriteDeltas(w io.Writer, old, new *report.BenchReport, deltas []Delta) error {
+	if _, err := fmt.Fprintf(w, "perf comparison: %s (%s) vs %s (%s)\n",
+		shortSHA(old.GitSHA), old.Date, shortSHA(new.GitSHA), new.Date); err != nil {
+		return err
+	}
+	if old.MaxProcs != 0 && new.MaxProcs != 0 && old.MaxProcs != new.MaxProcs {
+		fmt.Fprintf(w, "note: GOMAXPROCS differs (%d vs %d) — time gate skipped, allocs gate still applies\n",
+			old.MaxProcs, new.MaxProcs)
+	}
+	fmt.Fprintf(w, "%-44s %12s %12s %7s %10s %10s %7s  %s\n",
+		"case", "old ns/op", "new ns/op", "time", "old allocs", "new allocs", "allocs", "status")
+	for _, d := range deltas {
+		status := d.Status
+		if d.Reason != "" {
+			status += ": " + d.Reason
+		}
+		if _, err := fmt.Fprintf(w, "%-44s %12.4g %12.4g %7s %10.0f %10.0f %7s  %s\n",
+			d.Name, d.OldNs, d.NewNs, ratioCell(d.TimeRatio),
+			d.OldAllocs, d.NewAllocs, ratioCell(d.AllocRatio), status); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func ratioCell(r float64) string {
+	if r == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", r)
+}
+
+func shortSHA(sha string) string {
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	if sha == "" {
+		return "unknown"
+	}
+	return sha
+}

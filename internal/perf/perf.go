@@ -1,0 +1,120 @@
+// Package perf is the repository's performance-tracking subsystem: a
+// structured benchmark runner over the schedule engine and sweep grids at
+// the paper's configurations, emitting schema-versioned BENCH_<n>.json
+// reports (see internal/report) and a comparison gate that CI uses to catch
+// regressions against the committed BENCH_0.json baseline.
+//
+// The runner is self-contained (no testing.B) so the vpbench binary can run
+// it directly: `vpbench -perf` measures the suite, `vpbench -perf-compare
+// OLD NEW` diffs two reports and fails past a tolerance.
+package perf
+
+import (
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+
+	"vocabpipe/internal/report"
+)
+
+// Case is one measurable unit: Run must execute the workload exactly n
+// times. Cells, when nonzero, is the number of sweep cells one op evaluates
+// (reported as cells/sec).
+type Case struct {
+	Name  string
+	Cells int
+	Run   func(n int)
+}
+
+// Options tunes a suite run.
+type Options struct {
+	// MinTime is the target measuring time per case. Zero means quick mode:
+	// a single iteration after warmup, the `-benchtime 1x` equivalent CI
+	// uses.
+	MinTime time.Duration
+	// MaxN caps the iteration count (default 1000).
+	MaxN int
+	// OnCase, when non-nil, observes each case as it completes.
+	OnCase func(c report.BenchCase)
+}
+
+// RunSuite measures every case and assembles a report with provenance
+// (git SHA, date, toolchain, host shape).
+func RunSuite(cases []Case, opt Options) *report.BenchReport {
+	if opt.MaxN <= 0 {
+		opt.MaxN = 1000
+	}
+	r := &report.BenchReport{
+		SchemaVersion: report.BenchSchemaVersion,
+		GitSHA:        gitSHA(),
+		Date:          time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		MaxProcs:      runtime.GOMAXPROCS(0),
+		QuickMode:     opt.MinTime == 0,
+	}
+	for _, c := range cases {
+		bc := measure(c, opt)
+		if opt.OnCase != nil {
+			opt.OnCase(bc)
+		}
+		r.Cases = append(r.Cases, bc)
+	}
+	return r
+}
+
+// measure times one case: warm up once (so one-time initialization does not
+// pollute allocs/op), then run batches until the measured time reaches
+// MinTime or the iteration cap.
+func measure(c Case, opt Options) report.BenchCase {
+	c.Run(1) // warmup; also faults in lazily built state
+
+	n := 1
+	for {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		c.Run(n)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+
+		if elapsed >= opt.MinTime || n >= opt.MaxN {
+			bc := report.BenchCase{
+				Name:        c.Name,
+				N:           n,
+				NsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
+				AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(n),
+				BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+			}
+			if c.Cells > 0 {
+				bc.Cells = c.Cells
+				if elapsed > 0 {
+					bc.CellsPerSec = float64(c.Cells) * float64(n) / elapsed.Seconds()
+				}
+			}
+			return bc
+		}
+		// Grow toward MinTime with 20% headroom, at least doubling, like
+		// the testing package's iteration search.
+		grown := int(1.2 * float64(n) * float64(opt.MinTime) / float64(elapsed+1))
+		if grown < 2*n {
+			grown = 2 * n
+		}
+		if grown > opt.MaxN {
+			grown = opt.MaxN
+		}
+		n = grown
+	}
+}
+
+// gitSHA best-effort resolves the working tree's HEAD for provenance.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -1,0 +1,91 @@
+package perf
+
+import (
+	"fmt"
+
+	"vocabpipe/internal/costmodel"
+	"vocabpipe/internal/schedule"
+	"vocabpipe/internal/sim"
+	"vocabpipe/internal/sweep"
+)
+
+// Suite returns the paper-scale benchmark cases the BENCH reports track:
+//
+//   - engine/heap/<cell>: event-driven schedule builds for every 1F1B table
+//     config and the largest V-Half config, at the heaviest sweep point
+//     (seq 4096, 256k vocabulary);
+//   - engine/scan/<cell>: the scan-based reference engine on the largest
+//     1F1B config, so every BENCH file also records the heap/scan ratio;
+//   - sweep/table5 and sweep/table6: full paper grids through the
+//     concurrent sweep engine, measured as cells/sec.
+func Suite() []Case {
+	var cases []Case
+
+	heaviest := func(cfg costmodel.Config) costmodel.Config {
+		return cfg.WithSeq(4096).WithVocab(256 * 1024)
+	}
+
+	for _, cfg := range costmodel.OneF1BConfigs() {
+		cases = append(cases, engineCase("engine/heap", heaviest(cfg), sim.Vocab1, schedule.Build))
+	}
+	largest := heaviest(costmodel.OneF1BConfigs()[2]) // 21B, 32 devices
+	cases = append(cases, engineCase("engine/scan", largest, sim.Vocab1, schedule.BuildScan))
+
+	vhalf := heaviest(costmodel.VHalfConfigs()[2]) // 30B, 32 devices
+	cases = append(cases, engineCase("engine/heap", vhalf, sim.VHalfVocab1, schedule.Build))
+
+	cases = append(cases,
+		gridCase("sweep/table5", &sweep.Grid{
+			Name:    "table5",
+			Configs: costmodel.OneF1BConfigs(),
+			Seqs:    costmodel.SeqLengths,
+			Vocabs:  costmodel.VocabSizes,
+			Methods: sim.OneF1BMethods,
+		}),
+		gridCase("sweep/table6", &sweep.Grid{
+			Name:    "table6",
+			Configs: costmodel.VHalfConfigs(),
+			Seqs:    costmodel.SeqLengths,
+			Vocabs:  costmodel.VocabSizes,
+			Methods: sim.VHalfMethods,
+		}),
+	)
+	return cases
+}
+
+// engineCase times one schedule construction through the given builder.
+func engineCase(prefix string, cfg costmodel.Config, m sim.Method,
+	build func(*schedule.Spec) (*schedule.Timeline, error)) Case {
+	spec, err := sim.BuildSpec(cfg, m)
+	if err != nil {
+		// Zoo configs are static; a failure here is a programming error.
+		panic(fmt.Sprintf("perf: %s/%s: %v", cfg.Name, m, err))
+	}
+	return Case{
+		Name: fmt.Sprintf("%s/%s-seq%d-V%dk-%s", prefix, cfg.Name, cfg.Seq, cfg.Vocab/1024, m),
+		Run: func(n int) {
+			for i := 0; i < n; i++ {
+				if _, err := build(spec); err != nil {
+					panic(fmt.Sprintf("perf: %s: %v", spec.Describe(), err))
+				}
+			}
+		},
+	}
+}
+
+// gridCase times one full sweep grid and reports cells/sec.
+func gridCase(name string, g *sweep.Grid) Case {
+	cells := len(g.Expand())
+	return Case{
+		Name:  name,
+		Cells: cells,
+		Run: func(n int) {
+			for i := 0; i < n; i++ {
+				res := sweep.Run(g, sweep.Options{})
+				if errs := res.Errs(); len(errs) > 0 {
+					panic(fmt.Sprintf("perf: %s: %v", name, errs[0]))
+				}
+			}
+		},
+	}
+}

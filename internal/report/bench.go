@@ -1,0 +1,102 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// BenchSchemaVersion is the current BENCH_<n>.json schema. Readers reject
+// files whose schema_version differs so a gate never silently compares
+// incompatible measurements.
+const BenchSchemaVersion = 1
+
+// BenchCase is one measured benchmark case of a perf run.
+type BenchCase struct {
+	Name string `json:"name"`
+	// N is the iteration count the measurement averaged over.
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// Cells and CellsPerSec are set for sweep-grid cases: cells evaluated
+	// per op and the resulting grid throughput.
+	Cells       int     `json:"cells,omitempty"`
+	CellsPerSec float64 `json:"cells_per_sec,omitempty"`
+}
+
+// BenchReport is a schema-versioned perf run: environment provenance plus
+// the measured cases. Serialized as BENCH_<n>.json; BENCH_0.json is the
+// committed baseline the CI gate compares PR runs against.
+type BenchReport struct {
+	SchemaVersion int    `json:"schema_version"`
+	GitSHA        string `json:"git_sha,omitempty"`
+	Date          string `json:"date,omitempty"` // RFC 3339, UTC
+	GoVersion     string `json:"go_version,omitempty"`
+	GOOS          string `json:"goos,omitempty"`
+	GOARCH        string `json:"goarch,omitempty"`
+	MaxProcs      int    `json:"maxprocs,omitempty"`
+	// QuickMode records a single-iteration run (-benchtime 1x equivalent),
+	// whose timings are noisier than a timed run.
+	QuickMode bool        `json:"quick_mode,omitempty"`
+	Cases     []BenchCase `json:"cases"`
+}
+
+// Case returns the named case, or nil.
+func (r *BenchReport) Case(name string) *BenchCase {
+	for i := range r.Cases {
+		if r.Cases[i].Name == name {
+			return &r.Cases[i]
+		}
+	}
+	return nil
+}
+
+// WriteBench emits the report as indented JSON.
+func WriteBench(w io.Writer, r *BenchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteBenchFile writes the report to path.
+func WriteBenchFile(path string, r *BenchReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBench(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadBench parses a BENCH report and validates its schema version.
+func ReadBench(rd io.Reader) (*BenchReport, error) {
+	var r BenchReport
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("report: bad BENCH file: %w", err)
+	}
+	if r.SchemaVersion != BenchSchemaVersion {
+		return nil, fmt.Errorf("report: BENCH schema_version %d, this build understands %d",
+			r.SchemaVersion, BenchSchemaVersion)
+	}
+	return &r, nil
+}
+
+// ReadBenchFile reads and validates a BENCH file from path.
+func ReadBenchFile(path string) (*BenchReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := ReadBench(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}

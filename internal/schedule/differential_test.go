@@ -1,0 +1,210 @@
+package schedule
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Differential tests: the event-driven engine (Build) must reproduce the
+// scan-based reference engine (BuildScan) bit for bit — same passes, same
+// commit order, same float64 start/end times — across randomized specs that
+// exercise every schedule family, exact ties (quantized durations) and
+// degenerate shapes (P=1, zero durations, huge send times).
+
+// randomSpec draws a valid spec from a distribution biased toward ties:
+// durations are quantized to multiples of 0.25 half the time so that many
+// candidates collide on the exact same start instant and the tie-break path
+// is exercised, not just the strict-minimum path.
+func randomSpec(rng *rand.Rand) *Spec {
+	dur := func() float64 {
+		if rng.Intn(2) == 0 {
+			return 0.25 * float64(rng.Intn(12)) // quantized, may be zero
+		}
+		return rng.Float64() * 3
+	}
+	p := 1 + rng.Intn(8)
+	m := 1 + rng.Intn(24)
+	chunks := 1
+	if rng.Intn(3) == 0 {
+		chunks = 2
+	}
+	stages := make([]Stage, p*chunks)
+	f, b, w := dur(), dur(), 0.0
+	if rng.Intn(2) == 0 {
+		w = dur()
+	}
+	for i := range stages {
+		stages[i] = Stage{F: f, B: b, W: w, ActBytes: 1}
+		if rng.Intn(4) == 0 { // occasionally imbalance a stage
+			stages[i].F += dur()
+			stages[i].B += dur()
+		}
+	}
+	spec := &Spec{
+		Name:   fmt.Sprintf("diff-p%d-m%d-c%d", p, m, chunks),
+		P:      p,
+		M:      m,
+		Chunks: chunks,
+		Stages: stages,
+	}
+	if rng.Intn(3) == 0 {
+		spec.SendTime = dur()
+	}
+	switch rng.Intn(4) {
+	case 0: // vocabulary, Algorithm 1 or 2
+		barriers := 1 + rng.Intn(2)
+		spec.Vocab = &VocabSpec{
+			SDur:      dur(),
+			TDur:      dur(),
+			Barriers:  barriers,
+			BcastTime: dur() / 4,
+			C1Time:    dur() / 4,
+			C2Time:    dur() / 4,
+			ActBytes:  0.25,
+		}
+		spec.ExtraInFlight = barriers
+	case 1: // interlaced
+		spec.Interlaced = &InterlacedSpec{
+			VDur:     dur(),
+			SyncTime: dur() / 4,
+			ActBytes: 0.25,
+		}
+		spec.CapScale = 1.5
+	case 2:
+		spec.ExtraInFlight = rng.Intn(3)
+	}
+	return spec
+}
+
+func assertTimelinesIdentical(t *testing.T, spec *Spec, want, got *Timeline) {
+	t.Helper()
+	if len(want.Passes) != len(got.Passes) {
+		t.Fatalf("%s: pass count scan=%d event=%d", spec.Describe(), len(want.Passes), len(got.Passes))
+	}
+	for k := range want.Passes {
+		if want.Passes[k] != got.Passes[k] {
+			t.Fatalf("%s: commit %d differs:\n scan  %+v\n event %+v",
+				spec.Describe(), k, want.Passes[k], got.Passes[k])
+		}
+	}
+	if want.Makespan != got.Makespan {
+		t.Fatalf("%s: makespan scan=%v event=%v", spec.Describe(), want.Makespan, got.Makespan)
+	}
+	for d := range want.ByDevice {
+		if len(want.ByDevice[d]) != len(got.ByDevice[d]) {
+			t.Fatalf("%s: device %d pass count differs", spec.Describe(), d)
+		}
+		for k := range want.ByDevice[d] {
+			if want.ByDevice[d][k] != got.ByDevice[d][k] {
+				t.Fatalf("%s: device %d pass %d differs", spec.Describe(), d, k)
+			}
+		}
+	}
+}
+
+func TestDifferentialRandomSpecs(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260729))
+	n := 400
+	if testing.Short() {
+		n = 60
+	}
+	for i := 0; i < n; i++ {
+		spec := randomSpec(rng)
+		want, errScan := BuildScan(spec)
+		got, errEvent := Build(spec)
+		if (errScan == nil) != (errEvent == nil) {
+			t.Fatalf("iter %d %s: error mismatch scan=%v event=%v", i, spec.Describe(), errScan, errEvent)
+		}
+		if errScan != nil {
+			continue
+		}
+		assertTimelinesIdentical(t, spec, want, got)
+		if err := got.Validate(); err != nil {
+			t.Fatalf("iter %d %s: event timeline invalid: %v", i, spec.Describe(), err)
+		}
+	}
+}
+
+// TestDifferentialCanonicalShapes pins the equivalence on the five schedule
+// families at deterministic sizes, independent of the random distribution.
+func TestDifferentialCanonicalShapes(t *testing.T) {
+	var specs []*Spec
+	for _, pm := range [][2]int{{1, 1}, {1, 6}, {2, 4}, {4, 8}, {6, 18}, {8, 24}} {
+		p, m := pm[0], pm[1]
+		specs = append(specs,
+			oneF1BSpec(p, m),
+			vocabSpec(p, m, 2),
+			vocabSpec(p, m, 1),
+			vhalfSpec(p, m),
+			interlacedSpec(p, m),
+		)
+	}
+	// Barrier and send costs push readiness strictly into the future.
+	withCosts := vocabSpec(4, 12, 2)
+	withCosts.Vocab.BcastTime = 0.125
+	withCosts.Vocab.C1Time = 0.3
+	withCosts.Vocab.C2Time = 0.4
+	withCosts.SendTime = 0.5
+	specs = append(specs, withCosts)
+
+	for _, spec := range specs {
+		want, err := BuildScan(spec)
+		if err != nil {
+			t.Fatalf("%s: scan build failed: %v", spec.Describe(), err)
+		}
+		got, err := Build(spec)
+		if err != nil {
+			t.Fatalf("%s: event build failed: %v", spec.Describe(), err)
+		}
+		assertTimelinesIdentical(t, spec, want, got)
+	}
+}
+
+// FuzzDifferentialEngines drives the old-vs-new comparison from fuzzed
+// dimensions and durations.
+func FuzzDifferentialEngines(f *testing.F) {
+	f.Add(uint8(4), uint8(8), uint8(0), 1.0, 2.0)
+	f.Add(uint8(2), uint8(3), uint8(1), 0.5, 1.5)
+	f.Add(uint8(5), uint8(15), uint8(4), 0.25, 0.25)
+	f.Fuzz(func(t *testing.T, pRaw, mRaw, kind uint8, fDur, bDur float64) {
+		if fDur < 0 || bDur < 0 || fDur > 1e6 || bDur > 1e6 ||
+			fDur != fDur || bDur != bDur {
+			t.Skip()
+		}
+		p := int(pRaw%6) + 1
+		m := int(mRaw%16) + 1
+		stages := uniformStages(p, fDur, bDur, 0)
+		spec := &Spec{P: p, M: m, Chunks: 1, Stages: stages}
+		switch kind % 5 {
+		case 1:
+			spec.Vocab = &VocabSpec{SDur: fDur / 2, TDur: bDur / 2, Barriers: 2}
+			spec.ExtraInFlight = 2
+		case 2:
+			spec.Vocab = &VocabSpec{SDur: fDur / 2, TDur: bDur / 2, Barriers: 1}
+			spec.ExtraInFlight = 1
+		case 3:
+			spec.Chunks = 2
+			spec.Stages = uniformStages(2*p, fDur/2, bDur/2, bDur/2)
+		case 4:
+			spec.Interlaced = &InterlacedSpec{VDur: fDur, SyncTime: bDur / 4}
+			spec.CapScale = 1.5
+		}
+		want, errScan := BuildScan(spec)
+		got, errEvent := Build(spec)
+		if (errScan == nil) != (errEvent == nil) {
+			t.Fatalf("error mismatch: scan=%v event=%v", errScan, errEvent)
+		}
+		if errScan != nil {
+			return
+		}
+		if len(want.Passes) != len(got.Passes) {
+			t.Fatalf("pass count scan=%d event=%d", len(want.Passes), len(got.Passes))
+		}
+		for k := range want.Passes {
+			if want.Passes[k] != got.Passes[k] {
+				t.Fatalf("commit %d differs: scan %+v event %+v", k, want.Passes[k], got.Passes[k])
+			}
+		}
+	})
+}

@@ -3,11 +3,17 @@ package schedule
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Build constructs the timed schedule for spec. It returns an error if the
 // spec is inconsistent or the constructor cannot make progress (which would
 // indicate a dependency cycle — none of the shipped generators produce one).
+//
+// Build uses the event-driven engine: per-device candidate caching, a
+// min-heap dispatch keyed by (start, priority, device), and
+// dependency-driven invalidation, replacing the reference engine's O(P)
+// rescan per committed pass. Its output is bit-identical to BuildScan's.
 func Build(spec *Spec) (*Timeline, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -16,11 +22,25 @@ func Build(spec *Spec) (*Timeline, error) {
 	return e.run()
 }
 
-// MustBuild is Build for specs known to be valid (generators, tests).
+// BuildScan constructs the timed schedule with the original scan-based
+// reference engine, which recomputes every device's best candidate after
+// each committed pass. It is retained as the differential-testing oracle and
+// the benchmark comparison point for the event-driven engine; the two
+// produce bit-identical timelines.
+func BuildScan(spec *Spec) (*Timeline, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	e := newEngine(spec)
+	return e.runScan()
+}
+
+// MustBuild is Build for specs known to be valid (generators, tests). The
+// panic message identifies the offending spec by name and dimensions.
 func MustBuild(spec *Spec) *Timeline {
 	tl, err := Build(spec)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("schedule: MustBuild(%s): %v", spec.Describe(), err))
 	}
 	return tl
 }
@@ -52,6 +72,21 @@ type engine struct {
 
 	remaining int
 	timeline  *Timeline
+
+	// Event-driven dispatch state (left nil by the reference scan engine).
+	// choice/choiceStart/choicePrio cache each device's deviceChoice result;
+	// the heap orders devices by (choiceStart, choicePrio, device); dirty
+	// marks devices whose cache a commit invalidated. All cached inputs are
+	// write-once (fEnd/bEnd/c1End/... are set exactly once) except the
+	// committing device's own freeAt/next*/inFlight, so a cached choice
+	// stays valid until one of its dependencies lands.
+	choice      []candidate
+	choiceStart []float64
+	choicePrio  []int
+	heap        *deviceHeap
+	dirty       []bool
+	dirtyList   []int
+	nearBuf     []int
 }
 
 func newEngine(spec *Spec) *engine {
@@ -178,7 +213,61 @@ const (
 	prioW = 4
 )
 
+// tieTol is the floating-point tolerance under which two candidate start
+// times count as tied and the (priority, device) tie-break applies. Both
+// engines share it; near-ties arise when the same instant is reached by
+// different summation orders.
+const tieTol = 1e-15
+
+// betterCandidate is the single tolerance tie-break fold both engines and
+// the per-device selection share: a candidate replaces the current best
+// when it starts tieTol-strictly earlier, or starts within tieTol and has
+// lower priority, or ties on both and runs on a lower device. Every
+// selection loop must fold through this one function — the bit-identical
+// Build/BuildScan guarantee rests on the three folds never drifting apart.
+// (Intra-device folds pass dev == bestDev, degenerating the device
+// tie-break to false.)
+func betterCandidate(start float64, prio, dev int, found bool, bestStart float64, bestPrio, bestDev int) bool {
+	if !found {
+		return true
+	}
+	return start < bestStart-tieTol ||
+		(math.Abs(start-bestStart) <= tieTol && (prio < bestPrio ||
+			(prio == bestPrio && dev < bestDev)))
+}
+
+// run is the event-driven dispatch loop. Each device's preferred candidate
+// is cached and enqueued in a min-heap keyed by (start, priority, device);
+// a commit invalidates only the devices whose dependencies it satisfied
+// (marked dirty inside commit), so the per-commit cost is O(dirty·log P)
+// instead of the reference engine's O(P) rescan.
 func (e *engine) run() (*Timeline, error) {
+	p := e.spec.P
+	e.choice = make([]candidate, p)
+	e.choiceStart = make([]float64, p)
+	e.choicePrio = make([]int, p)
+	e.heap = newDeviceHeap(p)
+	e.dirty = make([]bool, p)
+	e.dirtyList = make([]int, 0, p)
+	e.nearBuf = make([]int, 0, 8)
+	for d := 0; d < p; d++ {
+		e.markDirty(d)
+	}
+	for e.remaining > 0 {
+		e.refreshDirty()
+		d, ok := e.pickDevice()
+		if !ok {
+			return nil, fmt.Errorf("schedule: no schedulable pass with %d remaining (dependency cycle?)", e.remaining)
+		}
+		e.commit(e.choice[d], e.choiceStart[d])
+	}
+	e.finishTimeline()
+	return e.timeline, nil
+}
+
+// runScan is the original reference loop: recompute every device's choice
+// after each commit and fold them with the tolerance comparison.
+func (e *engine) runScan() (*Timeline, error) {
 	spec := e.spec
 	for e.remaining > 0 {
 		var best candidate
@@ -190,9 +279,7 @@ func (e *engine) run() (*Timeline, error) {
 			if !ok {
 				continue
 			}
-			if !found || start < bestStart-1e-15 ||
-				(math.Abs(start-bestStart) <= 1e-15 && (prio < bestPrio ||
-					(prio == bestPrio && c.pass.Device < best.pass.Device))) {
+			if betterCandidate(start, prio, c.pass.Device, found, bestStart, bestPrio, best.pass.Device) {
 				best = c
 				bestStart = start
 				bestPrio = prio
@@ -204,6 +291,11 @@ func (e *engine) run() (*Timeline, error) {
 		}
 		e.commit(best, bestStart)
 	}
+	e.finishTimeline()
+	return e.timeline, nil
+}
+
+func (e *engine) finishTimeline() {
 	for _, ps := range e.timeline.ByDevice {
 		for _, p := range ps {
 			if p.End > e.timeline.Makespan {
@@ -211,7 +303,71 @@ func (e *engine) run() (*Timeline, error) {
 			}
 		}
 	}
-	return e.timeline, nil
+}
+
+func (e *engine) markDirty(d int) {
+	if !e.dirty[d] {
+		e.dirty[d] = true
+		e.dirtyList = append(e.dirtyList, d)
+	}
+}
+
+func (e *engine) markAllDirty() {
+	for d := range e.dirty {
+		e.markDirty(d)
+	}
+}
+
+// refreshDirty recomputes the cached choice of every dirty device and fixes
+// its heap entry (or removes it when the device has nothing schedulable).
+func (e *engine) refreshDirty() {
+	for _, d := range e.dirtyList {
+		e.dirty[d] = false
+		c, start, prio, ok := e.deviceChoice(d)
+		if !ok {
+			e.heap.remove(d)
+			continue
+		}
+		e.choice[d] = c
+		e.choiceStart[d] = start
+		e.choicePrio[d] = prio
+		e.heap.update(d, start, prio)
+	}
+	e.dirtyList = e.dirtyList[:0]
+}
+
+// pickDevice selects the next device to commit, reproducing the reference
+// scan fold exactly. The heap yields the exact minimum; any near-tied
+// devices are gathered and folded with the same tolerance comparison the
+// scan uses. The 5·tieTol window is sufficient: once the fold has processed
+// the exact-minimum device its running best start sits within tieTol of the
+// minimum, and each further tie-break switch requires a strictly lower
+// priority (later devices cannot win equal-priority ties), so at most four
+// more switches occur, each moving the best start by at most tieTol.
+// Devices beyond the window can never influence the outcome.
+func (e *engine) pickDevice() (int, bool) {
+	minD, ok := e.heap.min()
+	if !ok {
+		return 0, false
+	}
+	e.nearBuf = e.heap.within(e.choiceStart[minD]+5*tieTol, e.nearBuf[:0])
+	near := e.nearBuf
+	if len(near) == 1 {
+		return minD, true
+	}
+	sort.Ints(near)
+	bestD := -1
+	bestStart := 0.0
+	bestPrio := 0
+	for _, d := range near {
+		start, prio := e.choiceStart[d], e.choicePrio[d]
+		if betterCandidate(start, prio, d, bestD >= 0, bestStart, bestPrio, bestD) {
+			bestD = d
+			bestStart = start
+			bestPrio = prio
+		}
+	}
+	return bestD, true
 }
 
 // dynPriority orders a device's candidates. The building blocks of §5.2
@@ -252,12 +408,11 @@ func (e *engine) deviceChoice(d int) (candidate, float64, int, bool) {
 	found := false
 	for _, c := range cands {
 		start := math.Max(e.freeAt[d], c.ready)
-		if c.priority == prioW && start+c.duration > earliestOther+1e-15 {
+		if c.priority == prioW && start+c.duration > earliestOther+tieTol {
 			continue
 		}
 		prio := e.dynPriority(d, c)
-		if !found || start < bestStart-1e-15 ||
-			(math.Abs(start-bestStart) <= 1e-15 && prio < bestPrio) {
+		if betterCandidate(start, prio, d, found, bestStart, bestPrio, d) {
 			best = c
 			bestStart = start
 			bestPrio = prio
@@ -386,17 +541,40 @@ func (e *engine) commit(c candidate, start float64) {
 	e.timeline.ByDevice[d] = append(e.timeline.ByDevice[d], tp)
 	e.remaining--
 
+	// Event-driven invalidation (dirty == nil under the reference engine):
+	// the committing device always needs a fresh choice; each case below
+	// additionally marks the devices whose candidates this commit may have
+	// unblocked. Every cross-device readiness input is write-once, so these
+	// markings are exhaustive.
+	evented := e.dirty != nil
+	if evented {
+		e.markDirty(d)
+	}
+
 	switch c.pass.Type {
 	case PassF:
 		st := spec.StageOf(d, c.pass.Chunk)
 		e.fEnd[st][c.pass.Micro] = end
 		e.nextF[d][c.pass.Chunk]++
 		e.inFlight[d][c.pass.Chunk]++
+		if evented {
+			if st < e.last {
+				// Downstream forward of the same microbatch.
+				e.markDirty(spec.DeviceOf(st + 1))
+			} else if spec.Vocab != nil || spec.Interlaced != nil {
+				// The last stage's F gates every device's S (or V) pass.
+				e.markAllDirty()
+			}
+		}
 	case PassB:
 		st := spec.StageOf(d, c.pass.Chunk)
 		e.bEnd[st][c.pass.Micro] = end
 		e.nextB[d][c.pass.Chunk]++
 		e.inFlight[d][c.pass.Chunk]--
+		if evented && st > 0 {
+			// Upstream backward of the same microbatch.
+			e.markDirty(spec.DeviceOf(st - 1))
+		}
 	case PassW:
 		e.nextW[d][c.pass.Chunk]++
 	case PassS:
@@ -410,6 +588,11 @@ func (e *engine) commit(c candidate, start float64) {
 				latest = math.Max(latest, e.sEnd[dd][i])
 			}
 			e.c1End[i] = latest + spec.Vocab.C1Time
+			if evented {
+				// C1 gates every device's T and, under Algorithm 2, the
+				// last stage's backward.
+				e.markAllDirty()
+			}
 		}
 	case PassT:
 		i := c.pass.Micro
@@ -422,6 +605,10 @@ func (e *engine) commit(c candidate, start float64) {
 				latest = math.Max(latest, e.tEnd[dd][i])
 			}
 			e.c2End[i] = latest + spec.Vocab.C2Time
+			if evented {
+				// C2 gates the last stage's backward (Algorithm 1).
+				e.markDirty(spec.DeviceOf(e.last))
+			}
 		}
 	case PassV:
 		i := c.pass.Micro
@@ -434,6 +621,10 @@ func (e *engine) commit(c candidate, start float64) {
 				latest = math.Max(latest, e.vEnd[dd][i])
 			}
 			e.vBarrier[i] = latest
+			if evented {
+				// The interlaced barrier gates the last stage's backward.
+				e.markDirty(spec.DeviceOf(e.last))
+			}
 		}
 	}
 }

@@ -2,6 +2,7 @@ package schedule
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -356,6 +357,41 @@ func TestPropSchedulesAlwaysValid(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestMustBuildPanicIdentifiesSpec asserts the panic message names the
+// offending spec and its dimensions rather than swallowing them.
+func TestMustBuildPanicIdentifiesSpec(t *testing.T) {
+	bad := &Spec{Name: "table5/21B/vocab-1", P: 3, M: 4, Chunks: 1,
+		Stages: uniformStages(2, 1, 1, 0)} // wrong stage count
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("MustBuild should panic on an invalid spec")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want string", r)
+		}
+		for _, want := range []string{"table5/21B/vocab-1", "P=3", "M=4", "Chunks=1"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("panic %q missing %q", msg, want)
+			}
+		}
+	}()
+	MustBuild(bad)
+}
+
+// TestMustBuildPanicUnnamedSpec covers specs without a Name.
+func TestMustBuildPanicUnnamedSpec(t *testing.T) {
+	defer func() {
+		r := recover()
+		msg, _ := r.(string)
+		if !strings.Contains(msg, "unnamed P=0 M=0 Chunks=0") {
+			t.Errorf("panic = %v, want unnamed spec dimensions", r)
+		}
+	}()
+	MustBuild(&Spec{})
 }
 
 func TestBubbleRatioBounds(t *testing.T) {

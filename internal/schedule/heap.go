@@ -1,0 +1,149 @@
+package schedule
+
+// deviceHeap is an indexed binary min-heap over devices, keyed by each
+// device's cached best candidate as (start, priority, device) with exact
+// float comparison. The device index doubles as the handle: update and
+// remove are O(log P) through the pos table, so the event-driven engine can
+// re-key just the devices invalidated by a commit instead of rescanning all
+// of them.
+//
+// The heap's exact ordering deliberately differs from the dispatch loop's
+// tolerance-based comparison: the heap only locates the exact minimum and
+// the near-tie neighborhood around it (see within); the engine then replays
+// the reference engine's tolerance fold over that neighborhood so the two
+// engines select bit-identical passes.
+type deviceHeap struct {
+	start []float64 // key per device (valid while pos[d] >= 0)
+	prio  []int
+	pos   []int // device -> index in order; -1 when not enqueued
+	order []int // heap array of device ids
+
+	scratch []int // DFS stack for within, reused across calls
+}
+
+func newDeviceHeap(p int) *deviceHeap {
+	h := &deviceHeap{
+		start: make([]float64, p),
+		prio:  make([]int, p),
+		pos:   make([]int, p),
+		order: make([]int, 0, p),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+func (h *deviceHeap) less(a, b int) bool {
+	if h.start[a] != h.start[b] {
+		return h.start[a] < h.start[b]
+	}
+	if h.prio[a] != h.prio[b] {
+		return h.prio[a] < h.prio[b]
+	}
+	return a < b
+}
+
+func (h *deviceHeap) swap(i, j int) {
+	h.order[i], h.order[j] = h.order[j], h.order[i]
+	h.pos[h.order[i]] = i
+	h.pos[h.order[j]] = j
+}
+
+func (h *deviceHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.order[i], h.order[parent]) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+// down sifts the element at i toward the leaves and reports whether it moved.
+func (h *deviceHeap) down(i int) bool {
+	i0 := i
+	n := len(h.order)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		smallest := l
+		if r := l + 1; r < n && h.less(h.order[r], h.order[l]) {
+			smallest = r
+		}
+		if !h.less(h.order[smallest], h.order[i]) {
+			break
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+	return i > i0
+}
+
+// update inserts device d or re-keys it in place.
+func (h *deviceHeap) update(d int, start float64, prio int) {
+	h.start[d], h.prio[d] = start, prio
+	if i := h.pos[d]; i >= 0 {
+		if !h.down(i) {
+			h.up(i)
+		}
+		return
+	}
+	h.order = append(h.order, d)
+	h.pos[d] = len(h.order) - 1
+	h.up(h.pos[d])
+}
+
+// remove deletes device d if enqueued.
+func (h *deviceHeap) remove(d int) {
+	i := h.pos[d]
+	if i < 0 {
+		return
+	}
+	n := len(h.order) - 1
+	if i != n {
+		h.swap(i, n)
+	}
+	h.order = h.order[:n]
+	h.pos[d] = -1
+	if i < n {
+		if !h.down(i) {
+			h.up(i)
+		}
+	}
+}
+
+// min returns the device with the smallest key.
+func (h *deviceHeap) min() (int, bool) {
+	if len(h.order) == 0 {
+		return 0, false
+	}
+	return h.order[0], true
+}
+
+// within appends to out every enqueued device whose start is at most
+// maxStart, by DFS from the root. The heap order is lexicographic on
+// (start, prio, device), so a child's start is never below its parent's and
+// subtrees past the threshold prune wholesale; the visit cost is
+// O(matches + their children).
+func (h *deviceHeap) within(maxStart float64, out []int) []int {
+	h.scratch = h.scratch[:0]
+	if len(h.order) > 0 && h.start[h.order[0]] <= maxStart {
+		h.scratch = append(h.scratch, 0)
+	}
+	for len(h.scratch) > 0 {
+		i := h.scratch[len(h.scratch)-1]
+		h.scratch = h.scratch[:len(h.scratch)-1]
+		out = append(out, h.order[i])
+		if l := 2*i + 1; l < len(h.order) && h.start[h.order[l]] <= maxStart {
+			h.scratch = append(h.scratch, l)
+		}
+		if r := 2*i + 2; r < len(h.order) && h.start[h.order[r]] <= maxStart {
+			h.scratch = append(h.scratch, r)
+		}
+	}
+	return out
+}

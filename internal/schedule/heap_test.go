@@ -1,0 +1,103 @@
+package schedule
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// heapModel mirrors the heap with a plain map for differential checking.
+type heapModel map[int]struct {
+	start float64
+	prio  int
+}
+
+func (m heapModel) min() (int, bool) {
+	best, found := -1, false
+	for d, k := range m {
+		if !found {
+			best, found = d, true
+			continue
+		}
+		b := m[best]
+		if k.start < b.start || (k.start == b.start && (k.prio < b.prio ||
+			(k.prio == b.prio && d < best))) {
+			best = d
+		}
+	}
+	return best, found
+}
+
+func TestDeviceHeapAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const p = 16
+	h := newDeviceHeap(p)
+	model := heapModel{}
+	for step := 0; step < 5000; step++ {
+		d := rng.Intn(p)
+		switch rng.Intn(3) {
+		case 0, 1: // update (insert or re-key)
+			start := float64(rng.Intn(8)) * 0.5 // dense keys force ties
+			prio := rng.Intn(5)
+			h.update(d, start, prio)
+			model[d] = struct {
+				start float64
+				prio  int
+			}{start, prio}
+		case 2:
+			h.remove(d)
+			delete(model, d)
+		}
+		if len(h.order) != len(model) {
+			t.Fatalf("step %d: size %d, model %d", step, len(h.order), len(model))
+		}
+		hm, hok := h.min()
+		mm, mok := model.min()
+		if hok != mok || (hok && hm != mm) {
+			t.Fatalf("step %d: min %d/%v, model %d/%v", step, hm, hok, mm, mok)
+		}
+		// Heap invariant: every child's key is >= its parent's.
+		for i := 1; i < len(h.order); i++ {
+			if h.less(h.order[i], h.order[(i-1)/2]) {
+				t.Fatalf("step %d: heap invariant broken at %d", step, i)
+			}
+		}
+		// pos table consistency.
+		for i, d := range h.order {
+			if h.pos[d] != i {
+				t.Fatalf("step %d: pos[%d]=%d, want %d", step, d, h.pos[d], i)
+			}
+		}
+	}
+}
+
+func TestDeviceHeapWithin(t *testing.T) {
+	h := newDeviceHeap(8)
+	starts := []float64{3, 1, 4, 1, 5, 1, 2, 6}
+	for d, s := range starts {
+		h.update(d, s, 0)
+	}
+	got := h.within(2, nil)
+	sort.Ints(got)
+	want := []int{1, 3, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("within(2) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("within(2) = %v, want %v", got, want)
+		}
+	}
+	if out := h.within(0.5, nil); len(out) != 0 {
+		t.Fatalf("within(0.5) = %v, want empty", out)
+	}
+	// After removals, within must not see removed devices.
+	h.remove(1)
+	h.remove(6)
+	got = h.within(2, nil)
+	sort.Ints(got)
+	want = []int{3, 5}
+	if len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Fatalf("within(2) after remove = %v, want %v", got, want)
+	}
+}

@@ -138,6 +138,10 @@ type InterlacedSpec struct {
 
 // Spec is the full input to the schedule constructor.
 type Spec struct {
+	// Name optionally labels the spec for error and panic messages
+	// (generators set it to "<config>/<method>"). It does not affect the
+	// schedule.
+	Name   string
 	P      int // pipeline devices
 	M      int // microbatches per iteration
 	Chunks int // model chunks per device (1 for 1F1B, 2 for V-Half)
@@ -208,6 +212,16 @@ func (s *Spec) Validate() error {
 		}
 	}
 	return nil
+}
+
+// Describe identifies the spec for error and panic messages: its Name (or
+// "unnamed") plus the dimensions that determine the schedule's shape.
+func (s *Spec) Describe() string {
+	name := s.Name
+	if name == "" {
+		name = "unnamed"
+	}
+	return fmt.Sprintf("%s P=%d M=%d Chunks=%d", name, s.P, s.M, s.Chunks)
 }
 
 // NumStages returns P*Chunks.

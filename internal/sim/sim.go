@@ -138,16 +138,24 @@ func MustRun(cfg costmodel.Config, m Method) *Result {
 }
 
 // BuildSpec translates a configuration+method into a schedule spec with
-// durations and memory from the cost model.
+// durations and memory from the cost model. The spec is named
+// "<config>/<method>" so schedule errors and panics identify their cell.
 func BuildSpec(cfg costmodel.Config, m Method) (*schedule.Spec, error) {
+	var spec *schedule.Spec
+	var err error
 	switch m {
 	case Baseline, Redis, Vocab1, Vocab2, Interlaced:
-		return build1F1BSpec(cfg, m)
+		spec, err = build1F1BSpec(cfg, m)
 	case VHalfBaseline, VHalfVocab1:
-		return buildVHalfSpec(cfg, m)
+		spec, err = buildVHalfSpec(cfg, m)
 	default:
 		return nil, fmt.Errorf("sim: unknown method %v", m)
 	}
+	if err != nil {
+		return nil, err
+	}
+	spec.Name = cfg.Name + "/" + m.String()
+	return spec, nil
 }
 
 // stageDurations converts a layout stage into (F, B) seconds. Vocabulary

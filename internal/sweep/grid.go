@@ -27,6 +27,7 @@ import (
 func ParseGrid(spec string) (*Grid, error) {
 	g := &Grid{Name: "custom"}
 	var micros, devices []int
+	seen := map[string]bool{}
 	for _, kv := range strings.Split(spec, ";") {
 		kv = strings.TrimSpace(kv)
 		if kv == "" {
@@ -37,6 +38,14 @@ func ParseGrid(spec string) (*Grid, error) {
 			return nil, fmt.Errorf("sweep: grid clause %q is not key=value", kv)
 		}
 		key = strings.TrimSpace(key)
+		canon := canonicalKey(key)
+		if seen[canon] {
+			return nil, fmt.Errorf("sweep: duplicate grid key %q", key)
+		}
+		seen[canon] = true
+		if len(splitList(vals)) == 0 {
+			return nil, fmt.Errorf("sweep: grid key %q has an empty value list", key)
+		}
 		var err error
 		switch key {
 		case "model", "config", "cfg":
@@ -82,6 +91,15 @@ func ParseGrid(spec string) (*Grid, error) {
 		}
 	}
 	return g, nil
+}
+
+// canonicalKey folds the model-key aliases so "model=4B;cfg=10B" counts as a
+// duplicate rather than silently merging two axes.
+func canonicalKey(key string) string {
+	if key == "config" || key == "cfg" {
+		return "model"
+	}
+	return key
 }
 
 func splitList(vals string) []string {

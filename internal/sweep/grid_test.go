@@ -1,0 +1,76 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+)
+
+// Direct coverage of ParseGrid's error paths: malformed specs must fail with
+// a message that names the offending clause, and must never silently drop or
+// merge axes.
+
+func TestParseGridEmptyAxis(t *testing.T) {
+	for _, spec := range []string{
+		"model=",                 // empty required axis
+		"model=4B;seq=",          // empty optional axis (would silently no-op)
+		"model=4B;vocab= , ,",    // whitespace-only values
+		"model=4B;method=",       // empty method list
+		"model=4B;devices=",      // empty override
+		"model=4B;seq=;seq=2048", // empty hit before the duplicate
+	} {
+		_, err := ParseGrid(spec)
+		if err == nil {
+			t.Errorf("ParseGrid(%q) should fail", spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), "empty value list") {
+			t.Errorf("ParseGrid(%q) error = %v, want empty-value-list error", spec, err)
+		}
+	}
+}
+
+func TestParseGridDuplicateKey(t *testing.T) {
+	for _, spec := range []string{
+		"model=4B;model=10B",
+		"model=4B;seq=2048;seq=4096",
+		"model=4B;method=baseline;method=vocab-1",
+		"model=4B;cfg=10B", // alias of model counts as a duplicate
+	} {
+		_, err := ParseGrid(spec)
+		if err == nil {
+			t.Errorf("ParseGrid(%q) should fail", spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), "duplicate grid key") {
+			t.Errorf("ParseGrid(%q) error = %v, want duplicate-key error", spec, err)
+		}
+	}
+}
+
+func TestParseGridUnknownMethod(t *testing.T) {
+	for _, spec := range []string{
+		"model=4B;method=turbo",
+		"model=4B;method=vocab-1,turbo", // one good, one bad
+		"model=4B;method=1F1B",          // groups are case-sensitive
+	} {
+		_, err := ParseGrid(spec)
+		if err == nil {
+			t.Errorf("ParseGrid(%q) should fail", spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), "unknown method") {
+			t.Errorf("ParseGrid(%q) error = %v, want unknown-method error", spec, err)
+		}
+	}
+}
+
+func TestParseGridErrorNamesClause(t *testing.T) {
+	_, err := ParseGrid("model=4B;turbo=1")
+	if err == nil || !strings.Contains(err.Error(), `"turbo"`) {
+		t.Errorf("unknown-key error should quote the key, got %v", err)
+	}
+	_, err = ParseGrid("model=4B;seq=twelve")
+	if err == nil || !strings.Contains(err.Error(), `"twelve"`) {
+		t.Errorf("bad-int error should quote the value, got %v", err)
+	}
+}

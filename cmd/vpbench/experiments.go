@@ -1,7 +1,8 @@
-// Experiment registry: every table and figure of the paper declared as a
-// sweep.Grid (evaluated concurrently by the sweep engine) plus a renderer
-// that formats the results. Analytical figures with no simulation (closed
-// form or training runs) have a nil grid and render directly.
+// Experiment registry: every table and figure of the paper, pairing the
+// shared grid constructors of internal/experiments (also served by vpserve)
+// with a renderer that formats the results. Analytical figures with no
+// simulation (closed form or training runs) have a nil grid and render
+// directly.
 package main
 
 import (
@@ -11,10 +12,10 @@ import (
 	"strings"
 
 	"vocabpipe/internal/costmodel"
+	"vocabpipe/internal/experiments"
 	"vocabpipe/internal/layout"
 	"vocabpipe/internal/pipeline"
 	"vocabpipe/internal/report"
-	"vocabpipe/internal/schedule"
 	"vocabpipe/internal/sim"
 	"vocabpipe/internal/sweep"
 	"vocabpipe/internal/trace"
@@ -32,23 +33,23 @@ type experiment struct {
 	render func(w io.Writer, res *sweep.Results)
 }
 
-// experiments lists every reproduction in "all" execution order.
-var experiments = []experiment{
-	{"fig1", fig1Grid, fig1},
+// experimentList lists every reproduction in "all" execution order.
+var experimentList = []experiment{
+	{"fig1", experiments.Fig1Grid, fig1},
 	{"fig2", nil, fig2},
 	{"fig3", nil, fig3},
 	{"table4", nil, table4},
 	{"table3", nil, table3},
-	{"table5", table5Grid, table5},
-	{"table6", table6Grid, table6},
-	{"blocks", blocksGrid, blocks},
-	{"interlaced-mem", interlacedMemGrid, interlacedMem},
-	{"ablation-b2", ablationB2Grid, ablationB2},
+	{"table5", experiments.Table5Grid, table5},
+	{"table6", experiments.Table6Grid, table6},
+	{"blocks", experiments.BlocksGrid, blocks},
+	{"interlaced-mem", experiments.InterlacedMemGrid, interlacedMem},
+	{"ablation-b2", experiments.AblationB2Grid, ablationB2},
 	{"fig17", nil, fig17},
 }
 
 func experimentByName(name string) (experiment, bool) {
-	for _, e := range experiments {
+	for _, e := range experimentList {
 		if e.name == name {
 			return e, true
 		}
@@ -60,33 +61,8 @@ func header(w io.Writer, s string) {
 	fmt.Fprintf(w, "\n%s\n%s\n", s, strings.Repeat("=", len(s)))
 }
 
-// fig1 renders the repeating bubble pattern of an imbalanced pipeline: two
-// synthetic 4-stage schedules built directly (no cost model), expressed as
-// custom sweep cells so they evaluate on the same engine as everything else.
-func fig1Grid() *sweep.Grid {
-	build := func(extraOutputLayer bool) sweep.EvalFunc {
-		return func(sweep.Cell) (*sim.Result, error) {
-			stages := make([]schedule.Stage, 4)
-			for i := range stages {
-				stages[i] = schedule.Stage{F: 1, B: 2, ActBytes: 1}
-			}
-			if extraOutputLayer {
-				stages[3].F += 1
-				stages[3].B += 2
-			}
-			tl, err := schedule.Build(&schedule.Spec{P: 4, M: 8, Chunks: 1, Stages: stages})
-			if err != nil {
-				return nil, err
-			}
-			return &sim.Result{IterTime: tl.Makespan, Timeline: tl}, nil
-		}
-	}
-	return &sweep.Grid{Name: "fig1", KeepTimelines: true, Cells: []sweep.Cell{
-		{Label: "balanced", Eval: build(false)},
-		{Label: "with-output-layer", Eval: build(true)},
-	}}
-}
-
+// fig1 renders the repeating bubble pattern of an imbalanced pipeline (grid:
+// experiments.Fig1Grid).
 func fig1(w io.Writer, res *sweep.Results) {
 	header(w, "Figure 1 — bubbles from an extra output layer on the last stage")
 	balanced := res.MustGet("balanced").Timeline
@@ -177,18 +153,6 @@ func table3(w io.Writer, _ *sweep.Results) {
 	fmt.Fprint(w, t.String())
 }
 
-// table5Grid is the full 1F1B comparison: 3 models × 2 sequence lengths ×
-// 4 vocabulary sizes × 5 methods = 120 cells.
-func table5Grid() *sweep.Grid {
-	return &sweep.Grid{
-		Name:    "table5",
-		Configs: costmodel.OneF1BConfigs(),
-		Seqs:    costmodel.SeqLengths,
-		Vocabs:  costmodel.VocabSizes,
-		Methods: sim.OneF1BMethods,
-	}
-}
-
 // table5 regenerates the 1F1B comparison (also Figs 11 and 12).
 func table5(w io.Writer, res *sweep.Results) {
 	header(w, "Table 5 / Figures 11-12 — methods on 1F1B (MFU % and peak memory GB)")
@@ -226,18 +190,6 @@ func paperStr(v float64) string {
 	return fmt.Sprintf("%.2f", v)
 }
 
-// table6Grid is the V-Half comparison: 3 models × 2 sequence lengths ×
-// 4 vocabulary sizes × 2 methods = 48 cells.
-func table6Grid() *sweep.Grid {
-	return &sweep.Grid{
-		Name:    "table6",
-		Configs: costmodel.VHalfConfigs(),
-		Seqs:    costmodel.SeqLengths,
-		Vocabs:  costmodel.VocabSizes,
-		Methods: sim.VHalfMethods,
-	}
-}
-
 // table6 regenerates the V-Half comparison (also Figs 13 and 14).
 func table6(w io.Writer, res *sweep.Results) {
 	header(w, "Table 6 / Figures 13-14 — methods on V-Half (MFU % and peak memory GB)")
@@ -269,53 +221,16 @@ func table6(w io.Writer, res *sweep.Results) {
 	}
 }
 
-// blocksList names the schedules of Figs 9, 10, 15 and 16.
-var blocksList = []struct {
-	title   string
-	cfgName string
-	m       sim.Method
-}{
-	{"1F1B baseline", "4B", sim.Baseline},
-	{"1F1B + Vocab-1 (Fig 10a: p+2 in-flight)", "4B", sim.Vocab1},
-	{"1F1B + Vocab-2 (Fig 10b: p+1 in-flight)", "4B", sim.Vocab2},
-	{"Interlaced (Fig 15b: ~1.5p in-flight)", "4B", sim.Interlaced},
-	{"V-Half + Vocab-1 (Fig 16)", "7B", sim.VHalfVocab1},
-}
-
-func blocksCfg(cfgName string) costmodel.Config {
-	cfg, _ := costmodel.ConfigByName(cfgName)
-	cfg.NumMicro = 2 * cfg.Devices
-	return cfg.WithVocab(128 * 1024)
-}
-
-func blocksGrid() *sweep.Grid {
-	g := &sweep.Grid{Name: "blocks", KeepTimelines: true}
-	for _, b := range blocksList {
-		cfg := blocksCfg(b.cfgName)
-		g.Cells = append(g.Cells, sweep.Cell{Label: sweep.CellLabel(cfg, b.m), Config: cfg, Method: b.m})
-	}
-	return g
-}
-
 // blocks renders the building blocks / schedules of Figs 9, 10, 15 and 16.
 func blocks(w io.Writer, res *sweep.Results) {
 	header(w, "Figures 9/10/15/16 — building blocks and schedules")
-	for _, b := range blocksList {
-		cfg := blocksCfg(b.cfgName)
-		r := res.MustGet(sweep.CellLabel(cfg, b.m))
+	for _, b := range experiments.BlocksList {
+		cfg := experiments.BlocksCfg(b.CfgName)
+		r := res.MustGet(sweep.CellLabel(cfg, b.M))
 		fmt.Fprintf(w, "\n%s (%s, %d devices, %d microbatches): in-flight per device %v\n",
-			b.title, b.cfgName, cfg.Devices, cfg.NumMicro, r.InFlight)
+			b.Title, b.CfgName, cfg.Devices, cfg.NumMicro, r.InFlight)
 		fmt.Fprint(w, trace.ASCII(r.Timeline, 140))
 	}
-}
-
-func interlacedMemGrid() *sweep.Grid {
-	cfg, _ := costmodel.ConfigByName("4B")
-	cfg.NumMicro = 48
-	return &sweep.Grid{Name: "interlaced-mem", Cells: []sweep.Cell{
-		{Label: "1f1b", Config: cfg, Method: sim.Baseline},
-		{Label: "interlaced", Config: cfg, Method: sim.Interlaced},
-	}}
 }
 
 // interlacedMem quantifies Appendix B.1's 1.5x activation memory claim.
@@ -328,27 +243,6 @@ func interlacedMem(w io.Writer, res *sweep.Results) {
 	t.Add(cfg.Devices, b.InFlight[0], i.InFlight[0], float64(i.InFlight[0])/float64(b.InFlight[0]))
 	fmt.Fprint(w, t.String())
 	fmt.Fprintln(w, "paper: the interlaced building block enlarges the lifespan from 3p to ~4.5p ⇒ 1.5x activation memory")
-}
-
-func ablationB2Grid() *sweep.Grid {
-	cfg, _ := costmodel.ConfigByName("21B")
-	cfg = cfg.WithVocab(256 * 1024)
-	noSync := func(c sweep.Cell) (*sim.Result, error) {
-		spec, err := sim.BuildSpec(c.Config, c.Method)
-		if err != nil {
-			return nil, err
-		}
-		spec.Interlaced.SyncTime = 0
-		tl, err := schedule.Build(spec)
-		if err != nil {
-			return nil, err
-		}
-		return sim.FromTimeline(c.Config, c.Method, tl), nil
-	}
-	return &sweep.Grid{Name: "ablation-b2", Cells: []sweep.Cell{
-		{Label: "with-sync", Config: cfg, Method: sim.Interlaced},
-		{Label: "no-sync", Config: cfg, Method: sim.Interlaced, Eval: noSync},
-	}}
 }
 
 // ablationB2 removes the interlaced pipeline's synchronous all-reduces.

@@ -144,7 +144,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	for _, name := range names {
 		if name == "all" {
-			selected = append(selected, experiments...)
+			selected = append(selected, experimentList...)
 			continue
 		}
 		e, ok := experimentByName(name)

@@ -1,0 +1,187 @@
+// vpserve exposes the sweep engine as an HTTP service (see internal/server):
+// the same JSON records `vpbench -json` emits, behind a sharded LRU result
+// cache with in-flight request deduplication.
+//
+//	go run ./cmd/vpserve -addr :8080
+//	curl 'localhost:8080/api/sweep?grid=model=4B;method=1f1b'
+//	curl 'localhost:8080/api/experiments/table5'
+//	curl 'localhost:8080/healthz'
+//
+// Flags:
+//
+//	-addr ADDR        listen address (default :8080)
+//	-cache N          result-cache capacity in grids (default 256)
+//	-parallel N       sweep workers per computed grid (default GOMAXPROCS)
+//	-max-cells N      reject grids larger than N cells with 400 (default 4096)
+//	-shutdown-timeout D  graceful drain budget on SIGINT/SIGTERM (default 10s)
+//
+// Self-test mode starts an ephemeral server and drives the built-in load
+// harness (internal/load) against it, reporting req/s, latency percentiles
+// and cache hit rate as JSON on stdout:
+//
+//	vpserve -selftest [-selftest-duration 2s] [-selftest-concurrency 8]
+//	        [-selftest-grid SPEC] [-selftest-min-rps 100]
+//
+// -selftest-min-rps makes the run a gate: exit 1 when the warmed-cache
+// throughput falls below the floor (the CI smoke step uses 100).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	neturl "net/url"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vocabpipe/internal/load"
+	"vocabpipe/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is the testable entry point. ready, when non-nil, receives the bound
+// base URL once the serve-mode listener is up (tests use it; main passes nil).
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("vpserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen `address`")
+	cacheSize := fs.Int("cache", 256, "result-cache capacity in grids")
+	parallel := fs.Int("parallel", 0, "sweep workers per computed grid (default: GOMAXPROCS)")
+	maxCells := fs.Int("max-cells", 4096, "reject grids expanding past `N` cells")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "graceful drain budget on SIGINT/SIGTERM")
+	selftest := fs.Bool("selftest", false, "start an ephemeral server, drive the load harness against it, report and exit")
+	stGrid := fs.String("selftest-grid", "model=4B;method=baseline,vocab-1;vocab=32k;micro=16",
+		"grid `SPEC` the self-test sweeps")
+	stConc := fs.Int("selftest-concurrency", 8, "self-test worker count")
+	stDur := fs.Duration("selftest-duration", 2*time.Second, "self-test load duration")
+	stMinRPS := fs.Float64("selftest-min-rps", 0, "fail (exit 1) when self-test throughput is below this floor; 0 disables")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if len(fs.Args()) > 0 {
+		fmt.Fprintf(stderr, "vpserve: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if !*selftest {
+		for _, name := range []string{"selftest-grid", "selftest-concurrency", "selftest-duration", "selftest-min-rps"} {
+			if explicit[name] {
+				fmt.Fprintf(stderr, "vpserve: -%s only applies to -selftest\n", name)
+				return 2
+			}
+		}
+	}
+
+	srv := server.New(server.Options{
+		CacheSize: *cacheSize,
+		Parallel:  *parallel,
+		MaxCells:  *maxCells,
+	})
+	if *selftest {
+		return runSelftest(srv, stdout, stderr, *stGrid, *stConc, *stDur, *stMinRPS)
+	}
+	return serve(srv, stderr, *addr, *shutdownTimeout, ready)
+}
+
+// serve runs the HTTP server until SIGINT/SIGTERM, then drains gracefully.
+func serve(srv *server.Server, stderr io.Writer, addr string, shutdownTimeout time.Duration, ready chan<- string) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "vpserve: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "vpserve: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		// Serve only returns on listener failure.
+		fmt.Fprintf(stderr, "vpserve: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(stderr, "vpserve: shutting down (draining up to %s)\n", shutdownTimeout)
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(stderr, "vpserve: shutdown: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stderr, "vpserve: bye")
+	return 0
+}
+
+// runSelftest boots an ephemeral server, warms the cache with one request,
+// measures a load run against the warmed sweep endpoint and reports. The
+// warm request makes the measured window the cache-hit serving path — the
+// steady state a repeated production query sees.
+func runSelftest(srv *server.Server, stdout, stderr io.Writer, gridSpec string, conc int, dur time.Duration, minRPS float64) int {
+	baseURL, stopSrv, err := server.StartLocal(srv)
+	if err != nil {
+		fmt.Fprintf(stderr, "vpserve: %v\n", err)
+		return 1
+	}
+	defer stopSrv()
+	// Grid specs must be percent-encoded: since Go 1.17 net/url rejects a
+	// raw ";" query separator, so an unescaped spec would be cut at the
+	// first semicolon server-side.
+	url := baseURL + "/api/sweep?grid=" + neturl.QueryEscape(gridSpec)
+
+	warm, err := http.Get(url)
+	if err != nil {
+		fmt.Fprintf(stderr, "vpserve: selftest warmup: %v\n", err)
+		return 1
+	}
+	io.Copy(io.Discard, warm.Body)
+	warm.Body.Close()
+	if warm.StatusCode != http.StatusOK {
+		fmt.Fprintf(stderr, "vpserve: selftest warmup: %s returned %d (bad -selftest-grid?)\n", url, warm.StatusCode)
+		return 1
+	}
+
+	before := srv.CacheStats()
+	rep, err := load.Run(context.Background(), url, load.Options{Concurrency: conc, Duration: dur})
+	if err != nil {
+		fmt.Fprintf(stderr, "vpserve: selftest: %v\n", err)
+		return 1
+	}
+	after := srv.CacheStats()
+	if lookups := (after.Hits + after.Misses + after.Deduped) - (before.Hits + before.Misses + before.Deduped); lookups > 0 {
+		hits := (after.Hits + after.Deduped) - (before.Hits + before.Deduped)
+		rep.CacheHitRatePct = 100 * float64(hits) / float64(lookups)
+	}
+
+	if err := rep.WriteJSON(stdout); err != nil {
+		fmt.Fprintf(stderr, "vpserve: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "vpserve: selftest %s\n", rep.Summary())
+	if rep.Errors > 0 || rep.NonOK > 0 {
+		fmt.Fprintf(stderr, "vpserve: selftest saw %d transport errors and %d non-200 responses\n", rep.Errors, rep.NonOK)
+		return 1
+	}
+	if minRPS > 0 && rep.ReqPerSec < minRPS {
+		fmt.Fprintf(stderr, "vpserve: selftest throughput %.0f req/s is below the -selftest-min-rps floor %.0f\n",
+			rep.ReqPerSec, minRPS)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"vocabpipe/internal/load"
+)
+
+func runVpserve(args ...string) (string, string, int) {
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr, nil)
+	return stdout.String(), stderr.String(), code
+}
+
+func TestCLIErrors(t *testing.T) {
+	if _, stderr, code := runVpserve("extra"); code != 2 || !strings.Contains(stderr, "unexpected arguments") {
+		t.Errorf("extra args: code=%d stderr=%q", code, stderr)
+	}
+	if _, stderr, code := runVpserve("-nope"); code != 2 || !strings.Contains(stderr, "flag provided but not defined") {
+		t.Errorf("unknown flag: code=%d stderr=%q", code, stderr)
+	}
+	if _, stderr, code := runVpserve("-selftest-min-rps", "5"); code != 2 || !strings.Contains(stderr, "only applies to -selftest") {
+		t.Errorf("selftest flag outside selftest: code=%d stderr=%q", code, stderr)
+	}
+}
+
+// TestSelftest runs the built-in load harness end to end on an ephemeral
+// server and checks the machine-readable report: requests flowed, nothing
+// failed, and the warmed cache absorbed the load.
+func TestSelftest(t *testing.T) {
+	stdout, stderr, code := runVpserve("-selftest",
+		"-selftest-duration", "200ms", "-selftest-concurrency", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	var rep load.Report
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("stdout is not a load report: %v (%s)", err, stdout)
+	}
+	if rep.Requests == 0 || rep.Errors != 0 || rep.NonOK != 0 {
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.CacheHitRatePct < 99 {
+		t.Errorf("cache hit rate %.1f%%, want ~100%% on a warmed single-URL run", rep.CacheHitRatePct)
+	}
+	if !strings.Contains(stderr, "req/s") {
+		t.Errorf("missing summary on stderr: %q", stderr)
+	}
+}
+
+// TestSelftestMinRPSGate proves the throughput floor turns the report into
+// an exit-code gate.
+func TestSelftestMinRPSGate(t *testing.T) {
+	_, stderr, code := runVpserve("-selftest",
+		"-selftest-duration", "100ms", "-selftest-concurrency", "1",
+		"-selftest-min-rps", "1e12")
+	if code != 1 || !strings.Contains(stderr, "below the -selftest-min-rps floor") {
+		t.Errorf("code=%d stderr=%q, want gated exit 1", code, stderr)
+	}
+}
+
+func TestSelftestBadGrid(t *testing.T) {
+	_, stderr, code := runVpserve("-selftest", "-selftest-grid", "model=900B")
+	if code != 1 || !strings.Contains(stderr, "bad -selftest-grid") {
+		t.Errorf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+// TestServeGracefulShutdown boots the real serve loop on an ephemeral port,
+// queries it over HTTP, then delivers SIGTERM and expects a clean drain.
+func TestServeGracefulShutdown(t *testing.T) {
+	ready := make(chan string, 1)
+	var stderr bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0"}, io.Discard, &stderr, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit %d, stderr %q", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down after SIGTERM")
+	}
+	if out := stderr.String(); !strings.Contains(out, "shutting down") || !strings.Contains(out, "bye") {
+		t.Errorf("shutdown log missing: %q", out)
+	}
+}

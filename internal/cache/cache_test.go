@@ -1,0 +1,253 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// put stores key→val through Do with a trivial compute.
+func put(t *testing.T, c *Cache[string], key, val string) {
+	t.Helper()
+	got, outcome, err := c.Do(key, func() (string, error) { return val, nil })
+	if err != nil || got != val {
+		t.Fatalf("Do(%q) = %q, %v, %v", key, got, outcome, err)
+	}
+}
+
+// TestEvictionOrder drives a single-shard cache through table-driven access
+// sequences and checks exactly which keys survive: LRU order, with Get and
+// repeated Do both counting as use.
+func TestEvictionOrder(t *testing.T) {
+	tests := []struct {
+		name     string
+		capacity int
+		ops      []string // "put:k", "get:k"
+		want     []string // keys that must be present afterwards
+		wantGone []string // keys that must have been evicted
+	}{
+		{
+			name:     "oldest evicted first",
+			capacity: 3,
+			ops:      []string{"put:a", "put:b", "put:c", "put:d"},
+			want:     []string{"b", "c", "d"},
+			wantGone: []string{"a"},
+		},
+		{
+			name:     "get refreshes recency",
+			capacity: 3,
+			ops:      []string{"put:a", "put:b", "put:c", "get:a", "put:d"},
+			want:     []string{"a", "c", "d"},
+			wantGone: []string{"b"},
+		},
+		{
+			name:     "do hit refreshes recency",
+			capacity: 2,
+			ops:      []string{"put:a", "put:b", "put:a", "put:c"},
+			want:     []string{"a", "c"},
+			wantGone: []string{"b"},
+		},
+		{
+			name:     "capacity one keeps only the newest",
+			capacity: 1,
+			ops:      []string{"put:a", "put:b", "put:c"},
+			want:     []string{"c"},
+			wantGone: []string{"a", "b"},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := NewSharded[string](tt.capacity, 1)
+			for _, op := range tt.ops {
+				switch op[:4] {
+				case "put:":
+					put(t, c, op[4:], "v-"+op[4:])
+				case "get:":
+					c.Get(op[4:])
+				}
+			}
+			for _, k := range tt.want {
+				if _, ok := c.Get(k); !ok {
+					t.Errorf("key %q evicted, want present", k)
+				}
+			}
+			for _, k := range tt.wantGone {
+				if _, ok := c.Get(k); ok {
+					t.Errorf("key %q present, want evicted", k)
+				}
+			}
+			if got := c.Len(); got > tt.capacity {
+				t.Errorf("Len() = %d > capacity %d", got, tt.capacity)
+			}
+		})
+	}
+}
+
+// TestHitMissAccounting locks the Stats counters to a deterministic access
+// sequence.
+func TestHitMissAccounting(t *testing.T) {
+	c := NewSharded[int](4, 1)
+	do := func(key string) Outcome {
+		_, outcome, err := c.Do(key, func() (int, error) { return len(key), nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcome
+	}
+	if got := do("a"); got != Miss {
+		t.Errorf("first Do(a) = %v, want Miss", got)
+	}
+	if got := do("a"); got != Hit {
+		t.Errorf("second Do(a) = %v, want Hit", got)
+	}
+	do("b")
+	do("a")
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 || st.Deduped != 0 || st.Evictions != 0 {
+		t.Errorf("stats = %+v, want 2 hits, 2 misses", st)
+	}
+	if st.Entries != 2 {
+		t.Errorf("entries = %d, want 2", st.Entries)
+	}
+	if got := st.HitRatePct(); got != 50 {
+		t.Errorf("HitRatePct() = %v, want 50", got)
+	}
+
+	// Evictions count.
+	for i := 0; i < 10; i++ {
+		do(fmt.Sprintf("fill-%d", i))
+	}
+	if st := c.Stats(); st.Evictions == 0 || st.Entries != 4 {
+		t.Errorf("after overfill: %+v, want evictions > 0 and 4 entries", st)
+	}
+}
+
+// TestDedupConcurrent fires many concurrent Do calls for one key and proves
+// the compute ran exactly once: one Miss, everyone else coalesced onto it.
+func TestDedupConcurrent(t *testing.T) {
+	const waiters = 32
+	c := New[int](8)
+	var computes atomic.Int32
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	outcomes := make([]Outcome, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, outcome, err := c.Do("grid", func() (int, error) {
+				computes.Add(1)
+				close(entered)
+				<-release // hold the computation until every waiter has queued
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Do = %d, %v", v, err)
+			}
+			outcomes[i] = outcome
+		}(i)
+	}
+	<-entered // the leader is inside compute; everyone else must coalesce
+	close(release)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("compute ran %d times under %d concurrent identical requests, want 1", got, waiters)
+	}
+	counts := map[Outcome]int{}
+	for _, o := range outcomes {
+		counts[o]++
+	}
+	if counts[Miss] != 1 {
+		t.Errorf("outcomes = %v, want exactly 1 Miss", counts)
+	}
+	if counts[Deduped]+counts[Hit] != waiters-1 {
+		t.Errorf("outcomes = %v, want %d coalesced", counts, waiters-1)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits+st.Deduped != waiters-1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestErrorsNotCached proves a failing compute reaches every coalesced
+// waiter but leaves the key uncached, so the next request retries.
+func TestErrorsNotCached(t *testing.T) {
+	c := New[int](8)
+	boom := errors.New("boom")
+	if _, _, err := c.Do("k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("error result was cached")
+	}
+	v, outcome, err := c.Do("k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 || outcome != Miss {
+		t.Fatalf("retry = %d, %v, %v; want 7, Miss, nil", v, outcome, err)
+	}
+	if st := c.Stats(); st.Misses != 2 {
+		t.Errorf("stats = %+v, want 2 misses", st)
+	}
+}
+
+// TestShardRounding pins NewSharded's power-of-two rounding and the
+// invariant that shard capacities sum to exactly the requested capacity —
+// the operator's -cache bound is honored, never inflated or shaved.
+func TestShardRounding(t *testing.T) {
+	for _, tt := range []struct{ shards, wantShards int }{
+		{0, 1}, {1, 1}, {3, 4}, {4, 4}, {5, 8}, {16, 16},
+	} {
+		c := NewSharded[int](64, tt.shards)
+		if got := len(c.shards); got != tt.wantShards {
+			t.Errorf("NewSharded(64, %d): %d shards, want %d", tt.shards, got, tt.wantShards)
+		}
+	}
+	for _, tt := range []struct{ capacity, shards, wantShards int }{
+		{1, 4, 1},     // capacity below the shard count shrinks the shards
+		{4, 16, 4},    // vpserve -cache 4 must cache 4 grids, not 16
+		{100, 16, 16}, // non-multiple capacity is distributed, not floored
+		{64, 16, 16},
+	} {
+		c := NewSharded[int](tt.capacity, tt.shards)
+		if got := len(c.shards); got != tt.wantShards {
+			t.Errorf("NewSharded(%d, %d): %d shards, want %d", tt.capacity, tt.shards, got, tt.wantShards)
+		}
+		if st := c.Stats(); st.Capacity != tt.capacity {
+			t.Errorf("NewSharded(%d, %d): total capacity %d, want %d", tt.capacity, tt.shards, st.Capacity, tt.capacity)
+		}
+	}
+	if st := New[int](100).Stats(); st.Capacity != 100 {
+		t.Errorf("New(100) capacity = %d, want exactly 100", st.Capacity)
+	}
+}
+
+// TestConcurrentMixed hammers distinct and shared keys together; run under
+// -race this is the cache's race-cleanliness proof.
+func TestConcurrentMixed(t *testing.T) {
+	c := New[int](32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%40)
+				v, _, err := c.Do(key, func() (int, error) { return i % 40, nil })
+				if err != nil || v != i%40 {
+					t.Errorf("Do(%q) = %d, %v", key, v, err)
+					return
+				}
+				c.Get(key)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if total := st.Hits + st.Misses + st.Deduped; total != 8*200 {
+		t.Errorf("lookups = %d, want %d", total, 8*200)
+	}
+}

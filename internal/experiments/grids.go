@@ -1,0 +1,160 @@
+// Package experiments declares the paper's simulation grids — every table
+// and figure that evaluates on the sweep engine — as named constructors in a
+// registry shared by the vpbench CLI and the vpserve HTTP API, so both
+// surfaces are guaranteed to compute the same cells from the same
+// definitions. Closed-form figures (fig2, table3, table4, fig17) have no
+// grid and live only in vpbench's renderers.
+package experiments
+
+import (
+	"vocabpipe/internal/costmodel"
+	"vocabpipe/internal/schedule"
+	"vocabpipe/internal/sim"
+	"vocabpipe/internal/sweep"
+)
+
+// registry lists every grid-backed experiment in vpbench's "all" order.
+var registry = []struct {
+	name string
+	grid func() *sweep.Grid
+}{
+	{"fig1", Fig1Grid},
+	{"table5", Table5Grid},
+	{"table6", Table6Grid},
+	{"blocks", BlocksGrid},
+	{"interlaced-mem", InterlacedMemGrid},
+	{"ablation-b2", AblationB2Grid},
+}
+
+// Grid returns the named experiment's grid constructor.
+func Grid(name string) (func() *sweep.Grid, bool) {
+	for _, e := range registry {
+		if e.name == name {
+			return e.grid, true
+		}
+	}
+	return nil, false
+}
+
+// Names lists the grid-backed experiment names in registry order.
+func Names() []string {
+	names := make([]string, len(registry))
+	for i, e := range registry {
+		names[i] = e.name
+	}
+	return names
+}
+
+// Fig1Grid is the repeating bubble pattern of an imbalanced pipeline: two
+// synthetic 4-stage schedules built directly (no cost model), expressed as
+// custom sweep cells so they evaluate on the same engine as everything else.
+func Fig1Grid() *sweep.Grid {
+	build := func(extraOutputLayer bool) sweep.EvalFunc {
+		return func(sweep.Cell) (*sim.Result, error) {
+			stages := make([]schedule.Stage, 4)
+			for i := range stages {
+				stages[i] = schedule.Stage{F: 1, B: 2, ActBytes: 1}
+			}
+			if extraOutputLayer {
+				stages[3].F += 1
+				stages[3].B += 2
+			}
+			tl, err := schedule.Build(&schedule.Spec{P: 4, M: 8, Chunks: 1, Stages: stages})
+			if err != nil {
+				return nil, err
+			}
+			return &sim.Result{IterTime: tl.Makespan, Timeline: tl}, nil
+		}
+	}
+	return &sweep.Grid{Name: "fig1", KeepTimelines: true, Cells: []sweep.Cell{
+		{Label: "balanced", Eval: build(false)},
+		{Label: "with-output-layer", Eval: build(true)},
+	}}
+}
+
+// Table5Grid is the full 1F1B comparison: 3 models × 2 sequence lengths ×
+// 4 vocabulary sizes × 5 methods = 120 cells.
+func Table5Grid() *sweep.Grid {
+	return &sweep.Grid{
+		Name:    "table5",
+		Configs: costmodel.OneF1BConfigs(),
+		Seqs:    costmodel.SeqLengths,
+		Vocabs:  costmodel.VocabSizes,
+		Methods: sim.OneF1BMethods,
+	}
+}
+
+// Table6Grid is the V-Half comparison: 3 models × 2 sequence lengths ×
+// 4 vocabulary sizes × 2 methods = 48 cells.
+func Table6Grid() *sweep.Grid {
+	return &sweep.Grid{
+		Name:    "table6",
+		Configs: costmodel.VHalfConfigs(),
+		Seqs:    costmodel.SeqLengths,
+		Vocabs:  costmodel.VocabSizes,
+		Methods: sim.VHalfMethods,
+	}
+}
+
+// BlocksList names the schedules of Figs 9, 10, 15 and 16.
+var BlocksList = []struct {
+	Title   string
+	CfgName string
+	M       sim.Method
+}{
+	{"1F1B baseline", "4B", sim.Baseline},
+	{"1F1B + Vocab-1 (Fig 10a: p+2 in-flight)", "4B", sim.Vocab1},
+	{"1F1B + Vocab-2 (Fig 10b: p+1 in-flight)", "4B", sim.Vocab2},
+	{"Interlaced (Fig 15b: ~1.5p in-flight)", "4B", sim.Interlaced},
+	{"V-Half + Vocab-1 (Fig 16)", "7B", sim.VHalfVocab1},
+}
+
+// BlocksCfg is the configuration each blocks schedule renders at.
+func BlocksCfg(cfgName string) costmodel.Config {
+	cfg, _ := costmodel.ConfigByName(cfgName)
+	cfg.NumMicro = 2 * cfg.Devices
+	return cfg.WithVocab(128 * 1024)
+}
+
+// BlocksGrid holds the building blocks / schedules of Figs 9, 10, 15 and 16.
+func BlocksGrid() *sweep.Grid {
+	g := &sweep.Grid{Name: "blocks", KeepTimelines: true}
+	for _, b := range BlocksList {
+		cfg := BlocksCfg(b.CfgName)
+		g.Cells = append(g.Cells, sweep.Cell{Label: sweep.CellLabel(cfg, b.M), Config: cfg, Method: b.M})
+	}
+	return g
+}
+
+// InterlacedMemGrid quantifies Appendix B.1's 1.5x activation memory claim.
+func InterlacedMemGrid() *sweep.Grid {
+	cfg, _ := costmodel.ConfigByName("4B")
+	cfg.NumMicro = 48
+	return &sweep.Grid{Name: "interlaced-mem", Cells: []sweep.Cell{
+		{Label: "1f1b", Config: cfg, Method: sim.Baseline},
+		{Label: "interlaced", Config: cfg, Method: sim.Interlaced},
+	}}
+}
+
+// AblationB2Grid removes the interlaced pipeline's synchronous all-reduces
+// (Appendix B.2).
+func AblationB2Grid() *sweep.Grid {
+	cfg, _ := costmodel.ConfigByName("21B")
+	cfg = cfg.WithVocab(256 * 1024)
+	noSync := func(c sweep.Cell) (*sim.Result, error) {
+		spec, err := sim.BuildSpec(c.Config, c.Method)
+		if err != nil {
+			return nil, err
+		}
+		spec.Interlaced.SyncTime = 0
+		tl, err := schedule.Build(spec)
+		if err != nil {
+			return nil, err
+		}
+		return sim.FromTimeline(c.Config, c.Method, tl), nil
+	}
+	return &sweep.Grid{Name: "ablation-b2", Cells: []sweep.Cell{
+		{Label: "with-sync", Config: cfg, Method: sim.Interlaced},
+		{Label: "no-sync", Config: cfg, Method: sim.Interlaced, Eval: noSync},
+	}}
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRegistry(t *testing.T) {
+	want := []string{"fig1", "table5", "table6", "blocks", "interlaced-mem", "ablation-b2"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Names() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		fn, ok := Grid(name)
+		if !ok {
+			t.Fatalf("Grid(%q) missing", name)
+		}
+		g := fn()
+		if g.Name != name {
+			t.Errorf("grid %q reports Name %q", name, g.Name)
+		}
+		if len(g.Expand()) == 0 {
+			t.Errorf("grid %q expands to no cells", name)
+		}
+	}
+	if _, ok := Grid("fig2"); ok {
+		t.Error("fig2 is closed-form and must not be in the grid registry")
+	}
+}
+
+// TestGridShapes pins the paper's cell counts so a registry edit cannot
+// silently shrink a table.
+func TestGridShapes(t *testing.T) {
+	for _, tt := range []struct {
+		name  string
+		cells int
+	}{
+		{"table5", 120}, // 3 models × 2 seqs × 4 vocabs × 5 methods
+		{"table6", 48},  // 3 models × 2 seqs × 4 vocabs × 2 methods
+		{"fig1", 2},
+		{"blocks", 5},
+		{"interlaced-mem", 2},
+		{"ablation-b2", 2},
+	} {
+		fn, _ := Grid(tt.name)
+		if got := len(fn().Expand()); got != tt.cells {
+			t.Errorf("%s: %d cells, want %d", tt.name, got, tt.cells)
+		}
+	}
+}

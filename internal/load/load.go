@@ -1,0 +1,172 @@
+// Package load is the built-in load-test harness for vpserve: a k6-style
+// closed-loop generator that drives a fixed number of concurrent workers
+// against one URL for a duration and reports throughput (req/s), latency
+// percentiles (p50/p90/p99) and error counts. Combined with the server's
+// /healthz cache counters it turns "the service is fast" into a measured
+// claim — `vpserve -selftest` and the CI smoke step run it, and the perf
+// suite records the numbers in BENCH files.
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// Options tunes a load run.
+type Options struct {
+	// Concurrency is the worker count (default 4). Each worker issues
+	// requests back to back (closed loop: a new request starts only when the
+	// previous one finished).
+	Concurrency int
+	// Duration is how long to drive load (default 2s).
+	Duration time.Duration
+	// Client is the HTTP client to use (default http.DefaultClient).
+	Client *http.Client
+}
+
+// Report is the measured outcome of a load run.
+type Report struct {
+	URL         string  `json:"url"`
+	Concurrency int     `json:"concurrency"`
+	DurationS   float64 `json:"duration_s"`
+	Requests    int     `json:"requests"`
+	// Errors counts transport failures; NonOK counts non-200 responses.
+	Errors    int     `json:"errors"`
+	NonOK     int     `json:"non_ok"`
+	ReqPerSec float64 `json:"req_per_sec"`
+	P50Ms     float64 `json:"p50_ms"`
+	P90Ms     float64 `json:"p90_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MaxMs     float64 `json:"max_ms"`
+	BytesRead int64   `json:"bytes_read"`
+	// CacheHitRatePct is filled by callers that can see the server's cache
+	// counters (e.g. from /healthz deltas); negative means unknown.
+	CacheHitRatePct float64 `json:"cache_hit_rate_pct"`
+}
+
+// worker accumulates one goroutine's observations, merged after the run so
+// the hot loop takes no locks.
+type worker struct {
+	latencies []time.Duration
+	errors    int
+	nonOK     int
+	bytes     int64
+}
+
+// Run drives Options.Concurrency workers against url until Options.Duration
+// elapses (or ctx is cancelled) and returns the merged report.
+func Run(ctx context.Context, url string, opt Options) (*Report, error) {
+	if opt.Concurrency <= 0 {
+		opt.Concurrency = 4
+	}
+	if opt.Duration <= 0 {
+		opt.Duration = 2 * time.Second
+	}
+	client := opt.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, opt.Duration)
+	defer cancel()
+
+	workers := make([]worker, opt.Concurrency)
+	done := make(chan int, opt.Concurrency)
+	start := time.Now()
+	for i := 0; i < opt.Concurrency; i++ {
+		go func(w *worker) {
+			defer func() { done <- 1 }()
+			for ctx.Err() == nil {
+				t0 := time.Now()
+				req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+				if err != nil {
+					w.errors++
+					return
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					// A deadline hit mid-request is the normal end of the
+					// run, not a measured failure.
+					if ctx.Err() != nil {
+						return
+					}
+					w.errors++
+					continue
+				}
+				n, _ := io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				w.bytes += n
+				if resp.StatusCode != http.StatusOK {
+					w.nonOK++
+				}
+				w.latencies = append(w.latencies, time.Since(t0))
+			}
+		}(&workers[i])
+	}
+	for i := 0; i < opt.Concurrency; i++ {
+		<-done
+	}
+	elapsed := time.Since(start)
+
+	rep := &Report{
+		URL:             url,
+		Concurrency:     opt.Concurrency,
+		DurationS:       elapsed.Seconds(),
+		CacheHitRatePct: -1,
+	}
+	var all []time.Duration
+	for i := range workers {
+		all = append(all, workers[i].latencies...)
+		rep.Errors += workers[i].errors
+		rep.NonOK += workers[i].nonOK
+		rep.BytesRead += workers[i].bytes
+	}
+	rep.Requests = len(all)
+	if elapsed > 0 {
+		rep.ReqPerSec = float64(rep.Requests) / elapsed.Seconds()
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		rep.P50Ms = ms(percentile(all, 0.50))
+		rep.P90Ms = ms(percentile(all, 0.90))
+		rep.P99Ms = ms(percentile(all, 0.99))
+		rep.MaxMs = ms(all[len(all)-1])
+	}
+	return rep, nil
+}
+
+// percentile returns the q-quantile of a sorted latency slice (nearest-rank).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// WriteJSON emits the report as indented JSON (the machine-readable form the
+// CI smoke step archives).
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Summary is the one-glance human rendering.
+func (r *Report) Summary() string {
+	hit := "n/a"
+	if r.CacheHitRatePct >= 0 {
+		hit = fmt.Sprintf("%.1f%%", r.CacheHitRatePct)
+	}
+	return fmt.Sprintf(
+		"%d req in %.2fs (%d workers): %.0f req/s, p50 %.2fms p90 %.2fms p99 %.2fms max %.2fms, errors %d, non-200 %d, cache hit %s",
+		r.Requests, r.DurationS, r.Concurrency, r.ReqPerSec,
+		r.P50Ms, r.P90Ms, r.P99Ms, r.MaxMs, r.Errors, r.NonOK, hit)
+}

@@ -1,0 +1,112 @@
+package load
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunCountsRequests(t *testing.T) {
+	var served atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.Write([]byte(`[]`))
+	}))
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), ts.URL, Options{Concurrency: 4, Duration: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	// Every measured request was actually served (the server may have seen a
+	// few extra that were cut off at the deadline).
+	if got := served.Load(); got < int64(rep.Requests) {
+		t.Errorf("server saw %d requests, report claims %d", got, rep.Requests)
+	}
+	if rep.Errors != 0 || rep.NonOK != 0 {
+		t.Errorf("errors = %d, nonOK = %d, want 0", rep.Errors, rep.NonOK)
+	}
+	if rep.ReqPerSec <= 0 {
+		t.Errorf("ReqPerSec = %v", rep.ReqPerSec)
+	}
+	if rep.BytesRead < int64(rep.Requests)*2 {
+		t.Errorf("BytesRead = %d for %d requests", rep.BytesRead, rep.Requests)
+	}
+	if rep.P50Ms <= 0 || rep.P50Ms > rep.P90Ms || rep.P90Ms > rep.P99Ms || rep.P99Ms > rep.MaxMs {
+		t.Errorf("percentiles not monotone: p50 %v p90 %v p99 %v max %v",
+			rep.P50Ms, rep.P90Ms, rep.P99Ms, rep.MaxMs)
+	}
+	if rep.CacheHitRatePct != -1 {
+		t.Errorf("CacheHitRatePct = %v, want -1 (unknown) by default", rep.CacheHitRatePct)
+	}
+}
+
+func TestRunCountsNonOK(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), ts.URL, Options{Concurrency: 2, Duration: 80 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.NonOK != rep.Requests {
+		t.Errorf("NonOK = %d of %d requests, want all", rep.NonOK, rep.Requests)
+	}
+}
+
+func TestRunCountsTransportErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ts.Close() // refuse every connection
+
+	rep, err := Run(context.Background(), ts.URL, Options{Concurrency: 2, Duration: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors == 0 {
+		t.Error("connection refusals were not counted as errors")
+	}
+	if rep.Requests != 0 {
+		t.Errorf("Requests = %d, want 0", rep.Requests)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	rep := &Report{Requests: 10, DurationS: 1, Concurrency: 2, ReqPerSec: 10,
+		P50Ms: 1, P90Ms: 2, P99Ms: 3, MaxMs: 4, CacheHitRatePct: 87.5}
+	if s := rep.Summary(); !strings.Contains(s, "10 req/s") || !strings.Contains(s, "87.5%") {
+		t.Errorf("Summary() = %q", s)
+	}
+	rep.CacheHitRatePct = -1
+	if s := rep.Summary(); !strings.Contains(s, "cache hit n/a") {
+		t.Errorf("Summary() = %q", s)
+	}
+	var b strings.Builder
+	if err := rep.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"req_per_sec": 10`) {
+		t.Errorf("WriteJSON = %s", b.String())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	d := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(d, 0.5); got != 6 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := percentile(d, 0.99); got != 10 {
+		t.Errorf("p99 = %v", got)
+	}
+	if got := percentile(d[:1], 0.99); got != 1 {
+		t.Errorf("single sample p99 = %v", got)
+	}
+}

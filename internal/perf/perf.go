@@ -25,6 +25,10 @@ type Case struct {
 	Name  string
 	Cells int
 	Run   func(n int)
+	// Finish, when non-nil, observes the measured case once after timing
+	// completes — server cases use it to attach req/s and cache-hit rate and
+	// to tear down their listener.
+	Finish func(bc *report.BenchCase)
 }
 
 // Options tunes a suite run.
@@ -94,6 +98,9 @@ func measure(c Case, opt Options) report.BenchCase {
 				if elapsed > 0 {
 					bc.CellsPerSec = float64(c.Cells) * float64(n) / elapsed.Seconds()
 				}
+			}
+			if c.Finish != nil {
+				c.Finish(&bc)
 			}
 			return bc
 		}

@@ -202,6 +202,13 @@ func TestSuiteQuickRun(t *testing.T) {
 	if t6 == nil || t6.Cells != 48 {
 		t.Errorf("table6 grid case: %+v", t6)
 	}
+	// The serving-layer case must report throughput and a warmed cache: the
+	// warmup plus measured requests hit one key, so only the first lookup
+	// missed.
+	sv := r.Case("server/sweep-cached")
+	if sv == nil || sv.ReqPerSec <= 0 || sv.CacheHitPct < 50 {
+		t.Errorf("server throughput case: %+v", sv)
+	}
 	// The event-driven engine must beat the reference scan engine on the
 	// largest config — the tentpole's raison d'être. Quick mode is noisy,
 	// so only require parity-or-better rather than the full ~10x.

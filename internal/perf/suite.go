@@ -2,9 +2,16 @@ package perf
 
 import (
 	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
 
 	"vocabpipe/internal/costmodel"
+	"vocabpipe/internal/experiments"
+	"vocabpipe/internal/report"
 	"vocabpipe/internal/schedule"
+	"vocabpipe/internal/server"
 	"vocabpipe/internal/sim"
 	"vocabpipe/internal/sweep"
 )
@@ -16,8 +23,12 @@ import (
 //     (seq 4096, 256k vocabulary);
 //   - engine/scan/<cell>: the scan-based reference engine on the largest
 //     1F1B config, so every BENCH file also records the heap/scan ratio;
-//   - sweep/table5 and sweep/table6: full paper grids through the
-//     concurrent sweep engine, measured as cells/sec.
+//   - sweep/table5 and sweep/table6: full paper grids (the same constructors
+//     vpbench and vpserve use) through the concurrent sweep engine, measured
+//     as cells/sec;
+//   - server/sweep-cached: the vpserve HTTP serving path on a warmed cache
+//     (one real loopback request per op), measured as req/s with the cache
+//     hit rate attached.
 func Suite() []Case {
 	var cases []Case
 
@@ -35,20 +46,9 @@ func Suite() []Case {
 	cases = append(cases, engineCase("engine/heap", vhalf, sim.VHalfVocab1, schedule.Build))
 
 	cases = append(cases,
-		gridCase("sweep/table5", &sweep.Grid{
-			Name:    "table5",
-			Configs: costmodel.OneF1BConfigs(),
-			Seqs:    costmodel.SeqLengths,
-			Vocabs:  costmodel.VocabSizes,
-			Methods: sim.OneF1BMethods,
-		}),
-		gridCase("sweep/table6", &sweep.Grid{
-			Name:    "table6",
-			Configs: costmodel.VHalfConfigs(),
-			Seqs:    costmodel.SeqLengths,
-			Vocabs:  costmodel.VocabSizes,
-			Methods: sim.VHalfMethods,
-		}),
+		gridCase("sweep/table5", experiments.Table5Grid()),
+		gridCase("sweep/table6", experiments.Table6Grid()),
+		serverCase(),
 	)
 	return cases
 }
@@ -68,6 +68,54 @@ func engineCase(prefix string, cfg costmodel.Config, m sim.Method,
 				if _, err := build(spec); err != nil {
 					panic(fmt.Sprintf("perf: %s: %v", spec.Describe(), err))
 				}
+			}
+		},
+	}
+}
+
+// serverCase measures the vpserve serving path end to end: a loopback HTTP
+// server, a small grid, one GET per op. The warmup request primes the result
+// cache, so the measured ops are the steady-state cache-hit path a repeated
+// production query sees; ns/op inverts into req/s at concurrency 1.
+func serverCase() Case {
+	const grid = "model=4B;method=baseline,vocab-1;vocab=32k;micro=16"
+	srv := server.New(server.Options{CacheSize: 16, Parallel: 1})
+	// The listener binds lazily on the warmup iteration, not in Suite():
+	// enumerating cases must stay side-effect free.
+	var (
+		once   sync.Once
+		target string
+		stop   func()
+	)
+	return Case{
+		Name: "server/sweep-cached",
+		Run: func(n int) {
+			once.Do(func() {
+				baseURL, st, err := server.StartLocal(srv)
+				if err != nil {
+					panic(fmt.Sprintf("perf: server case: %v", err))
+				}
+				target, stop = baseURL+"/api/sweep?grid="+url.QueryEscape(grid), st
+			})
+			for i := 0; i < n; i++ {
+				resp, err := http.Get(target)
+				if err != nil {
+					panic(fmt.Sprintf("perf: server case: %v", err))
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					panic(fmt.Sprintf("perf: server case: HTTP %d", resp.StatusCode))
+				}
+			}
+		},
+		Finish: func(bc *report.BenchCase) {
+			if bc.NsPerOp > 0 {
+				bc.ReqPerSec = 1e9 / bc.NsPerOp
+			}
+			bc.CacheHitPct = srv.CacheStats().HitRatePct()
+			if stop != nil {
+				stop()
 			}
 		},
 	}

@@ -24,6 +24,12 @@ type BenchCase struct {
 	// per op and the resulting grid throughput.
 	Cells       int     `json:"cells,omitempty"`
 	CellsPerSec float64 `json:"cells_per_sec,omitempty"`
+	// ReqPerSec and CacheHitPct are set for server-throughput cases: HTTP
+	// requests served per second (one request per op) and the result-cache
+	// hit rate over the measured run. Optional fields added within schema
+	// version 1 — older BENCH files simply lack them.
+	ReqPerSec   float64 `json:"req_per_sec,omitempty"`
+	CacheHitPct float64 `json:"cache_hit_pct,omitempty"`
 }
 
 // BenchReport is a schema-versioned perf run: environment provenance plus

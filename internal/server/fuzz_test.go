@@ -1,0 +1,84 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"vocabpipe/internal/sweep"
+)
+
+// FuzzGridQuery drives arbitrary grid specs down the HTTP query →
+// sweep.ParseGrid path. Invariants: the parser never panics; a spec that
+// fails to parse surfaces as a 400 with a JSON error body (never a 500 or a
+// hang); a spec that parses yields a stable canonical Key across repeated
+// parses (the property the result cache depends on). The accept path stops
+// at the size guards rather than running simulations, so the fuzzer stays
+// fast.
+func FuzzGridQuery(f *testing.F) {
+	f.Add("model=4B;method=baseline,vocab-1;vocab=32k;micro=16")
+	f.Add("model=4B,10B;seq=2048,4096;vocab=32k,256k;method=1f1b")
+	f.Add("model=7B;method=vhalf")
+	f.Add("model=4B;devices=7;method=baseline")
+	f.Add("model=")
+	f.Add(";;;")
+	f.Add("model=4B;model=4B")
+	f.Add("model=4B;micro=0")
+	f.Add("vocab=32k")
+	f.Add("model=4B;seq=¼")
+	f.Add("grid=model%3D4B")
+	f.Add(strings.Repeat("model=4B;", 40))
+
+	// MaxCells 0 rejects every parseable grid before simulation: the fuzzer
+	// exercises parsing, canonicalization and the error path, not the sweep.
+	s := New(Options{MaxCells: 1})
+	s.opt.MaxCells = 0 // below any real grid; bypasses the >0 default
+	h := s.Handler()
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		g, parseErr := sweep.ParseGrid(spec)
+
+		req := httptest.NewRequest(http.MethodGet, "/api/sweep?grid="+url.QueryEscape(spec), nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req) // must not panic
+
+		if parseErr != nil || spec == "" {
+			// Empty spec reads as a missing parameter; both are client errors.
+			if rec.Code != http.StatusBadRequest {
+				t.Fatalf("spec %q: parse err %v but HTTP %d", spec, parseErr, rec.Code)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+				t.Fatalf("spec %q: 400 without JSON error body: %v (%s)", spec, err, rec.Body.Bytes())
+			}
+			return
+		}
+
+		// Parse succeeded: the canonical key must round-trip — identical on a
+		// second parse, never empty, and covering every expanded cell.
+		g2, err := sweep.ParseGrid(spec)
+		if err != nil {
+			t.Fatalf("spec %q: second parse failed: %v", spec, err)
+		}
+		k1, k2 := g.Key(), g2.Key()
+		if k1 != k2 {
+			t.Fatalf("spec %q: Key not deterministic:\n%q\n%q", spec, k1, k2)
+		}
+		if k1 == "" {
+			t.Fatalf("spec %q: empty canonical key", spec)
+		}
+		if cells := g.Expand(); strings.Count(k1, "|") != len(cells) {
+			t.Fatalf("spec %q: key %q does not cover all %d cells", spec, k1, len(cells))
+		}
+		// With MaxCells forced to 0 the handler must reject even valid specs
+		// at the size guard — still a clean JSON 400.
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("spec %q: want size-guard 400, got %d", spec, rec.Code)
+		}
+	})
+}

@@ -1,0 +1,258 @@
+// Package server is the vpserve HTTP API: the sweep engine exposed as a
+// queryable service. Every endpoint returns the same JSON records
+// internal/report emits for `vpbench -json` — byte-identical, so a client
+// cannot tell whether a result came from the CLI or the service — backed by
+// a sharded LRU cache with in-flight request deduplication (internal/cache),
+// so a thundering herd on one grid computes it once.
+//
+// Endpoints:
+//
+//	GET /healthz                   liveness + uptime + cache statistics
+//	GET /api/sweep?grid=SPEC       user-defined grid (sweep.ParseGrid syntax)
+//	GET /api/schedule?config=4B&method=vocab-1[&seq=..&vocab=..&micro=..&devices=..]
+//	                               a single (config, method) cell
+//	GET /api/experiments/{name}    a named paper grid (internal/experiments)
+//
+// Errors are JSON bodies {"error": "..."} with 4xx status; per-cell
+// simulation failures are not transport errors — they appear as error
+// records inside a 200 response, exactly as vpbench reports them.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"vocabpipe/internal/cache"
+	"vocabpipe/internal/costmodel"
+	"vocabpipe/internal/experiments"
+	"vocabpipe/internal/report"
+	"vocabpipe/internal/sim"
+	"vocabpipe/internal/sweep"
+)
+
+// Options tunes a Server.
+type Options struct {
+	// CacheSize is the total cached grid count (default 256).
+	CacheSize int
+	// Parallel is the sweep worker count per computed grid (default
+	// GOMAXPROCS, the sweep engine's own default).
+	Parallel int
+	// MaxCells rejects grids that expand past this many cells with 400
+	// (default 4096) — the serving layer's oversized-request guard.
+	MaxCells int
+	// MaxMicro and MaxDevices bound the per-cell schedule size a request may
+	// ask for (defaults 4096 and 1024): cells × microbatches × devices is
+	// the real work a request buys, and cell count alone does not cap it.
+	MaxMicro   int
+	MaxDevices int
+}
+
+// Server holds the handler state. Construct with New.
+type Server struct {
+	opt      Options
+	cache    *cache.Cache[[]report.Record]
+	start    time.Time
+	requests atomic.Int64
+}
+
+// New returns a Server with defaults applied.
+func New(opt Options) *Server {
+	if opt.CacheSize <= 0 {
+		opt.CacheSize = 256
+	}
+	if opt.MaxCells <= 0 {
+		opt.MaxCells = 4096
+	}
+	if opt.MaxMicro <= 0 {
+		opt.MaxMicro = 4096
+	}
+	if opt.MaxDevices <= 0 {
+		opt.MaxDevices = 1024
+	}
+	return &Server{
+		opt:   opt,
+		cache: cache.New[[]report.Record](opt.CacheSize),
+		start: time.Now(),
+	}
+}
+
+// Handler returns the routing handler for the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /api/sweep", s.handleSweep)
+	mux.HandleFunc("GET /api/schedule", s.handleSchedule)
+	mux.HandleFunc("GET /api/experiments/{name}", s.handleExperiment)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// CacheStats snapshots the result cache counters (exported for the load
+// harness and the perf suite).
+func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
+
+// Health is the /healthz response body.
+type Health struct {
+	Status   string      `json:"status"`
+	UptimeS  float64     `json:"uptime_s"`
+	Requests int64       `json:"requests"`
+	Cache    cache.Stats `json:"cache"`
+	// CacheHitRatePct duplicates Cache's derived rate so scrapers need no
+	// arithmetic.
+	CacheHitRatePct float64 `json:"cache_hit_rate_pct"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.cache.Stats()
+	h := Health{
+		Status:          "ok",
+		UptimeS:         time.Since(s.start).Seconds(),
+		Requests:        s.requests.Load(),
+		Cache:           st,
+		CacheHitRatePct: st.HitRatePct(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(h)
+}
+
+// writeError emits the JSON error body every failing endpoint uses.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// checkGrid applies the serving-layer size guards to a parsed grid,
+// returning a non-empty reason when the request must be rejected.
+func (s *Server) checkGrid(g *sweep.Grid) string {
+	cells := g.Expand()
+	if len(cells) > s.opt.MaxCells {
+		return fmt.Sprintf("grid expands to %d cells, limit %d", len(cells), s.opt.MaxCells)
+	}
+	for i := range cells {
+		if m := cells[i].Config.NumMicro; m > s.opt.MaxMicro {
+			return fmt.Sprintf("cell %q asks for %d microbatches, limit %d", cells[i].Label, m, s.opt.MaxMicro)
+		}
+		if d := cells[i].Config.Devices; d > s.opt.MaxDevices {
+			return fmt.Sprintf("cell %q asks for %d devices, limit %d", cells[i].Label, d, s.opt.MaxDevices)
+		}
+	}
+	return ""
+}
+
+// respond computes (or recalls) the grid's records and writes them exactly
+// as `vpbench -json` would. The cache key carries a route prefix so two
+// routes can never alias each other's entries.
+func (s *Server) respond(w http.ResponseWriter, route string, g *sweep.Grid) {
+	key := route + "|" + g.Key()
+	recs, outcome, err := s.cache.Do(key, func() ([]report.Record, error) {
+		res := sweep.Run(g, sweep.Options{Parallel: s.opt.Parallel})
+		return res.Records(), nil
+	})
+	if err != nil {
+		// The compute function above never fails; keep the branch so a future
+		// fallible compute cannot silently emit a half-result.
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", outcomeHeader(outcome))
+	report.WriteJSON(w, recs)
+}
+
+func outcomeHeader(o cache.Outcome) string {
+	switch o {
+	case cache.Hit:
+		return "hit"
+	case cache.Deduped:
+		return "deduped"
+	default:
+		return "miss"
+	}
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	spec := r.URL.Query().Get("grid")
+	if spec == "" {
+		writeError(w, http.StatusBadRequest, "missing required query parameter %q (sweep.ParseGrid syntax, e.g. grid=model=4B;method=1f1b)", "grid")
+		return
+	}
+	g, err := sweep.ParseGrid(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if reason := s.checkGrid(g); reason != "" {
+		writeError(w, http.StatusBadRequest, "%s", reason)
+		return
+	}
+	s.respond(w, "sweep", g)
+}
+
+// handleSchedule serves one (config, method) cell with optional seq, vocab,
+// micro and devices overrides — the single-schedule view of the same engine.
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	cfgName := q.Get("config")
+	methodName := q.Get("method")
+	if cfgName == "" || methodName == "" {
+		writeError(w, http.StatusBadRequest, "config and method query parameters are required")
+		return
+	}
+	cfg, ok := costmodel.ConfigByName(cfgName)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "unknown config %q (want 4B, 10B, 21B, 7B, 16B or 30B)", cfgName)
+		return
+	}
+	m, ok := sim.MethodByName(methodName)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "unknown method %q (want one of %v)", methodName, sim.AllMethods)
+		return
+	}
+	for _, p := range []struct {
+		name  string
+		apply func(int)
+	}{
+		{"seq", func(v int) { cfg = cfg.WithSeq(v) }},
+		{"vocab", func(v int) { cfg = cfg.WithVocab(v) }},
+		{"micro", func(v int) { cfg.NumMicro = v }},
+		{"devices", func(v int) { cfg.Devices = v }},
+	} {
+		raw := q.Get(p.name)
+		if raw == "" {
+			continue
+		}
+		v, err := strconv.Atoi(raw)
+		if err != nil || v <= 0 {
+			writeError(w, http.StatusBadRequest, "bad %s %q (want a positive integer)", p.name, raw)
+			return
+		}
+		p.apply(v)
+	}
+	g := &sweep.Grid{Name: "schedule", Configs: []costmodel.Config{cfg}, Methods: []sim.Method{m}}
+	if reason := s.checkGrid(g); reason != "" {
+		writeError(w, http.StatusBadRequest, "%s", reason)
+		return
+	}
+	s.respond(w, "schedule", g)
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	gridFn, ok := experiments.Grid(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown experiment %q (grid-backed experiments: %s)",
+			name, strings.Join(experiments.Names(), ", "))
+		return
+	}
+	s.respond(w, "experiment", gridFn())
+}

@@ -1,0 +1,385 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+
+	"vocabpipe/internal/report"
+	"vocabpipe/internal/sweep"
+)
+
+// smallGrid is a 2-cell spec cheap enough to sweep in every test.
+const smallGrid = "model=4B;method=baseline,vocab-1;vocab=32k;micro=16"
+
+func newTestServer(t *testing.T, opt Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(opt)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// get fetches path and returns status + body.
+func get(t *testing.T, ts *httptest.Server, path string) (int, []byte, http.Header) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	return resp.StatusCode, body, resp.Header
+}
+
+// wantJSONError asserts a 4xx response carries the {"error": ...} body with
+// the expected fragment.
+func wantJSONError(t *testing.T, status int, body []byte, wantStatus int, fragment string) {
+	t.Helper()
+	if status != wantStatus {
+		t.Fatalf("status = %d, want %d (body %s)", status, wantStatus, body)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("error body is not JSON: %v (%s)", err, body)
+	}
+	if e.Error == "" || !strings.Contains(e.Error, fragment) {
+		t.Errorf("error = %q, want it to contain %q", e.Error, fragment)
+	}
+}
+
+func sweepPath(spec string) string {
+	return "/api/sweep?grid=" + url.QueryEscape(spec)
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	status, body, hdr := get(t, ts, "/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var h Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatalf("bad health body: %v (%s)", err, body)
+	}
+	if h.Status != "ok" || h.Requests < 1 {
+		t.Errorf("health = %+v", h)
+	}
+}
+
+// TestSweepEndpoint proves the happy path emits exactly the records the
+// sweep engine computes, byte-identical to `vpbench -json` serialization.
+func TestSweepEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	status, body, hdr := get(t, ts, sweepPath(smallGrid))
+	if status != http.StatusOK {
+		t.Fatalf("status = %d (body %s)", status, body)
+	}
+	if got := hdr.Get("X-Cache"); got != "miss" {
+		t.Errorf("first request X-Cache = %q, want miss", got)
+	}
+
+	g, err := sweep.ParseGrid(smallGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	if err := report.WriteJSON(&want, sweep.Run(g, sweep.Options{}).Records()); err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != want.String() {
+		t.Errorf("response is not byte-identical to vpbench -json records:\ngot  %s\nwant %s", body, want.String())
+	}
+
+	// Second identical request is a cache hit with the same bytes.
+	status, body2, hdr := get(t, ts, sweepPath(smallGrid))
+	if status != http.StatusOK || hdr.Get("X-Cache") != "hit" {
+		t.Fatalf("second request: status %d, X-Cache %q, want 200 hit", status, hdr.Get("X-Cache"))
+	}
+	if string(body2) != string(body) {
+		t.Error("cache hit returned different bytes")
+	}
+	if st := s.CacheStats(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("cache stats = %+v, want 1 hit 1 miss", st)
+	}
+}
+
+// TestSweepCanonicalKeyAliases proves two spellings of the same grid share
+// one cache entry ("vocab=32k" vs "vocab=32768").
+func TestSweepCanonicalKeyAliases(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	if status, body, _ := get(t, ts, sweepPath("model=4B;method=baseline;vocab=32k;micro=16")); status != 200 {
+		t.Fatalf("status %d (%s)", status, body)
+	}
+	_, _, hdr := get(t, ts, sweepPath("model=4B;method=baseline;vocab=32768;micro=16"))
+	if got := hdr.Get("X-Cache"); got != "hit" {
+		t.Errorf("alias spelling X-Cache = %q, want hit", got)
+	}
+	if st := s.CacheStats(); st.Entries != 1 {
+		t.Errorf("entries = %d, want 1", st.Entries)
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	tests := []struct {
+		name       string
+		path       string
+		wantStatus int
+		fragment   string
+	}{
+		{"missing grid param", "/api/sweep", http.StatusBadRequest, "missing required query parameter"},
+		{"malformed clause", sweepPath("model4B"), http.StatusBadRequest, "not key=value"},
+		{"unknown model", sweepPath("model=900B"), http.StatusBadRequest, "unknown model"},
+		{"unknown key", sweepPath("model=4B;flux=9"), http.StatusBadRequest, "unknown grid key"},
+		{"no model", sweepPath("seq=2048"), http.StatusBadRequest, "needs at least one model"},
+		{"oversized microbatch", sweepPath("model=4B;method=baseline;micro=1000000"), http.StatusBadRequest, "microbatches, limit"},
+		{"oversized devices", sweepPath("model=4B;method=baseline;devices=100000"), http.StatusBadRequest, "devices, limit"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			status, body, _ := get(t, ts, tt.path)
+			wantJSONError(t, status, body, tt.wantStatus, tt.fragment)
+		})
+	}
+}
+
+// TestOversizedGrid proves the cell-count guard rejects big cross products
+// with a JSON 400 before any simulation runs.
+func TestOversizedGrid(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxCells: 4})
+	// 2 vocabs × 5 methods = 10 cells > 4.
+	status, body, _ := get(t, ts, sweepPath("model=4B;vocab=32k,64k;method=1f1b"))
+	wantJSONError(t, status, body, http.StatusBadRequest, "limit 4")
+}
+
+func TestScheduleEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	status, body, _ := get(t, ts, "/api/schedule?config=4B&method=vocab-1&vocab=32768&micro=16")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d (%s)", status, body)
+	}
+	var recs []report.Record
+	if err := json.Unmarshal(body, &recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Model != "4B" || r.Method != "vocab-1" || r.Vocab != 32768 || r.NumMicro != 16 {
+		t.Errorf("record = %+v", r)
+	}
+	if r.Error != "" || r.IterTimeS <= 0 || r.MFUPct <= 0 {
+		t.Errorf("record metrics = %+v", r)
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	tests := []struct {
+		name       string
+		path       string
+		wantStatus int
+		fragment   string
+	}{
+		{"missing params", "/api/schedule", http.StatusBadRequest, "required"},
+		{"unknown config", "/api/schedule?config=2T&method=baseline", http.StatusBadRequest, "unknown config"},
+		{"unknown method", "/api/schedule?config=4B&method=warp", http.StatusBadRequest, "unknown method"},
+		{"bad seq", "/api/schedule?config=4B&method=baseline&seq=-2", http.StatusBadRequest, "bad seq"},
+		{"bad micro", "/api/schedule?config=4B&method=baseline&micro=zz", http.StatusBadRequest, "bad micro"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			status, body, _ := get(t, ts, tt.path)
+			wantJSONError(t, status, body, tt.wantStatus, tt.fragment)
+		})
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	status, body, _ := get(t, ts, "/api/experiments/table99")
+	wantJSONError(t, status, body, http.StatusNotFound, "unknown experiment")
+	// The error names the valid experiments so the client can self-correct.
+	if !strings.Contains(string(body), "table5") {
+		t.Errorf("error body should list valid names: %s", body)
+	}
+}
+
+// TestThunderingHerd fires concurrent identical requests at a cold key and
+// proves the sweep computed once: 1 miss, everyone else a hit or coalesced
+// dedup. Run under -race this also proves the serving path is race-clean.
+func TestThunderingHerd(t *testing.T) {
+	s, ts := newTestServer(t, Options{Parallel: 2})
+	const herd = 16
+	var wg sync.WaitGroup
+	bodies := make([]string, herd)
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, body, _ := get(t, ts, sweepPath(smallGrid))
+			if status != http.StatusOK {
+				t.Errorf("status = %d", status)
+			}
+			bodies[i] = string(body)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < herd; i++ {
+		if bodies[i] != bodies[0] {
+			t.Fatalf("request %d saw different bytes", i)
+		}
+	}
+	st := s.CacheStats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (thundering herd must compute once)", st.Misses)
+	}
+	if st.Hits+st.Deduped != herd-1 {
+		t.Errorf("stats = %+v, want %d coalesced/hit", st, herd-1)
+	}
+}
+
+// TestCellErrorsAre200 pins the contract that per-cell simulation failures
+// are payload, not transport errors — matching vpbench's error records.
+func TestCellErrorsAre200(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	status, body, _ := get(t, ts, sweepPath("model=4B;method=baseline;devices=7")) // 32 % 7 != 0
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200 with error records", status)
+	}
+	var recs []report.Record
+	if err := json.Unmarshal(body, &recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || !strings.Contains(recs[0].Error, "not divisible") {
+		t.Errorf("records = %+v, want one error record", recs)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, err := http.Post(ts.URL+"/api/sweep", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestExperimentEndpoints sweeps every registered experiment once and
+// checks each yields decodable, non-empty records.
+func TestExperimentEndpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment grids in -short mode")
+	}
+	_, ts := newTestServer(t, Options{})
+	for _, name := range []string{"fig1", "blocks", "interlaced-mem", "ablation-b2"} {
+		t.Run(name, func(t *testing.T) {
+			status, body, _ := get(t, ts, "/api/experiments/"+name)
+			if status != http.StatusOK {
+				t.Fatalf("status = %d (%s)", status, body)
+			}
+			var recs []report.Record
+			if err := json.Unmarshal(body, &recs); err != nil {
+				t.Fatal(err)
+			}
+			if len(recs) == 0 {
+				t.Error("no records")
+			}
+			for _, r := range recs {
+				if r.Experiment != name {
+					t.Errorf("record experiment = %q, want %q", r.Experiment, name)
+				}
+			}
+		})
+	}
+}
+
+func TestGridKeyDeterministic(t *testing.T) {
+	g1, err := sweep.ParseGrid(smallGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := sweep.ParseGrid(smallGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Key() != g2.Key() {
+		t.Errorf("Key() differs across parses:\n%s\n%s", g1.Key(), g2.Key())
+	}
+	if g1.Key() == "" || !strings.Contains(g1.Key(), "4B/seq2048/V32k/baseline") {
+		t.Errorf("Key() = %q", g1.Key())
+	}
+	// Different microbatch count must produce a different key even though
+	// the cell labels are identical.
+	g3, err := sweep.ParseGrid("model=4B;method=baseline,vocab-1;vocab=32k;micro=32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.Key() == g1.Key() {
+		t.Error("Key() ignores the microbatch override")
+	}
+	// Vocab sizes inside the same 1 KiB bucket share a cell label ("V32k")
+	// but are different experiments — they must not share a cache key.
+	g4, err := sweep.ParseGrid("model=4B;method=baseline,vocab-1;vocab=33000;micro=16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g4.Key() == g1.Key() {
+		t.Error("Key() collides for vocab 32768 vs 33000 (label truncates to V32k)")
+	}
+}
+
+func TestStartLocal(t *testing.T) {
+	s := New(Options{})
+	baseURL, stop, err := StartLocal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get(baseURL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status = %d", resp.StatusCode)
+	}
+}
+
+func BenchmarkSweepCached(b *testing.B) {
+	s := New(Options{})
+	h := s.Handler()
+	req := httptest.NewRequest(http.MethodGet, sweepPath(smallGrid), nil)
+	// Warm the cache so the loop measures the hit path.
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+	if b.N > 0 {
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	}
+}

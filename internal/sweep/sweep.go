@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strings"
 	"sync"
 
 	"vocabpipe/internal/costmodel"
@@ -107,6 +108,22 @@ func (g *Grid) Expand() []Cell {
 // CellLabel is the canonical label for an axes-expanded cell.
 func CellLabel(cfg costmodel.Config, m sim.Method) string {
 	return fmt.Sprintf("%s/seq%d/V%dk/%s", cfg.Name, cfg.Seq, cfg.Vocab/1024, m)
+}
+
+// Key returns a canonical identity string for the grid: the expansion-order
+// cell labels plus the per-cell device, microbatch and exact vocabulary
+// counts (the label truncates vocab to 1 KiB granularity and omits the
+// rest). Two specs that expand to the same cells get the same key no matter
+// how they were written ("vocab=64k" vs "vocab=65536") and specs that
+// differ in any axis get different keys, which makes Key the cache key for
+// result caching and request deduplication in serving layers.
+func (g *Grid) Key() string {
+	var b strings.Builder
+	b.WriteString(g.Name)
+	for _, c := range g.Expand() {
+		fmt.Fprintf(&b, "|%s;d%d;m%d;v%d", c.Label, c.Config.Devices, c.Config.NumMicro, c.Config.Vocab)
+	}
+	return b.String()
 }
 
 // CellResult is one evaluated cell. Exactly one of Result/Err is meaningful;

@@ -17,6 +17,15 @@
 //	              -grid 'model=4B;seq=2048,4096;vocab=32k,256k;method=1f1b'
 //	-v            print per-cell progress to stderr
 //
+// Tune mode (see tune.go and internal/tune): the auto-tuner searches a
+// configuration space for the best predicted throughput instead of
+// evaluating a fixed grid:
+//
+//	-tune SPEC            named scenario (-tune-list) or inline constraints,
+//	                      e.g. -tune 'model=4B;devices=8..32;micro=32..128'
+//	-tune-strategy NAME   beam (default), exhaustive or anneal
+//	-tune-list            list the named tuning scenarios
+//
 // Perf modes (see perf.go and internal/perf):
 //
 //	-perf                  run the perf suite, emit a BENCH report (JSON)
@@ -66,6 +75,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	outFile := fs.String("out", "", "write output to `FILE` instead of stdout")
 	gridSpec := fs.String("grid", "", "user-defined sweep `SPEC` (key=v1,v2;... with keys model, seq, vocab, method, micro, devices)")
 	verbose := fs.Bool("v", false, "print per-cell progress to stderr")
+	tuneSpec := fs.String("tune", "", "run the auto-tuner on a named scenario or inline `SPEC` (tune.ParseSpec syntax)")
+	tuneStrategy := fs.String("tune-strategy", "", "search strategy for -tune: beam (default), exhaustive or anneal")
+	tuneList := fs.Bool("tune-list", false, "list the named tuning scenarios and exit")
 	perfRun := fs.Bool("perf", false, "run the perf suite and emit a BENCH report (JSON)")
 	perfCompare := fs.Bool("perf-compare", false, "compare two BENCH files given as arguments (old new)")
 	perfTime := fs.Duration("perf-time", 0, "target measuring time per perf case (0 = single iteration)")
@@ -89,6 +101,62 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if !*perfCompare && (explicit["perf-tolerance"] || explicit["perf-alloc-tolerance"]) {
 		fmt.Fprintln(stderr, "vpbench: -perf-tolerance/-perf-alloc-tolerance only apply to -perf-compare")
 		return 2
+	}
+	if *tuneSpec == "" && explicit["tune-strategy"] {
+		fmt.Fprintln(stderr, "vpbench: -tune-strategy only applies to -tune")
+		return 2
+	}
+	if *tuneList {
+		if *tuneSpec != "" || *perfRun || *perfCompare || *gridSpec != "" || len(fs.Args()) > 0 {
+			fmt.Fprintln(stderr, "vpbench: -tune-list takes no other modes or arguments")
+			return 2
+		}
+		if *jsonOut || *csvOut {
+			fmt.Fprintln(stderr, "vpbench: -tune-list has a fixed text format (drop -json/-csv)")
+			return 2
+		}
+		w, outF, code := openOut(*outFile, stdout, stderr)
+		if code != 0 {
+			return code
+		}
+		rc := runTuneList(w)
+		if outF != nil {
+			if err := outF.Close(); err != nil {
+				fmt.Fprintf(stderr, "vpbench: %v\n", err)
+				if rc == 0 {
+					rc = 1
+				}
+			}
+		}
+		return rc
+	}
+	if *tuneSpec != "" {
+		if *perfRun || *perfCompare {
+			fmt.Fprintln(stderr, "vpbench: -tune and the perf modes are mutually exclusive")
+			return 2
+		}
+		if *gridSpec != "" || len(fs.Args()) > 0 {
+			fmt.Fprintln(stderr, "vpbench: -tune runs alone (drop -grid and experiment names)")
+			return 2
+		}
+		if *csvOut {
+			fmt.Fprintln(stderr, "vpbench: -tune emits a ranked table or -json, not CSV")
+			return 2
+		}
+		w, outF, code := openOut(*outFile, stdout, stderr)
+		if code != 0 {
+			return code
+		}
+		rc := runTune(w, stderr, *tuneSpec, *tuneStrategy, *parallel, *jsonOut, *verbose)
+		if outF != nil {
+			if err := outF.Close(); err != nil {
+				fmt.Fprintf(stderr, "vpbench: %v\n", err)
+				if rc == 0 {
+					rc = 1
+				}
+			}
+		}
+		return rc
 	}
 	if *perfRun || *perfCompare {
 		if *perfRun && *perfCompare {
@@ -121,7 +189,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			rc = runPerf(w, stderr, *perfTime, *verbose)
 		} else {
 			tol := perf.Tolerance{Time: *perfTol, Allocs: *perfAllocTol,
-				AllocSlack: perf.DefaultTolerance.AllocSlack}
+				AllocSlack:    perf.DefaultTolerance.AllocSlack,
+				QualityPoints: perf.DefaultTolerance.QualityPoints}
 			rc = runPerfCompare(w, stderr, fs.Args(), tol)
 		}
 		if outF != nil {

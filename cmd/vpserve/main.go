@@ -5,6 +5,8 @@
 //	go run ./cmd/vpserve -addr :8080
 //	curl 'localhost:8080/api/sweep?grid=model=4B;method=1f1b'
 //	curl 'localhost:8080/api/experiments/table5'
+//	curl -X POST 'localhost:8080/api/optimize?scenario=4b-quick'
+//	curl 'localhost:8080/api/jobs/j1'
 //	curl 'localhost:8080/healthz'
 //
 // Flags:
@@ -13,6 +15,8 @@
 //	-cache N          result-cache capacity in grids (default 256)
 //	-parallel N       sweep workers per computed grid (default GOMAXPROCS)
 //	-max-cells N      reject grids larger than N cells with 400 (default 4096)
+//	-job-workers N    concurrent auto-tuner searches (default 2)
+//	-job-queue N      pending tuner jobs before 429 (default 64)
 //	-shutdown-timeout D  graceful drain budget on SIGINT/SIGTERM (default 10s)
 //
 // Self-test mode starts an ephemeral server and drives the built-in load
@@ -57,6 +61,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	cacheSize := fs.Int("cache", 256, "result-cache capacity in grids")
 	parallel := fs.Int("parallel", 0, "sweep workers per computed grid (default: GOMAXPROCS)")
 	maxCells := fs.Int("max-cells", 4096, "reject grids expanding past `N` cells")
+	jobWorkers := fs.Int("job-workers", 2, "concurrent auto-tuner search jobs")
+	jobQueue := fs.Int("job-queue", 64, "pending tuner jobs before submissions get 429")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "graceful drain budget on SIGINT/SIGTERM")
 	selftest := fs.Bool("selftest", false, "start an ephemeral server, drive the load harness against it, report and exit")
 	stGrid := fs.String("selftest-grid", "model=4B;method=baseline,vocab-1;vocab=32k;micro=16",
@@ -83,9 +89,11 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	}
 
 	srv := server.New(server.Options{
-		CacheSize: *cacheSize,
-		Parallel:  *parallel,
-		MaxCells:  *maxCells,
+		CacheSize:   *cacheSize,
+		Parallel:    *parallel,
+		MaxCells:    *maxCells,
+		JobWorkers:  *jobWorkers,
+		JobCapacity: *jobQueue,
 	})
 	if *selftest {
 		return runSelftest(srv, stdout, stderr, *stGrid, *stConc, *stDur, *stMinRPS)
@@ -125,6 +133,12 @@ func serve(srv *server.Server, stderr io.Writer, addr string, shutdownTimeout ti
 		fmt.Fprintf(stderr, "vpserve: shutdown: %v\n", err)
 		return 1
 	}
+	// In-flight requests have drained; cancel and drain the tuner jobs too,
+	// inside the same graceful budget.
+	if err := srv.Close(sctx); err != nil {
+		fmt.Fprintf(stderr, "vpserve: job queue drain: %v\n", err)
+		return 1
+	}
 	fmt.Fprintln(stderr, "vpserve: bye")
 	return 0
 }
@@ -140,6 +154,7 @@ func runSelftest(srv *server.Server, stdout, stderr io.Writer, gridSpec string, 
 		return 1
 	}
 	defer stopSrv()
+	defer srv.Close(context.Background())
 	// Grid specs must be percent-encoded: since Go 1.17 net/url rejects a
 	// raw ";" query separator, so an unescaped spec would be cut at the
 	// first semicolon server-side.

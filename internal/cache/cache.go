@@ -16,6 +16,7 @@ package cache
 
 import (
 	"container/list"
+	"context"
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
@@ -48,11 +49,18 @@ type entry[V any] struct {
 	val V
 }
 
-// call is one in-flight computation; waiters block on done.
+// call is one in-flight computation; waiters block on done. The computation
+// runs on its own goroutine with a context detached from any single caller:
+// refs counts the callers still interested, and when the last one abandons
+// (its own context expired) cancel fires so orphaned work stops. A waiter
+// leaving early therefore never poisons the entry — the computation keeps
+// running for the remaining waiters and caches normally.
 type call[V any] struct {
-	done chan struct{}
-	val  V
-	err  error
+	done   chan struct{}
+	val    V
+	err    error
+	refs   int // guarded by the owning shard's mu
+	cancel context.CancelFunc
 }
 
 // DefaultShards is the shard count used by New.
@@ -137,6 +145,21 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 // one computation per key runs at a time: concurrent callers of the same key
 // block and share the leader's value or error. Errors are never stored.
 func (c *Cache[V]) Do(key string, compute func() (V, error)) (V, Outcome, error) {
+	return c.DoCtx(context.Background(), key,
+		func(context.Context) (V, error) { return compute() })
+}
+
+// DoCtx is Do with per-caller cancellation. The computation receives a
+// context that outlives any individual caller: it is cancelled only when
+// every caller interested in the key has abandoned it. A caller whose ctx
+// expires while waiting gets ctx.Err() immediately, but the in-flight
+// computation keeps running for the remaining callers and its result is
+// cached normally — an impatient waiter cannot poison the entry for others.
+// If all callers leave, the compute context is cancelled and whatever the
+// orphaned computation returns is discarded uncached (a context error is
+// never stored, like any other error).
+func (c *Cache[V]) DoCtx(ctx context.Context, key string, compute func(ctx context.Context) (V, error)) (V, Outcome, error) {
+	var zero V
 	s := c.shardFor(key)
 	s.mu.Lock()
 	if el, ok := s.entries[key]; ok {
@@ -147,26 +170,64 @@ func (c *Cache[V]) Do(key string, compute func() (V, error)) (V, Outcome, error)
 		return v, Hit, nil
 	}
 	if cl, ok := s.inflight[key]; ok {
+		cl.refs++
 		s.mu.Unlock()
-		<-cl.done
 		c.deduped.Add(1)
-		return cl.val, Deduped, cl.err
+		select {
+		case <-cl.done:
+			return cl.val, Deduped, cl.err
+		case <-ctx.Done():
+			s.abandon(key, cl)
+			return zero, Deduped, ctx.Err()
+		}
 	}
-	cl := &call[V]{done: make(chan struct{})}
+
+	cctx, cancel := context.WithCancel(context.Background())
+	cl := &call[V]{done: make(chan struct{}), refs: 1, cancel: cancel}
 	s.inflight[key] = cl
 	s.mu.Unlock()
+	c.misses.Add(1)
 
-	cl.val, cl.err = compute()
+	go func() {
+		v, err := compute(cctx)
+		s.mu.Lock()
+		// The call may already have been abandoned (refs hit 0) and removed;
+		// only the still-registered call publishes into the cache.
+		if s.inflight[key] == cl {
+			delete(s.inflight, key)
+			if err == nil {
+				s.insert(key, v, &c.evictions)
+			}
+		}
+		s.mu.Unlock()
+		cl.val, cl.err = v, err
+		cancel() // release the context's resources; compute already returned
+		close(cl.done)
+	}()
 
+	select {
+	case <-cl.done:
+		return cl.val, Miss, cl.err
+	case <-ctx.Done():
+		s.abandon(key, cl)
+		return zero, Miss, ctx.Err()
+	}
+}
+
+// abandon drops one caller's interest in an in-flight call. The last caller
+// out cancels the computation's context and unregisters the call so a fresh
+// Do can recompute the key instead of waiting on doomed work.
+func (s *shard[V]) abandon(key string, cl *call[V]) {
 	s.mu.Lock()
-	delete(s.inflight, key)
-	if cl.err == nil {
-		s.insert(key, cl.val, &c.evictions)
+	cl.refs--
+	last := cl.refs == 0 && s.inflight[key] == cl
+	if last {
+		delete(s.inflight, key)
 	}
 	s.mu.Unlock()
-	close(cl.done)
-	c.misses.Add(1)
-	return cl.val, Miss, cl.err
+	if last {
+		cl.cancel()
+	}
 }
 
 // insert stores a value, evicting the least recently used entry past

@@ -1,11 +1,13 @@
 package cache
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // put stores key→val through Do with a trivial compute.
@@ -249,5 +251,198 @@ func TestConcurrentMixed(t *testing.T) {
 	st := c.Stats()
 	if total := st.Hits + st.Misses + st.Deduped; total != 8*200 {
 		t.Errorf("lookups = %d, want %d", total, 8*200)
+	}
+}
+
+// --- DoCtx cancellation semantics ---
+
+// TestDoCtxWaiterExpiryDoesNotPoison is the satellite contract: a coalesced
+// waiter whose context expires gets its context error immediately, while the
+// in-flight computation finishes for the patient waiters and is cached —
+// the impatient waiter must not poison the entry for anyone else.
+func TestDoCtxWaiterExpiryDoesNotPoison(t *testing.T) {
+	c := New[string](8)
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	// Leader: computes until released.
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.DoCtx(context.Background(), "k", func(ctx context.Context) (string, error) {
+			close(started)
+			<-release
+			return "value", nil
+		})
+		leaderDone <- err
+	}()
+	<-started
+
+	// Impatient waiter: its context dies while coalesced.
+	wctx, wcancel := context.WithCancel(context.Background())
+	impatient := make(chan error, 1)
+	go func() {
+		_, outcome, err := c.DoCtx(wctx, "k", func(context.Context) (string, error) {
+			t.Error("coalesced waiter must never compute")
+			return "", nil
+		})
+		if outcome != Deduped {
+			t.Errorf("impatient waiter outcome = %v, want Deduped", outcome)
+		}
+		impatient <- err
+	}()
+
+	// Patient waiter: stays until the value arrives.
+	patient := make(chan string, 1)
+	go func() {
+		v, _, err := c.DoCtx(context.Background(), "k", func(context.Context) (string, error) {
+			t.Error("coalesced waiter must never compute")
+			return "", nil
+		})
+		if err != nil {
+			t.Errorf("patient waiter: %v", err)
+		}
+		patient <- v
+	}()
+
+	// Give both waiters a moment to coalesce, then expire the impatient one.
+	waitForDeduped(t, c, 2)
+	wcancel()
+	if err := <-impatient; !errors.Is(err, context.Canceled) {
+		t.Fatalf("impatient waiter error = %v, want context.Canceled", err)
+	}
+
+	// The computation was not cancelled by the waiter's departure.
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader error: %v", err)
+	}
+	if v := <-patient; v != "value" {
+		t.Fatalf("patient waiter got %q", v)
+	}
+	// The entry is cached and healthy for later callers.
+	v, outcome, err := c.Do("k", func() (string, error) {
+		t.Error("cached key recomputed")
+		return "", nil
+	})
+	if err != nil || v != "value" || outcome != Hit {
+		t.Fatalf("follow-up Do = %q, %v, %v; want cached value", v, outcome, err)
+	}
+}
+
+// waitForDeduped spins until n Do calls have coalesced (deduped counter).
+func waitForDeduped(t *testing.T, c *Cache[string], n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Stats().Deduped >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("never saw %d coalesced waiters: %+v", n, c.Stats())
+}
+
+// TestDoCtxAllCallersGoneCancelsCompute: when every interested caller
+// abandons the key, the computation's context is cancelled, its (discarded)
+// result is not cached, and a later caller recomputes freshly.
+func TestDoCtxAllCallersGoneCancelsCompute(t *testing.T) {
+	c := New[string](8)
+	started := make(chan struct{})
+	computeCtxDone := make(chan error, 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	res := make(chan error, 1)
+	go func() {
+		_, _, err := c.DoCtx(ctx, "k", func(cctx context.Context) (string, error) {
+			close(started)
+			<-cctx.Done() // the compute context must die with its last caller
+			computeCtxDone <- cctx.Err()
+			return "orphaned", cctx.Err()
+		})
+		res <- err
+	}()
+	<-started
+	cancel()
+	if err := <-res; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning caller error = %v, want context.Canceled", err)
+	}
+	if err := <-computeCtxDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("compute ctx error = %v, want context.Canceled", err)
+	}
+
+	// Nothing was cached; a fresh caller recomputes and succeeds.
+	v, outcome, err := c.Do("k", func() (string, error) { return "fresh", nil })
+	if err != nil || v != "fresh" || outcome != Miss {
+		t.Fatalf("recompute = %q, %v, %v; want fresh miss", v, outcome, err)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d, want only the fresh value", st.Entries)
+	}
+}
+
+// TestDoCtxLeaderLeavesWaiterInherits: the first caller (which started the
+// computation) abandons, but a second coalesced caller keeps the key alive;
+// the computation completes, the survivor gets the value, and it is cached.
+func TestDoCtxLeaderLeavesWaiterInherits(t *testing.T) {
+	c := New[string](8)
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	lctx, lcancel := context.WithCancel(context.Background())
+	leader := make(chan error, 1)
+	go func() {
+		_, _, err := c.DoCtx(lctx, "k", func(ctx context.Context) (string, error) {
+			close(started)
+			select {
+			case <-release:
+				return "survived", nil
+			case <-ctx.Done():
+				return "", ctx.Err()
+			}
+		})
+		leader <- err
+	}()
+	<-started
+
+	survivor := make(chan string, 1)
+	go func() {
+		v, _, err := c.DoCtx(context.Background(), "k", func(context.Context) (string, error) {
+			t.Error("survivor must not compute")
+			return "", nil
+		})
+		if err != nil {
+			t.Errorf("survivor: %v", err)
+		}
+		survivor <- v
+	}()
+	waitForDeduped(t, c, 1)
+
+	lcancel() // the leader walks away; the survivor still wants the value
+	if err := <-leader; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader error = %v", err)
+	}
+	close(release)
+	if v := <-survivor; v != "survived" {
+		t.Fatalf("survivor got %q", v)
+	}
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("value not cached after the leader left")
+	}
+}
+
+// TestDoCtxPreCancelled: a caller arriving with a dead context on a cold key
+// gets the context error and caches nothing.
+func TestDoCtxPreCancelled(t *testing.T) {
+	c := New[string](8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.DoCtx(ctx, "k", func(cctx context.Context) (string, error) {
+		return "", cctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("entries = %d, want 0", st.Entries)
 	}
 }

@@ -1,0 +1,407 @@
+// Package jobs is a generic in-process async job queue: submit a function,
+// poll its progress, fetch its result or cancel it. It is the machinery
+// behind POST /api/optimize (long-running tuner searches must not hold an
+// HTTP request open) and `vpbench -tune`'s progress reporting, but knows
+// nothing about either — a job is any func(ctx, report) (any, error).
+//
+// Properties:
+//
+//   - bounded workers: at most Workers jobs run concurrently; the rest wait
+//     in a bounded pending queue (Submit fails fast with ErrQueueFull past
+//     capacity — backpressure, not unbounded memory);
+//   - cancellation: Cancel stops a queued job immediately and signals a
+//     running job through its context;
+//   - progress: jobs publish Progress snapshots; Get returns a consistent
+//     point-in-time Snapshot at any moment of the lifecycle;
+//   - bounded history: finished jobs are retained for polling but the oldest
+//     are pruned past a cap, so a long-lived server cannot leak jobs.
+//
+// Lifecycle: queued → running → done | failed | cancelled. A panic in a job
+// function is captured as a failure; it never kills a worker.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Progress is a job's self-reported position, opaque to the queue.
+type Progress struct {
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+	Note  string `json:"note,omitempty"`
+}
+
+// Func is the work a job performs. It must honor ctx (cancellation) and may
+// call report at any time to publish progress; report is safe for concurrent
+// use and never blocks.
+type Func func(ctx context.Context, report func(Progress)) (any, error)
+
+// Snapshot is a consistent view of one job, JSON-shaped for the HTTP API.
+type Snapshot struct {
+	ID       string   `json:"id"`
+	Name     string   `json:"name"`
+	State    State    `json:"state"`
+	Progress Progress `json:"progress"`
+	// Result is the job function's return value once State == done.
+	Result any `json:"result,omitempty"`
+	// Error explains failed/cancelled states.
+	Error      string     `json:"error,omitempty"`
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+}
+
+var (
+	// ErrQueueFull is returned by Submit when the pending queue is at
+	// capacity — the caller's backpressure signal (HTTP 429).
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("jobs: queue closed")
+)
+
+// job is the internal record; mu guards everything mutable.
+type job struct {
+	id        string
+	name      string
+	fn        Func
+	mu        sync.Mutex
+	state     State
+	progress  Progress
+	result    any
+	err       error
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	cancel    context.CancelFunc // non-nil while running
+	cancelReq bool               // Cancel seen before/while running
+}
+
+// Queue runs submitted jobs on a fixed worker pool. Construct with New.
+type Queue struct {
+	mu    sync.Mutex
+	cond  *sync.Cond // signals workers when pending grows or the queue closes
+	jobs  map[string]*job
+	order []string // submission order, for history pruning
+	// pending is the FIFO of jobs awaiting a worker. A slice (not a
+	// channel) so Cancel can remove a queued job immediately — a cancelled
+	// job must free its capacity slot rather than sit as a tombstone that
+	// keeps Submit answering ErrQueueFull.
+	pending  []*job
+	capacity int
+	wg       sync.WaitGroup
+	closed   bool
+	nextID   int
+	keep     int
+
+	baseCtx context.Context
+	stopAll context.CancelFunc
+
+	now func() time.Time // injectable clock for tests
+}
+
+// Options tunes a Queue.
+type Options struct {
+	// Workers is the concurrent job limit (default 2).
+	Workers int
+	// Capacity bounds the pending queue (default 64).
+	Capacity int
+	// KeepFinished bounds how many terminal jobs are retained for polling
+	// (default 256); the oldest are pruned first.
+	KeepFinished int
+}
+
+// New starts a queue with the given options.
+func New(opt Options) *Queue {
+	if opt.Workers <= 0 {
+		opt.Workers = 2
+	}
+	if opt.Capacity <= 0 {
+		opt.Capacity = 64
+	}
+	if opt.KeepFinished <= 0 {
+		opt.KeepFinished = 256
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	q := &Queue{
+		jobs:     make(map[string]*job),
+		capacity: opt.Capacity,
+		keep:     opt.KeepFinished,
+		baseCtx:  ctx,
+		stopAll:  cancel,
+		now:      time.Now,
+	}
+	q.cond = sync.NewCond(&q.mu)
+	for i := 0; i < opt.Workers; i++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q
+}
+
+// Submit enqueues fn and returns the new job's id. It never blocks: a full
+// queue fails with ErrQueueFull, a closed queue with ErrClosed.
+func (q *Queue) Submit(name string, fn Func) (string, error) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return "", ErrClosed
+	}
+	if len(q.pending) >= q.capacity {
+		q.mu.Unlock()
+		return "", ErrQueueFull
+	}
+	q.nextID++
+	j := &job{
+		id:      fmt.Sprintf("j%d", q.nextID),
+		name:    name,
+		fn:      fn,
+		state:   StateQueued,
+		created: q.now(),
+	}
+	q.pending = append(q.pending, j)
+	q.jobs[j.id] = j
+	q.order = append(q.order, j.id)
+	q.pruneLocked()
+	q.mu.Unlock()
+	q.cond.Signal()
+	return j.id, nil
+}
+
+// pruneLocked drops the oldest terminal jobs past the retention cap.
+// Caller holds q.mu.
+func (q *Queue) pruneLocked() {
+	finished := 0
+	for _, id := range q.order {
+		if j := q.jobs[id]; j != nil && j.snapshot().State.Terminal() {
+			finished++
+		}
+	}
+	if finished <= q.keep {
+		return
+	}
+	kept := q.order[:0]
+	for _, id := range q.order {
+		j := q.jobs[id]
+		if j != nil && finished > q.keep && j.snapshot().State.Terminal() {
+			delete(q.jobs, id)
+			finished--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	q.order = kept
+}
+
+// Get returns a snapshot of the job, if known.
+func (q *Queue) Get(id string) (Snapshot, bool) {
+	q.mu.Lock()
+	j := q.jobs[id]
+	q.mu.Unlock()
+	if j == nil {
+		return Snapshot{}, false
+	}
+	return j.snapshot(), true
+}
+
+// List snapshots every known job in submission order. Results are omitted —
+// a listing of hundreds of finished searches must not embed every ranked
+// candidate set; fetch one job's result with Get.
+func (q *Queue) List() []Snapshot {
+	q.mu.Lock()
+	js := make([]*job, 0, len(q.order))
+	for _, id := range q.order {
+		if j := q.jobs[id]; j != nil {
+			js = append(js, j)
+		}
+	}
+	q.mu.Unlock()
+	out := make([]Snapshot, len(js))
+	for i, j := range js {
+		out[i] = j.snapshot()
+		out[i].Result = nil
+	}
+	return out
+}
+
+// Cancel requests cancellation. A queued job is cancelled immediately; a
+// running job is signalled through its context and reaches the cancelled
+// state when it returns. Cancelling a terminal job is a no-op. The returned
+// snapshot reflects the post-cancel state.
+func (q *Queue) Cancel(id string) (Snapshot, bool) {
+	q.mu.Lock()
+	j := q.jobs[id]
+	q.mu.Unlock()
+	if j == nil {
+		return Snapshot{}, false
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.err = context.Canceled
+		j.finished = q.now()
+		j.mu.Unlock()
+		// Free the capacity slot immediately: a cancelled job must not
+		// occupy the pending queue (and 429 new submissions) while it waits
+		// for a worker to skip it.
+		q.mu.Lock()
+		for i, p := range q.pending {
+			if p == j {
+				q.pending = append(q.pending[:i], q.pending[i+1:]...)
+				break
+			}
+		}
+		q.mu.Unlock()
+		return j.snapshot(), true
+	case StateRunning:
+		j.cancelReq = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	j.mu.Unlock()
+	return j.snapshot(), true
+}
+
+// Close stops accepting jobs, cancels everything queued or running, and
+// waits for the workers to drain (or ctx to expire). Safe to call twice.
+func (q *Queue) Close(ctx context.Context) error {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast() // wake idle workers so they observe closed
+	q.stopAll()        // signals every running job's context
+
+	done := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("jobs: close: %w", ctx.Err())
+	}
+}
+
+// worker pops pending jobs until Close. Jobs still pending at Close are run
+// with an already-cancelled base context, so they settle as cancelled.
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for {
+		q.mu.Lock()
+		for len(q.pending) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if len(q.pending) == 0 && q.closed {
+			q.mu.Unlock()
+			return
+		}
+		j := q.pending[0]
+		q.pending = q.pending[1:]
+		q.mu.Unlock()
+		q.runOne(j)
+	}
+}
+
+// runOne executes one job, translating context errors and panics into
+// terminal states.
+func (q *Queue) runOne(j *job) {
+	j.mu.Lock()
+	if j.state != StateQueued { // cancelled while pending
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(q.baseCtx)
+	j.state = StateRunning
+	j.started = q.now()
+	j.cancel = cancel
+	if j.cancelReq { // cancelled in the gap before the worker picked it up
+		cancel()
+	}
+	fn := j.fn
+	j.mu.Unlock()
+	defer cancel()
+
+	report := func(p Progress) {
+		j.mu.Lock()
+		j.progress = p
+		j.mu.Unlock()
+	}
+
+	var (
+		result any
+		err    error
+	)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("jobs: job %s panicked: %v", j.id, r)
+			}
+		}()
+		result, err = fn(ctx, report)
+	}()
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = q.now()
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = result
+	case (j.cancelReq || q.baseCtx.Err() != nil) && errors.Is(err, context.Canceled):
+		j.state = StateCancelled
+		j.err = err
+	default:
+		j.state = StateFailed
+		j.err = err
+	}
+}
+
+// snapshot copies the job state under its lock.
+func (j *job) snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Snapshot{
+		ID:        j.id,
+		Name:      j.name,
+		State:     j.state,
+		Progress:  j.progress,
+		Result:    j.result,
+		CreatedAt: j.created,
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		s.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		s.FinishedAt = &t
+	}
+	return s
+}

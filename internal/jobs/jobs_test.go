@@ -1,0 +1,310 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitState polls until the job reaches a terminal-or-wanted state.
+func waitState(t *testing.T, q *Queue, id string, want State) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		s, ok := q.Get(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		if s.State == want {
+			return s
+		}
+		if s.State.Terminal() {
+			t.Fatalf("job %s reached %s (error %q), want %s", id, s.State, s.Error, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return Snapshot{}
+}
+
+func newQueue(t *testing.T, opt Options) *Queue {
+	t.Helper()
+	q := New(opt)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := q.Close(ctx); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return q
+}
+
+func TestSubmitPollResult(t *testing.T) {
+	q := newQueue(t, Options{})
+	id, err := q.Submit("double", func(ctx context.Context, report func(Progress)) (any, error) {
+		report(Progress{Done: 1, Total: 2})
+		report(Progress{Done: 2, Total: 2, Note: "finishing"})
+		return 42, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := waitState(t, q, id, StateDone)
+	if s.Result != 42 || s.Error != "" {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if s.Progress.Done != 2 || s.Progress.Note != "finishing" {
+		t.Errorf("progress = %+v", s.Progress)
+	}
+	if s.StartedAt == nil || s.FinishedAt == nil || s.FinishedAt.Before(*s.StartedAt) {
+		t.Errorf("timestamps = %+v / %+v", s.StartedAt, s.FinishedAt)
+	}
+	// List omits results (a listing must not embed every finished payload);
+	// Get keeps them.
+	list := q.List()
+	if len(list) != 1 || list[0].ID != id || list[0].State != StateDone {
+		t.Fatalf("List = %+v", list)
+	}
+	if list[0].Result != nil {
+		t.Error("List embedded the job result; only Get should carry it")
+	}
+}
+
+func TestFailureAndPanicCapture(t *testing.T) {
+	q := newQueue(t, Options{})
+	fid, _ := q.Submit("fails", func(context.Context, func(Progress)) (any, error) {
+		return nil, errors.New("boom")
+	})
+	pid, _ := q.Submit("panics", func(context.Context, func(Progress)) (any, error) {
+		panic("kaboom")
+	})
+	if s := waitState(t, q, fid, StateFailed); s.Error != "boom" {
+		t.Errorf("failed error = %q", s.Error)
+	}
+	s := waitState(t, q, pid, StateFailed)
+	if s.Error == "" || s.Result != nil {
+		t.Errorf("panic snapshot = %+v", s)
+	}
+	// The worker survived the panic and still runs jobs.
+	id, _ := q.Submit("after", func(context.Context, func(Progress)) (any, error) { return "ok", nil })
+	waitState(t, q, id, StateDone)
+}
+
+func TestCancelRunning(t *testing.T) {
+	q := newQueue(t, Options{Workers: 1})
+	started := make(chan struct{})
+	id, _ := q.Submit("slow", func(ctx context.Context, report func(Progress)) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	<-started
+	if s, ok := q.Cancel(id); !ok || s.State == StateQueued {
+		t.Fatalf("Cancel = %+v, %v", s, ok)
+	}
+	s := waitState(t, q, id, StateCancelled)
+	if s.Result != nil {
+		t.Errorf("cancelled job kept a result: %+v", s)
+	}
+}
+
+func TestCancelQueued(t *testing.T) {
+	q := newQueue(t, Options{Workers: 1})
+	release := make(chan struct{})
+	blocker, _ := q.Submit("blocker", func(ctx context.Context, _ func(Progress)) (any, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	})
+	waitState(t, q, blocker, StateRunning)
+	queued, _ := q.Submit("queued", func(context.Context, func(Progress)) (any, error) {
+		t.Error("cancelled queued job must never run")
+		return nil, nil
+	})
+	s, ok := q.Cancel(queued)
+	if !ok || s.State != StateCancelled {
+		t.Fatalf("Cancel(queued) = %+v, %v", s, ok)
+	}
+	close(release)
+	waitState(t, q, blocker, StateDone)
+	// The cancelled job stays cancelled after the worker drains past it.
+	if s, _ := q.Get(queued); s.State != StateCancelled {
+		t.Errorf("state = %s after drain", s.State)
+	}
+}
+
+func TestQueueFullBackpressure(t *testing.T) {
+	q := newQueue(t, Options{Workers: 1, Capacity: 1})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	blocker := func(ctx context.Context, _ func(Progress)) (any, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}
+	first, _ := q.Submit("running", blocker)
+	<-started
+	if _, err := q.Submit("pending", blocker); err != nil {
+		t.Fatalf("capacity-1 queue rejected its first pending job: %v", err)
+	}
+	if _, err := q.Submit("overflow", blocker); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Submit on full queue = %v, want ErrQueueFull", err)
+	}
+	close(release)
+	waitState(t, q, first, StateDone)
+}
+
+// TestCancelQueuedFreesCapacity: cancelling a queued job must release its
+// pending slot immediately — a pile of cancelled jobs must not keep the
+// queue answering ErrQueueFull while the workers are busy.
+func TestCancelQueuedFreesCapacity(t *testing.T) {
+	q := newQueue(t, Options{Workers: 1, Capacity: 1})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	blocker, _ := q.Submit("running", func(ctx context.Context, _ func(Progress)) (any, error) {
+		close(started)
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	})
+	<-started
+	idle := func(context.Context, func(Progress)) (any, error) { return nil, nil }
+	pending, err := q.Submit("pending", idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit("overflow", idle); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("queue not full: %v", err)
+	}
+	if s, ok := q.Cancel(pending); !ok || s.State != StateCancelled {
+		t.Fatalf("Cancel = %+v, %v", s, ok)
+	}
+	// The slot is free right now — the worker is still blocked.
+	replacement, err := q.Submit("replacement", idle)
+	if err != nil {
+		t.Fatalf("Submit after cancelling the queued job = %v, want success", err)
+	}
+	close(release)
+	waitState(t, q, blocker, StateDone)
+	waitState(t, q, replacement, StateDone)
+	if s, _ := q.Get(pending); s.State != StateCancelled {
+		t.Errorf("cancelled job state = %s", s.State)
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	q := New(Options{})
+	if err := q.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit("late", func(context.Context, func(Progress)) (any, error) { return nil, nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	// Close is idempotent.
+	if err := q.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseCancelsRunning(t *testing.T) {
+	q := New(Options{Workers: 1})
+	started := make(chan struct{})
+	id, _ := q.Submit("hang", func(ctx context.Context, _ func(Progress)) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := q.Close(ctx); err != nil {
+		t.Fatalf("Close did not drain: %v", err)
+	}
+	if s, _ := q.Get(id); s.State != StateCancelled {
+		t.Errorf("state after Close = %s, want cancelled", s.State)
+	}
+}
+
+func TestHistoryPruning(t *testing.T) {
+	q := newQueue(t, Options{Workers: 2, KeepFinished: 3})
+	var ids []string
+	for i := 0; i < 8; i++ {
+		id, err := q.Submit(fmt.Sprintf("job-%d", i), func(context.Context, func(Progress)) (any, error) {
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		waitState(t, q, id, StateDone)
+	}
+	if got := len(q.List()); got > 4 { // 3 kept + possibly the one just added
+		t.Errorf("retained %d jobs, want <= 4", got)
+	}
+	// The newest job always survives pruning.
+	if _, ok := q.Get(ids[len(ids)-1]); !ok {
+		t.Error("newest job was pruned")
+	}
+	if _, ok := q.Get(ids[0]); ok {
+		t.Error("oldest job survived pruning past the cap")
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	q := newQueue(t, Options{})
+	if _, ok := q.Get("j999"); ok {
+		t.Error("Get of unknown id succeeded")
+	}
+	if _, ok := q.Cancel("j999"); ok {
+		t.Error("Cancel of unknown id succeeded")
+	}
+}
+
+// TestConcurrentSubmitters hammers the queue from many goroutines; run with
+// -race this is the package's data-race proof.
+func TestConcurrentSubmitters(t *testing.T) {
+	q := newQueue(t, Options{Workers: 4, Capacity: 1024})
+	var wg sync.WaitGroup
+	ids := make([]string, 64)
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id, err := q.Submit("n", func(ctx context.Context, report func(Progress)) (any, error) {
+				report(Progress{Done: i, Total: len(ids)})
+				return i, nil
+			})
+			if err != nil {
+				t.Errorf("Submit: %v", err)
+				return
+			}
+			ids[i] = id
+		}(i)
+	}
+	wg.Wait()
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if id == "" {
+			continue
+		}
+		if seen[id] {
+			t.Fatalf("duplicate job id %s", id)
+		}
+		seen[id] = true
+		waitState(t, q, id, StateDone)
+	}
+}

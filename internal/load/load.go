@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"time"
@@ -132,19 +133,37 @@ func Run(ctx context.Context, url string, opt Options) (*Report, error) {
 	}
 	if len(all) > 0 {
 		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-		rep.P50Ms = ms(percentile(all, 0.50))
-		rep.P90Ms = ms(percentile(all, 0.90))
-		rep.P99Ms = ms(percentile(all, 0.99))
+		rep.P50Ms = ms(Percentile(all, 0.50))
+		rep.P90Ms = ms(Percentile(all, 0.90))
+		rep.P99Ms = ms(Percentile(all, 0.99))
 		rep.MaxMs = ms(all[len(all)-1])
 	}
 	return rep, nil
 }
 
-// percentile returns the q-quantile of a sorted latency slice (nearest-rank).
-func percentile(sorted []time.Duration, q float64) time.Duration {
-	i := int(q * float64(len(sorted)))
-	if i >= len(sorted) {
-		i = len(sorted) - 1
+// Percentile returns the q-quantile of a sorted latency slice by the
+// nearest-rank method: the smallest element such that at least q·n of the
+// samples are ≤ it, i.e. sorted[ceil(q·n)−1]. Exact boundaries therefore
+// round toward the lower rank (p50 of 10 samples is the 5th, not the 6th),
+// n=1 returns the only sample for every q, and the degenerate inputs are
+// total: n=0 returns 0, q≤0 the minimum, q≥1 the maximum.
+func Percentile(sorted []time.Duration, q float64) time.Duration {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	i := int(math.Ceil(q*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
 	}
 	return sorted[i]
 }

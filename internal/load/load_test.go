@@ -98,15 +98,62 @@ func TestReportRendering(t *testing.T) {
 	}
 }
 
+// TestPercentile is the table-driven pin of the nearest-rank quantile math,
+// including the degenerate inputs (n=0, n=1) and exact rank boundaries
+// (q·n integral) that the old int(q·n) indexing got wrong by one.
 func TestPercentile(t *testing.T) {
-	d := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
-	if got := percentile(d, 0.5); got != 6 {
-		t.Errorf("p50 = %v", got)
+	ten := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	hundred := make([]time.Duration, 100)
+	for i := range hundred {
+		hundred[i] = time.Duration(i + 1)
 	}
-	if got := percentile(d, 0.99); got != 10 {
-		t.Errorf("p99 = %v", got)
+	tests := []struct {
+		name   string
+		sorted []time.Duration
+		q      float64
+		want   time.Duration
+	}{
+		{"empty", nil, 0.5, 0},
+		{"empty p99", []time.Duration{}, 0.99, 0},
+		{"single p01", ten[:1], 0.01, 1},
+		{"single p50", ten[:1], 0.50, 1},
+		{"single p99", ten[:1], 0.99, 1},
+		// Exact boundary: q·n = 5 exactly → 5th sample (nearest rank), not 6th.
+		{"p50 of 10", ten, 0.50, 5},
+		{"p90 of 10", ten, 0.90, 9},
+		// Non-integral rank rounds up: 0.99·10 = 9.9 → 10th.
+		{"p99 of 10", ten, 0.99, 10},
+		{"p25 of 10", ten, 0.25, 3},
+		// Exact boundary at scale: 0.99·100 = 99 → 99th sample exactly.
+		{"p99 of 100", hundred, 0.99, 99},
+		{"p50 of 100", hundred, 0.50, 50},
+		{"p01 of 100", hundred, 0.01, 1},
+		// Two samples: p50 is the first, anything above is the second.
+		{"p50 of 2", ten[:2], 0.50, 1},
+		{"p51 of 2", ten[:2], 0.51, 2},
+		// Clamped extremes.
+		{"q=0", ten, 0, 1},
+		{"q=1", ten, 1, 10},
+		{"q>1", ten, 1.5, 10},
+		{"q<0", ten, -0.5, 1},
 	}
-	if got := percentile(d[:1], 0.99); got != 1 {
-		t.Errorf("single sample p99 = %v", got)
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Percentile(tt.sorted, tt.q); got != tt.want {
+				t.Errorf("Percentile(n=%d, q=%v) = %v, want %v", len(tt.sorted), tt.q, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestPercentileMonotone: for any q1 <= q2, p(q1) <= p(q2).
+func TestPercentileMonotone(t *testing.T) {
+	d := []time.Duration{3, 7, 7, 12, 40, 41, 100}
+	qs := []float64{0, 0.1, 0.25, 0.5, 0.5, 0.75, 0.9, 0.99, 1}
+	for i := 1; i < len(qs); i++ {
+		lo, hi := Percentile(d, qs[i-1]), Percentile(d, qs[i])
+		if lo > hi {
+			t.Errorf("Percentile(%v) = %v > Percentile(%v) = %v", qs[i-1], lo, qs[i], hi)
+		}
 	}
 }

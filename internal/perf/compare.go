@@ -20,12 +20,18 @@ type Tolerance struct {
 	// AllocSlack is an absolute allocs/op floor under which alloc growth is
 	// ignored (single-iteration runs jitter by a few allocations).
 	AllocSlack float64
+	// QualityPoints is the allowed absolute drop in a case's quality_pct
+	// (search-result quality relative to the exhaustive oracle) — unlike
+	// wall time this is machine-independent and deterministic, so the
+	// tolerance only absorbs benign oracle-tie reshuffles.
+	QualityPoints float64
 }
 
 // DefaultTolerance is what the CI gate uses: catch catastrophic time
 // regressions (an accidental O(P) rescan re-introduced is ~10x) without
-// flapping on runner variance, and hold allocs/op to modest growth.
-var DefaultTolerance = Tolerance{Time: 3, Allocs: 0.5, AllocSlack: 256}
+// flapping on runner variance, hold allocs/op to modest growth, and fail a
+// search strategy that drifts more than a few points from the oracle.
+var DefaultTolerance = Tolerance{Time: 3, Allocs: 0.5, AllocSlack: 256, QualityPoints: 2}
 
 // Delta is one case's comparison outcome.
 type Delta struct {
@@ -83,6 +89,20 @@ func Compare(old, new *report.BenchReport, tol Tolerance) ([]Delta, bool) {
 			d.Status = "regressed"
 			reason := fmt.Sprintf("allocs/op %.0f -> %.0f (%.2fx > %.2fx allowed)",
 				oc.AllocsPerOp, nc.AllocsPerOp, d.AllocRatio, 1+tol.Allocs)
+			if d.Reason != "" {
+				d.Reason += "; " + reason
+			} else {
+				d.Reason = reason
+			}
+		}
+		// Result-quality gate: a search strategy drifting from its oracle is
+		// a correctness regression even when it got faster. A baseline with
+		// quality but a new run without any (the search found nothing
+		// feasible) fails outright.
+		if oc.QualityPct > 0 && nc.QualityPct < oc.QualityPct-tol.QualityPoints {
+			d.Status = "regressed"
+			reason := fmt.Sprintf("quality %.1f%% -> %.1f%% (max drop %.1f points)",
+				oc.QualityPct, nc.QualityPct, tol.QualityPoints)
 			if d.Reason != "" {
 				d.Reason += "; " + reason
 			} else {

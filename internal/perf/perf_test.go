@@ -219,3 +219,32 @@ func TestSuiteQuickRun(t *testing.T) {
 			heap.NsPerOp, scan.NsPerOp)
 	}
 }
+
+// TestCompareDetectsQualityRegression: a search case whose quality_pct
+// drifts below the baseline past the tolerance must fail the gate, even
+// when it got faster — and losing quality entirely (the search found
+// nothing) always fails. Cases without quality are untouched.
+func TestCompareDetectsQualityRegression(t *testing.T) {
+	old := benchReportOf(report.BenchCase{Name: "tune/x", NsPerOp: 100, AllocsPerOp: 1000, QualityPct: 100})
+	tol := Tolerance{Time: 3, Allocs: 0.5, AllocSlack: 256, QualityPoints: 2}
+
+	ok := benchReportOf(report.BenchCase{Name: "tune/x", NsPerOp: 100, AllocsPerOp: 1000, QualityPct: 98.5})
+	if deltas, reg := Compare(old, ok, tol); reg {
+		t.Errorf("1.5-point quality drop within 2-point tolerance flagged: %+v", deltas)
+	}
+	worse := benchReportOf(report.BenchCase{Name: "tune/x", NsPerOp: 50, AllocsPerOp: 1000, QualityPct: 80})
+	deltas, reg := Compare(old, worse, tol)
+	if !reg || !strings.Contains(deltas[0].Reason, "quality") {
+		t.Errorf("20-point quality drop not flagged: %+v", deltas)
+	}
+	gone := benchReportOf(report.BenchCase{Name: "tune/x", NsPerOp: 50, AllocsPerOp: 1000})
+	if _, reg := Compare(old, gone, tol); !reg {
+		t.Error("vanished quality (search found nothing) not flagged")
+	}
+	// A case that never had quality is not gated on it.
+	oldPlain := benchReportOf(report.BenchCase{Name: "a", NsPerOp: 100, AllocsPerOp: 1000})
+	newPlain := benchReportOf(report.BenchCase{Name: "a", NsPerOp: 100, AllocsPerOp: 1000})
+	if _, reg := Compare(oldPlain, newPlain, tol); reg {
+		t.Error("quality gate fired on a case without quality")
+	}
+}

@@ -1,8 +1,10 @@
 package perf
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/url"
 	"sync"
@@ -14,6 +16,7 @@ import (
 	"vocabpipe/internal/server"
 	"vocabpipe/internal/sim"
 	"vocabpipe/internal/sweep"
+	"vocabpipe/internal/tune"
 )
 
 // Suite returns the paper-scale benchmark cases the BENCH reports track:
@@ -28,7 +31,10 @@ import (
 //     as cells/sec;
 //   - server/sweep-cached: the vpserve HTTP serving path on a warmed cache
 //     (one real loopback request per op), measured as req/s with the cache
-//     hit rate attached.
+//     hit rate attached;
+//   - tune/beam-vs-exhaustive: the auto-tuner's beam search plus its
+//     exhaustive oracle on the quick scenario, measured as search cells/sec
+//     with the beam's result quality (quality_pct) attached.
 func Suite() []Case {
 	var cases []Case
 
@@ -49,8 +55,53 @@ func Suite() []Case {
 		gridCase("sweep/table5", experiments.Table5Grid()),
 		gridCase("sweep/table6", experiments.Table6Grid()),
 		serverCase(),
+		tuneCase(),
 	)
 	return cases
+}
+
+// tuneCase measures the auto-tuner end to end: one op runs the beam search
+// plus the exhaustive oracle on the quick named scenario, reporting combined
+// search throughput as cells/sec and the beam's result quality (best score
+// relative to the oracle's optimum) as quality_pct — so a BENCH diff catches
+// both a slower search and a search that silently stopped finding the
+// optimum.
+func tuneCase() Case {
+	spec, ok := experiments.TuneSpec("4b-quick")
+	if !ok {
+		panic("perf: tune scenario 4b-quick missing from the registry")
+	}
+	var cellsPerOp int
+	var quality float64
+	return Case{
+		Name: "tune/beam-vs-exhaustive",
+		Run: func(n int) {
+			for i := 0; i < n; i++ {
+				beam, err := tune.Search(context.Background(), spec, tune.StrategyBeam, tune.Options{})
+				if err != nil {
+					panic(fmt.Sprintf("perf: tune beam: %v", err))
+				}
+				oracle, err := tune.Search(context.Background(), spec, tune.StrategyExhaustive, tune.Options{})
+				if err != nil {
+					panic(fmt.Sprintf("perf: tune exhaustive: %v", err))
+				}
+				cellsPerOp = beam.Evaluated + oracle.Evaluated
+				quality = tune.QualityRatio(beam, oracle)
+			}
+		},
+		Finish: func(bc *report.BenchCase) {
+			bc.Cells = cellsPerOp
+			if bc.NsPerOp > 0 {
+				bc.CellsPerSec = float64(cellsPerOp) * 1e9 / bc.NsPerOp
+			}
+			// QualityRatio is NaN when a search found nothing feasible; JSON
+			// cannot carry NaN, so leave the field absent rather than kill
+			// the whole BENCH report.
+			if !math.IsNaN(quality) {
+				bc.QualityPct = 100 * quality
+			}
+		},
+	}
 }
 
 // engineCase times one schedule construction through the given builder.
@@ -117,6 +168,7 @@ func serverCase() Case {
 			if stop != nil {
 				stop()
 			}
+			srv.Close(context.Background()) // release the idle job workers
 		},
 	}
 }

@@ -30,6 +30,11 @@ type BenchCase struct {
 	// version 1 — older BENCH files simply lack them.
 	ReqPerSec   float64 `json:"req_per_sec,omitempty"`
 	CacheHitPct float64 `json:"cache_hit_pct,omitempty"`
+	// QualityPct is set for search-strategy cases (tune/*): the budgeted
+	// strategy's best objective score relative to the exhaustive oracle's,
+	// in percent — 100 means the cheap search found the optimum. Optional
+	// field added within schema version 1.
+	QualityPct float64 `json:"quality_pct,omitempty"`
 }
 
 // BenchReport is a schema-versioned perf run: environment provenance plus

@@ -12,15 +12,30 @@
 //	GET /api/schedule?config=4B&method=vocab-1[&seq=..&vocab=..&micro=..&devices=..]
 //	                               a single (config, method) cell
 //	GET /api/experiments/{name}    a named paper grid (internal/experiments)
+//	POST /api/optimize             submit an auto-tuner search (internal/tune)
+//	                               as an async job; 202 + job id
+//	GET /api/jobs                  list known jobs
+//	GET /api/jobs/{id}             poll one job: state, progress, result
+//	DELETE /api/jobs/{id}          cancel a queued or running job
 //
 // Errors are JSON bodies {"error": "..."} with 4xx status; per-cell
 // simulation failures are not transport errors — they appear as error
 // records inside a 200 response, exactly as vpbench reports them.
+//
+// Synchronous endpoints propagate the request context into the sweep
+// engine: a client that disconnects mid-computation cancels the in-flight
+// work at the next cell boundary (unless another request is coalesced onto
+// the same cache key, in which case the computation continues for them).
+// Long tuner searches never hold a request open — POST /api/optimize
+// returns immediately and the job queue (internal/jobs) owns the work.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -30,10 +45,17 @@ import (
 	"vocabpipe/internal/cache"
 	"vocabpipe/internal/costmodel"
 	"vocabpipe/internal/experiments"
+	"vocabpipe/internal/jobs"
 	"vocabpipe/internal/report"
 	"vocabpipe/internal/sim"
 	"vocabpipe/internal/sweep"
+	"vocabpipe/internal/tune"
 )
+
+// StatusClientClosedRequest is the non-standard status (nginx's 499)
+// recorded when the client disconnected before the response was computed.
+// The client never sees it — it exists for logs and tests.
+const StatusClientClosedRequest = 499
 
 // Options tunes a Server.
 type Options struct {
@@ -50,12 +72,19 @@ type Options struct {
 	// the real work a request buys, and cell count alone does not cap it.
 	MaxMicro   int
 	MaxDevices int
+	// JobWorkers and JobCapacity size the async tuner-job queue (defaults 2
+	// and 64): at most JobWorkers searches run concurrently, and past
+	// JobCapacity pending submissions POST /api/optimize answers 429.
+	JobWorkers  int
+	JobCapacity int
 }
 
-// Server holds the handler state. Construct with New.
+// Server holds the handler state. Construct with New; Close releases the
+// job queue when the server is retired.
 type Server struct {
 	opt      Options
 	cache    *cache.Cache[[]report.Record]
+	jobs     *jobs.Queue
 	start    time.Time
 	requests atomic.Int64
 }
@@ -77,8 +106,16 @@ func New(opt Options) *Server {
 	return &Server{
 		opt:   opt,
 		cache: cache.New[[]report.Record](opt.CacheSize),
+		jobs:  jobs.New(jobs.Options{Workers: opt.JobWorkers, Capacity: opt.JobCapacity}),
 		start: time.Now(),
 	}
+}
+
+// Close cancels every queued or running tuner job and waits for the job
+// workers to drain (bounded by ctx). The HTTP listener is the caller's to
+// shut down; Close owns only the server's background work.
+func (s *Server) Close(ctx context.Context) error {
+	return s.jobs.Close(ctx)
 }
 
 // Handler returns the routing handler for the API.
@@ -88,6 +125,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/sweep", s.handleSweep)
 	mux.HandleFunc("GET /api/schedule", s.handleSchedule)
 	mux.HandleFunc("GET /api/experiments/{name}", s.handleExperiment)
+	mux.HandleFunc("POST /api/optimize", s.handleOptimize)
+	mux.HandleFunc("GET /api/jobs", s.handleJobList)
+	mux.HandleFunc("GET /api/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /api/jobs/{id}", s.handleJobCancel)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
 		mux.ServeHTTP(w, r)
@@ -151,16 +192,27 @@ func (s *Server) checkGrid(g *sweep.Grid) string {
 
 // respond computes (or recalls) the grid's records and writes them exactly
 // as `vpbench -json` would. The cache key carries a route prefix so two
-// routes can never alias each other's entries.
-func (s *Server) respond(w http.ResponseWriter, route string, g *sweep.Grid) {
+// routes can never alias each other's entries. The request context flows
+// into the computation: a disconnected client cancels in-flight simulation
+// work at the next cell boundary — unless other requests are coalesced onto
+// the same key, in which case the sweep continues with their interest and a
+// partial result is never cached.
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, route string, g *sweep.Grid) {
 	key := route + "|" + g.Key()
-	recs, outcome, err := s.cache.Do(key, func() ([]report.Record, error) {
-		res := sweep.Run(g, sweep.Options{Parallel: s.opt.Parallel})
+	recs, outcome, err := s.cache.DoCtx(r.Context(), key, func(ctx context.Context) ([]report.Record, error) {
+		res, err := sweep.RunCtx(ctx, g, sweep.Options{Parallel: s.opt.Parallel})
+		if err != nil {
+			return nil, err
+		}
 		return res.Records(), nil
 	})
 	if err != nil {
-		// The compute function above never fails; keep the branch so a future
-		// fallible compute cannot silently emit a half-result.
+		if r.Context().Err() != nil || errors.Is(err, context.Canceled) {
+			// The client is gone; nobody reads this response. Record the
+			// outcome for logs/tests and stop.
+			w.WriteHeader(StatusClientClosedRequest)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
@@ -195,7 +247,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%s", reason)
 		return
 	}
-	s.respond(w, "sweep", g)
+	s.respond(w, r, "sweep", g)
 }
 
 // handleSchedule serves one (config, method) cell with optional seq, vocab,
@@ -243,7 +295,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%s", reason)
 		return
 	}
-	s.respond(w, "schedule", g)
+	s.respond(w, r, "schedule", g)
 }
 
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
@@ -254,5 +306,158 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 			name, strings.Join(experiments.Names(), ", "))
 		return
 	}
-	s.respond(w, "experiment", gridFn())
+	s.respond(w, r, "experiment", gridFn())
+}
+
+// optimizeRequest is the POST /api/optimize input. Query parameters and the
+// JSON body carry the same fields; query parameters win.
+type optimizeRequest struct {
+	// Spec is an inline tuning-constraint spec (tune.ParseSpec syntax).
+	Spec string `json:"spec,omitempty"`
+	// Scenario names a curated tuning scenario (internal/experiments).
+	Scenario string `json:"scenario,omitempty"`
+	// Strategy is exhaustive, beam (default) or anneal.
+	Strategy string `json:"strategy,omitempty"`
+}
+
+// optimizeAccepted is the 202 body: where to poll.
+type optimizeAccepted struct {
+	JobID string     `json:"job_id"`
+	State jobs.State `json:"state"`
+	Poll  string     `json:"poll"`
+}
+
+// checkTuneSpec applies the serving-layer size guards to a tuning space,
+// mirroring checkGrid: like checkGrid inspecting expanded cells, it checks
+// the *defaulted* spec — the candidates a search will actually evaluate —
+// so an omitted axis cannot smuggle the base model's large device or
+// microbatch count past a tighter server cap.
+func (s *Server) checkTuneSpec(spec *tune.Spec) string {
+	d := spec.Defaulted()
+	if size := d.SpaceSize(); size > s.opt.MaxCells {
+		return fmt.Sprintf("search space has %d candidates, limit %d", size, s.opt.MaxCells)
+	}
+	for _, m := range d.Micros {
+		if m > s.opt.MaxMicro {
+			return fmt.Sprintf("candidate asks for %d microbatches, limit %d", m, s.opt.MaxMicro)
+		}
+	}
+	for _, dev := range d.Devices {
+		if dev > s.opt.MaxDevices {
+			return fmt.Sprintf("candidate asks for %d devices, limit %d", dev, s.opt.MaxDevices)
+		}
+	}
+	return ""
+}
+
+// handleOptimize submits a tuner search as an async job and answers 202
+// with the job id — the search itself may take far longer than any client
+// timeout, so it never holds the request open.
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req optimizeRequest
+	if r.Body != nil {
+		// The only POST route gets the same oversized-request posture as the
+		// GET guards: no valid spec is anywhere near 64 KiB.
+		body := http.MaxBytesReader(w, r.Body, 64<<10)
+		if err := json.NewDecoder(body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+			writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+			return
+		}
+	}
+	q := r.URL.Query()
+	for _, p := range []struct {
+		name string
+		dst  *string
+	}{{"spec", &req.Spec}, {"scenario", &req.Scenario}, {"strategy", &req.Strategy}} {
+		if v := q.Get(p.name); v != "" {
+			*p.dst = v
+		}
+	}
+
+	var spec *tune.Spec
+	switch {
+	case req.Spec != "" && req.Scenario != "":
+		writeError(w, http.StatusBadRequest, "spec and scenario are mutually exclusive")
+		return
+	case req.Spec != "":
+		var err error
+		if spec, err = tune.ParseSpec(req.Spec); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	case req.Scenario != "":
+		var ok bool
+		if spec, ok = experiments.TuneSpec(req.Scenario); !ok {
+			writeError(w, http.StatusBadRequest, "unknown scenario %q (want one of %s)",
+				req.Scenario, strings.Join(experiments.TuneNames(), ", "))
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "provide spec=... (tune.ParseSpec syntax) or scenario=... (named scenarios: %s)",
+			strings.Join(experiments.TuneNames(), ", "))
+		return
+	}
+
+	strategy := tune.StrategyBeam
+	if req.Strategy != "" {
+		var ok bool
+		if strategy, ok = tune.StrategyByName(req.Strategy); !ok {
+			writeError(w, http.StatusBadRequest, "unknown strategy %q (want one of %v)", req.Strategy, tune.Strategies())
+			return
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if reason := s.checkTuneSpec(spec); reason != "" {
+		writeError(w, http.StatusBadRequest, "%s", reason)
+		return
+	}
+
+	// The job runs detached from the submitting request on purpose: the
+	// whole point of the queue is that the client disconnects and polls.
+	id, err := s.jobs.Submit("optimize/"+spec.Name+"/"+string(strategy),
+		tune.JobFunc(spec, strategy, s.opt.Parallel))
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, "job queue full, retry later")
+		return
+	case errors.Is(err, jobs.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", "/api/jobs/"+id)
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(optimizeAccepted{JobID: id, State: jobs.StateQueued, Poll: "/api/jobs/" + id})
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.jobs.List())
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(snap)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.jobs.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(snap)
 }

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -9,9 +11,12 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"vocabpipe/internal/jobs"
 	"vocabpipe/internal/report"
 	"vocabpipe/internal/sweep"
+	"vocabpipe/internal/tune"
 )
 
 // smallGrid is a 2-cell spec cheap enough to sweep in every test.
@@ -22,6 +27,13 @@ func newTestServer(t *testing.T, opt Options) (*Server, *httptest.Server) {
 	s := New(opt)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Errorf("server Close: %v", err)
+		}
+	})
 	return s, ts
 }
 
@@ -381,5 +393,217 @@ func BenchmarkSweepCached(b *testing.B) {
 	}
 	if b.N > 0 {
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	}
+}
+
+// --- auto-tuner job endpoints ---
+
+// pollJob polls /api/jobs/{id} until the job reaches a terminal state.
+func pollJob(t *testing.T, ts *httptest.Server, id string) jobs.Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		status, body, _ := get(t, ts, "/api/jobs/"+id)
+		if status != http.StatusOK {
+			t.Fatalf("poll status = %d (%s)", status, body)
+		}
+		var snap jobs.Snapshot
+		if err := json.Unmarshal(body, &snap); err != nil {
+			t.Fatalf("bad snapshot: %v (%s)", err, body)
+		}
+		if snap.State.Terminal() {
+			return snap
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("job never finished")
+	return jobs.Snapshot{}
+}
+
+// submitOptimize POSTs an optimize request and returns the accepted job id.
+func submitOptimize(t *testing.T, ts *httptest.Server, query string, body string) string {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = bytes.NewReader([]byte(body))
+	}
+	resp, err := http.Post(ts.URL+"/api/optimize"+query, "application/json", rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("optimize status = %d (%s)", resp.StatusCode, raw)
+	}
+	var acc struct {
+		JobID string `json:"job_id"`
+		Poll  string `json:"poll"`
+	}
+	if err := json.Unmarshal(raw, &acc); err != nil || acc.JobID == "" {
+		t.Fatalf("bad 202 body: %v (%s)", err, raw)
+	}
+	if want := "/api/jobs/" + acc.JobID; acc.Poll != want || resp.Header.Get("Location") != want {
+		t.Errorf("poll = %q, Location = %q, want %q", acc.Poll, resp.Header.Get("Location"), want)
+	}
+	return acc.JobID
+}
+
+// decodeTuneResult re-decodes a snapshot's result (an any holding
+// map[string]any after JSON round-tripping) into a tune.Result.
+func decodeTuneResult(t *testing.T, snap jobs.Snapshot) *tune.Result {
+	t.Helper()
+	raw, err := json.Marshal(snap.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res tune.Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("result is not a tune.Result: %v (%s)", err, raw)
+	}
+	return &res
+}
+
+// TestOptimizeRoundTrip is the acceptance path: POST a named scenario, poll
+// the job to completion, read the ranked result.
+func TestOptimizeRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	id := submitOptimize(t, ts, "?scenario=4b-quick&strategy=beam", "")
+	snap := pollJob(t, ts, id)
+	if snap.State != jobs.StateDone {
+		t.Fatalf("state = %s (error %q)", snap.State, snap.Error)
+	}
+	if snap.Progress.Done == 0 || snap.Progress.Done != snap.Progress.Total {
+		t.Errorf("final progress = %+v", snap.Progress)
+	}
+	res := decodeTuneResult(t, snap)
+	if res.Scenario != "4b-quick" || res.Strategy != tune.StrategyBeam {
+		t.Errorf("result header = %+v", res)
+	}
+	if res.Best == nil || res.Feasible == 0 || len(res.Candidates) != res.Evaluated {
+		t.Fatalf("result shape = best %v, feasible %d, %d candidates for %d evaluated",
+			res.Best, res.Feasible, len(res.Candidates), res.Evaluated)
+	}
+	if res.Best.Label != res.Candidates[0].Label || !res.Best.Feasible {
+		t.Errorf("best = %+v", res.Best)
+	}
+	// The job list knows the finished job.
+	status, body, _ := get(t, ts, "/api/jobs")
+	if status != http.StatusOK || !strings.Contains(string(body), id) {
+		t.Errorf("job list (status %d) missing %s: %s", status, id, body)
+	}
+}
+
+// TestOptimizeInlineSpec submits a constraint spec in the JSON body.
+func TestOptimizeInlineSpec(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	id := submitOptimize(t, ts, "", `{"spec":"model=4B;devices=8;micro=32,64;method=vocab-1,vocab-2","strategy":"exhaustive"}`)
+	snap := pollJob(t, ts, id)
+	if snap.State != jobs.StateDone {
+		t.Fatalf("state = %s (error %q)", snap.State, snap.Error)
+	}
+	res := decodeTuneResult(t, snap)
+	if res.Evaluated != 4 || res.Strategy != tune.StrategyExhaustive {
+		t.Errorf("result = evaluated %d strategy %s", res.Evaluated, res.Strategy)
+	}
+}
+
+func TestOptimizeErrors(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxDevices: 16})
+	tests := []struct {
+		name       string
+		query      string
+		body       string
+		wantStatus int
+		fragment   string
+	}{
+		{"no input", "", "", http.StatusBadRequest, "provide spec"},
+		{"both inputs", "?scenario=4b-quick&spec=model%3D4B", "", http.StatusBadRequest, "mutually exclusive"},
+		{"unknown scenario", "?scenario=nope", "", http.StatusBadRequest, "unknown scenario"},
+		{"bad spec", "?spec=model%3D900B", "", http.StatusBadRequest, "unknown model"},
+		{"unknown strategy", "?scenario=4b-quick&strategy=warp", "", http.StatusBadRequest, "unknown strategy"},
+		{"bad body", "", "{not json", http.StatusBadRequest, "bad JSON body"},
+		{"devices over server cap", "?spec=" + url.QueryEscape("model=4B;devices=32"), "", http.StatusBadRequest, "limit 16"},
+		// The devices axis is omitted here, but 21B defaults to 32 devices —
+		// the cap must apply to the defaulted space, not the raw spec.
+		{"defaulted devices over cap", "?spec=" + url.QueryEscape("model=21B;micro=16"), "", http.StatusBadRequest, "limit 16"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var rd io.Reader
+			if tt.body != "" {
+				rd = strings.NewReader(tt.body)
+			}
+			resp, err := http.Post(ts.URL+"/api/optimize"+tt.query, "application/json", rd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			wantJSONError(t, resp.StatusCode, body, tt.wantStatus, tt.fragment)
+		})
+	}
+}
+
+// TestOptimizeCancel covers the DELETE path deterministically: with one job
+// worker occupied by a search, a second submission is still queued when the
+// cancel lands, so it must go straight to cancelled without ever running.
+func TestOptimizeCancel(t *testing.T) {
+	_, ts := newTestServer(t, Options{JobWorkers: 1, Parallel: 1})
+	blocker := submitOptimize(t, ts, "?scenario=4b-quick&strategy=exhaustive", "")
+	queued := submitOptimize(t, ts, "?scenario=4b-quick&strategy=anneal", "")
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/api/jobs/"+queued, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE status = %d", resp.StatusCode)
+	}
+	if snap := pollJob(t, ts, queued); snap.State != jobs.StateCancelled {
+		t.Errorf("cancelled job state = %s", snap.State)
+	}
+	// The blocker is unaffected and completes.
+	if snap := pollJob(t, ts, blocker); snap.State != jobs.StateDone {
+		t.Errorf("blocker state = %s (error %q)", snap.State, snap.Error)
+	}
+	// Unknown job ids 404 on both verbs.
+	status, body, _ := get(t, ts, "/api/jobs/j999999")
+	wantJSONError(t, status, body, http.StatusNotFound, "unknown job")
+}
+
+// TestDisconnectedClientCancelsSweep pins the request-context satellite: a
+// request whose context is already cancelled must not burn a full sweep, and
+// the aborted computation must not be cached.
+func TestDisconnectedClientCancelsSweep(t *testing.T) {
+	s := New(Options{Parallel: 1})
+	t.Cleanup(func() { s.Close(context.Background()) })
+	h := s.Handler()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is gone before the handler runs
+	req := httptest.NewRequest(http.MethodGet, sweepPath(smallGrid), nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+
+	if rec.Code != StatusClientClosedRequest {
+		t.Errorf("status = %d, want %d", rec.Code, StatusClientClosedRequest)
+	}
+	st := s.CacheStats()
+	if st.Entries != 0 {
+		t.Errorf("aborted sweep was cached: %+v", st)
+	}
+
+	// A later healthy request recomputes the same grid successfully — the
+	// abort poisoned nothing.
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, httptest.NewRequest(http.MethodGet, sweepPath(smallGrid), nil))
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("follow-up status = %d", rec2.Code)
+	}
+	if st := s.CacheStats(); st.Entries != 1 {
+		t.Errorf("follow-up not cached: %+v", st)
 	}
 }

@@ -43,13 +43,13 @@ func ParseGrid(spec string) (*Grid, error) {
 			return nil, fmt.Errorf("sweep: duplicate grid key %q", key)
 		}
 		seen[canon] = true
-		if len(splitList(vals)) == 0 {
+		if len(SplitList(vals)) == 0 {
 			return nil, fmt.Errorf("sweep: grid key %q has an empty value list", key)
 		}
 		var err error
 		switch key {
 		case "model", "config", "cfg":
-			for _, name := range splitList(vals) {
+			for _, name := range SplitList(vals) {
 				cfg, ok := costmodel.ConfigByName(name)
 				if !ok {
 					return nil, fmt.Errorf("sweep: unknown model %q (want 4B, 10B, 21B, 7B, 16B or 30B)", name)
@@ -57,15 +57,15 @@ func ParseGrid(spec string) (*Grid, error) {
 				g.Configs = append(g.Configs, cfg)
 			}
 		case "seq":
-			g.Seqs, err = parseInts(vals, false)
+			g.Seqs, err = ParseInts(vals, false)
 		case "vocab":
-			g.Vocabs, err = parseInts(vals, true)
+			g.Vocabs, err = ParseInts(vals, true)
 		case "method":
-			g.Methods, err = parseMethods(vals)
+			g.Methods, err = ParseMethods(vals)
 		case "micro":
-			micros, err = parseInts(vals, false)
+			micros, err = ParseInts(vals, false)
 		case "devices":
-			devices, err = parseInts(vals, false)
+			devices, err = ParseInts(vals, false)
 		default:
 			return nil, fmt.Errorf("sweep: unknown grid key %q (want model, seq, vocab, method, micro or devices)", key)
 		}
@@ -102,7 +102,8 @@ func canonicalKey(key string) string {
 	return key
 }
 
-func splitList(vals string) []string {
+// SplitList splits a comma-separated value list, dropping empty elements.
+func SplitList(vals string) []string {
 	var out []string
 	for _, v := range strings.Split(vals, ",") {
 		if v = strings.TrimSpace(v); v != "" {
@@ -112,10 +113,12 @@ func splitList(vals string) []string {
 	return out
 }
 
-// parseInts parses a comma-separated int list; kSuffix allows "32k" = 32*1024.
-func parseInts(vals string, kSuffix bool) ([]int, error) {
+// ParseInts parses a comma-separated int list; kSuffix allows "32k" = 32*1024.
+// Exported for reuse by spec parsers layered on the sweep machinery
+// (internal/tune's constraint parser shares the value syntax).
+func ParseInts(vals string, kSuffix bool) ([]int, error) {
 	var out []int
-	for _, v := range splitList(vals) {
+	for _, v := range SplitList(vals) {
 		mult := 1
 		if kSuffix && (strings.HasSuffix(v, "k") || strings.HasSuffix(v, "K")) {
 			mult = 1024
@@ -130,9 +133,12 @@ func parseInts(vals string, kSuffix bool) ([]int, error) {
 	return out, nil
 }
 
-func parseMethods(vals string) ([]sim.Method, error) {
+// ParseMethods parses a comma-separated method list, accepting the method
+// names plus the groups "1f1b", "vhalf" and "all". Exported for the same
+// spec-parser reuse as ParseInts.
+func ParseMethods(vals string) ([]sim.Method, error) {
 	var out []sim.Method
-	for _, v := range splitList(vals) {
+	for _, v := range SplitList(vals) {
 		switch v {
 		case "all":
 			out = append(out, sim.AllMethods...)

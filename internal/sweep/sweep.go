@@ -13,6 +13,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -154,6 +155,17 @@ type Results struct {
 // Run evaluates every cell of the grid and returns results in expansion
 // order regardless of Options.Parallel.
 func Run(g *Grid, opt Options) *Results {
+	res, _ := RunCtx(context.Background(), g, opt)
+	return res
+}
+
+// RunCtx is Run with cancellation: once ctx is done, workers stop picking up
+// new cells, every unevaluated cell is marked with ctx's error, and RunCtx
+// returns ctx.Err(). Cancellation is observed at cell boundaries — a cell
+// already being simulated runs to completion (individual cells are
+// milliseconds; grids are where the real work is). The returned Results
+// always has one entry per cell, so partial progress stays inspectable.
+func RunCtx(ctx context.Context, g *Grid, opt Options) (*Results, error) {
 	cells := g.Expand()
 	results := make([]CellResult, len(cells))
 	workers := opt.Parallel
@@ -173,6 +185,11 @@ func Run(g *Grid, opt Options) *Results {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					results[i] = CellResult{Cell: cells[i], Index: i,
+						Err: fmt.Errorf("sweep: cell %q not evaluated: %w", cells[i].Label, err)}
+					continue
+				}
 				results[i] = evalCell(cells[i], i, g.KeepTimelines)
 				if opt.OnCell != nil {
 					mu.Lock()
@@ -188,7 +205,7 @@ func Run(g *Grid, opt Options) *Results {
 	}
 	close(jobs)
 	wg.Wait()
-	return &Results{Grid: g, Cells: results}
+	return &Results{Grid: g, Cells: results}, ctx.Err()
 }
 
 // evalCell evaluates one cell, converting panics into per-cell errors so a

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"reflect"
 	"strings"
@@ -300,6 +301,60 @@ func BenchmarkSweepTinyGrid(b *testing.B) {
 		res := Run(g, Options{})
 		if errs := res.Errs(); len(errs) > 0 {
 			b.Fatal(errs[0])
+		}
+	}
+}
+
+// TestRunCtxCancelMidFlight cancels the context after the first cell
+// completes and proves the engine stops evaluating: no further Eval calls,
+// every unevaluated cell marked with the context error, and RunCtx
+// returning it. Parallel=1 makes the cut point deterministic.
+func TestRunCtxCancelMidFlight(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	evals := 0
+	g := &Grid{Name: "cancel", Cells: []Cell{
+		{Label: "a"}, {Label: "b"}, {Label: "c"}, {Label: "d"},
+	}, Eval: func(c Cell) (*sim.Result, error) {
+		evals++
+		cancel() // the client disconnects while cell "a" is being served
+		return &sim.Result{IterTime: 1}, nil
+	}}
+	res, err := RunCtx(ctx, g, Options{Parallel: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx error = %v, want context.Canceled", err)
+	}
+	if evals != 1 {
+		t.Fatalf("evaluated %d cells after cancellation, want 1", evals)
+	}
+	if len(res.Cells) != 4 {
+		t.Fatalf("partial results dropped: %d cells", len(res.Cells))
+	}
+	if res.Cells[0].Err != nil || res.Cells[0].Result == nil {
+		t.Errorf("completed cell = %+v", res.Cells[0])
+	}
+	for _, c := range res.Cells[1:] {
+		if c.Err == nil || !errors.Is(c.Err, context.Canceled) {
+			t.Errorf("cell %q error = %v, want wrapped context.Canceled", c.Label, c.Err)
+		}
+	}
+}
+
+// TestRunCtxPreCancelled: a dead context evaluates nothing at all.
+func TestRunCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := tinyGrid()
+	g.Eval = func(c Cell) (*sim.Result, error) {
+		t.Error("cell evaluated under a pre-cancelled context")
+		return nil, nil
+	}
+	res, err := RunCtx(ctx, g, Options{Parallel: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	for _, c := range res.Cells {
+		if !errors.Is(c.Err, context.Canceled) {
+			t.Fatalf("cell %q error = %v", c.Label, c.Err)
 		}
 	}
 }

@@ -1,0 +1,53 @@
+package tune
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzTuneSpec hammers the tuning-constraint parser: it must never panic,
+// every accepted spec must satisfy its own guard rails (Validate), and
+// parsing must be deterministic. CI runs this as a budget-limited smoke
+// alongside the other fuzz targets.
+func FuzzTuneSpec(f *testing.F) {
+	seeds := []string{
+		"model=4B",
+		"model=4B;devices=8..32;micro=32,64..256;method=1f1b",
+		"model=21B;seq=4096;vocab=256k;mem=64;objective=tokens",
+		"model=7B;method=vhalf;beam=2;budget=10;seed=7",
+		"model=10B;micro=1,2,3;devices=16",
+		"model=4B;devices=0..8",
+		"seq=4096;model=4B",
+		"model=4B;;;",
+		"model=4B;devices=9999999999999999999",
+		"model=4B;devices=4611686018427387904..4611686018427387904",
+		"model=4B;micro=1..9223372036854775807",
+		"model=4B;mem=nan",
+		"model=4B;mem=+Inf",
+		"mem=80;objective=mfu",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		s1, err := ParseSpec(spec)
+		if err != nil {
+			if s1 != nil {
+				t.Fatalf("ParseSpec(%q) returned both a spec and error %v", spec, err)
+			}
+			return
+		}
+		// Accepted specs are search-ready: defaults valid, space bounded.
+		if err := s1.Validate(); err != nil {
+			t.Fatalf("ParseSpec(%q) accepted a spec that fails Validate: %v", spec, err)
+		}
+		if size := s1.SpaceSize(); size < 1 || size > MaxSpace {
+			t.Fatalf("ParseSpec(%q): space size %d out of (0, %d]", spec, size, MaxSpace)
+		}
+		// Deterministic: a second parse yields the identical spec.
+		s2, err := ParseSpec(spec)
+		if err != nil || !reflect.DeepEqual(s1, s2) {
+			t.Fatalf("ParseSpec(%q) is not deterministic: %+v vs %+v (err %v)", spec, s1, s2, err)
+		}
+	})
+}

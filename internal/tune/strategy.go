@@ -1,0 +1,319 @@
+// Search strategies: exhaustive (the oracle), beam (staged pruning), anneal
+// (budgeted random walk). All run their candidate batches through the
+// concurrent sweep engine and honor context cancellation between cells.
+package tune
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"vocabpipe/internal/sweep"
+)
+
+// Strategy names a search algorithm.
+type Strategy string
+
+const (
+	// StrategyExhaustive evaluates the whole space. The correctness oracle.
+	StrategyExhaustive Strategy = "exhaustive"
+	// StrategyBeam prunes the (method, devices) axes at a pivot microbatch
+	// count before expanding the microbatch axis. The default.
+	StrategyBeam Strategy = "beam"
+	// StrategyAnneal is a seeded simulated-annealing walk under an evaluation
+	// budget.
+	StrategyAnneal Strategy = "anneal"
+)
+
+// Strategies lists every strategy, default first.
+func Strategies() []Strategy {
+	return []Strategy{StrategyBeam, StrategyExhaustive, StrategyAnneal}
+}
+
+// StrategyByName resolves a strategy name.
+func StrategyByName(name string) (Strategy, bool) {
+	for _, s := range Strategies() {
+		if string(s) == name {
+			return s, true
+		}
+	}
+	return "", false
+}
+
+// Progress is a point-in-time search snapshot, delivered to
+// Options.OnProgress after every simulated candidate.
+type Progress struct {
+	// Done counts simulated candidates; Total is the strategy's current plan
+	// (it can shrink when a beam stage prunes harder than planned).
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// BestLabel/BestScore track the best feasible candidate so far; empty/0
+	// until one exists.
+	BestLabel string  `json:"best_label,omitempty"`
+	BestScore float64 `json:"best_score,omitempty"`
+}
+
+// Options tunes a Search run.
+type Options struct {
+	// Parallel is the sweep worker count per evaluation batch (<1 means
+	// GOMAXPROCS).
+	Parallel int
+	// OnProgress, when non-nil, observes the search after each simulated
+	// candidate. Calls are serialized.
+	OnProgress func(Progress)
+}
+
+// Search runs the strategy over the spec's space and returns the ranked
+// result. The spec is defaulted and validated first; ctx cancellation stops
+// the search at the next candidate boundary and returns ctx's error.
+func Search(ctx context.Context, spec *Spec, strategy Strategy, opt Options) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	s := spec.withDefaults()
+	switch strategy {
+	case StrategyExhaustive:
+		return searchExhaustive(ctx, s, opt)
+	case StrategyBeam:
+		return searchBeam(ctx, s, opt)
+	case StrategyAnneal:
+		return searchAnneal(ctx, s, opt)
+	default:
+		return nil, fmt.Errorf("tune: unknown strategy %q (want one of %v)", strategy, Strategies())
+	}
+}
+
+// tracker accumulates live progress across evaluation batches. Its onCell
+// hook runs inside the sweep engine's serialized OnCell callback, so polling
+// clients (the job queue) see progress while a batch is still computing.
+type tracker struct {
+	spec  *Spec
+	opt   Options
+	done  int
+	total int
+	best  *Ranked
+}
+
+// onCell folds one completed sweep cell into the best-so-far and emits a
+// progress event. Calls are serialized by the sweep engine, and strategies
+// run their batches sequentially, so no extra locking is needed.
+func (t *tracker) onCell(r sweep.CellResult) {
+	t.done++
+	cand := Candidate{Method: r.Method, Devices: r.Config.Devices, Micro: r.Config.NumMicro}
+	if rk := t.spec.rankedOf(evaluated{cand: cand, res: r.Result, err: r.Err}); rk.Feasible && (t.best == nil || rk.Score > t.best.Score) {
+		best := rk
+		t.best = &best
+	}
+	if t.opt.OnProgress != nil {
+		p := Progress{Done: t.done, Total: t.total}
+		if t.best != nil {
+			p.BestLabel, p.BestScore = t.best.Label, t.best.Score
+		}
+		t.opt.OnProgress(p)
+	}
+}
+
+func searchExhaustive(ctx context.Context, s *Spec, opt Options) (*Result, error) {
+	t := &tracker{spec: s, opt: opt, total: s.SpaceSize()}
+	evals, err := s.evaluate(ctx, s.candidates(), opt.Parallel, t.onCell)
+	if err != nil {
+		return nil, err
+	}
+	return s.assemble(StrategyExhaustive, evals), nil
+}
+
+// searchBeam evaluates every (method, devices) pair at the pivot microbatch
+// count — the largest, where the pipeline bubble is best amortized and the
+// axes' relative order is most representative — keeps the BeamWidth best
+// pairs, and expands only those across the remaining microbatch counts. The
+// pruned stage evaluates |methods|·|devices| cells; the expansion
+// BeamWidth·(|micros|−1), typically a small fraction of the full product.
+func searchBeam(ctx context.Context, s *Spec, opt Options) (*Result, error) {
+	pivot := s.Micros[len(s.Micros)-1]
+	var stageA []Candidate
+	for _, m := range s.Methods {
+		for _, d := range s.Devices {
+			stageA = append(stageA, Candidate{Method: m, Devices: d, Micro: pivot})
+		}
+	}
+	t := &tracker{spec: s, opt: opt,
+		total: len(stageA) + min(s.BeamWidth, len(stageA))*(len(s.Micros)-1)}
+
+	evalsA, err := s.evaluate(ctx, stageA, opt.Parallel, t.onCell)
+	if err != nil {
+		return nil, err
+	}
+
+	// Survivors: the best feasible stage-A candidates under the one ranking
+	// order (rankedLess, shared with assemble), capped at the beam width.
+	ranked := make([]Ranked, len(evalsA))
+	byLabel := map[string]Candidate{}
+	for i, e := range evalsA {
+		ranked[i] = s.rankedOf(e)
+		byLabel[ranked[i].Label] = e.cand
+	}
+	sort.SliceStable(ranked, func(i, j int) bool { return rankedLess(ranked[i], ranked[j]) })
+	var survivors []Candidate
+	for _, rk := range ranked {
+		if !rk.Feasible || len(survivors) >= s.BeamWidth {
+			break
+		}
+		survivors = append(survivors, byLabel[rk.Label])
+	}
+
+	var stageB []Candidate
+	for _, c := range survivors {
+		for _, mb := range s.Micros {
+			if mb == pivot {
+				continue // already evaluated in stage A
+			}
+			stageB = append(stageB, Candidate{Method: c.Method, Devices: c.Devices, Micro: mb})
+		}
+	}
+	t.total = len(stageA) + len(stageB)
+	evalsB, err := s.evaluate(ctx, stageB, opt.Parallel, t.onCell)
+	if err != nil {
+		return nil, err
+	}
+	return s.assemble(StrategyBeam, append(evalsA, evalsB...)), nil
+}
+
+// searchAnneal walks the space with single-axis moves under an evaluation
+// budget, accepting improvements always and regressions with a cooling
+// probability. Deterministic for a given (spec, seed); revisited candidates
+// are memoized and do not consume budget.
+func searchAnneal(ctx context.Context, s *Spec, opt Options) (*Result, error) {
+	rng := rand.New(rand.NewSource(s.Seed))
+	budget := s.Budget
+	if space := s.SpaceSize(); budget > space {
+		budget = space
+	}
+	t := &tracker{spec: s, opt: opt, total: budget}
+
+	memo := map[Candidate]evaluated{}
+	var order []evaluated // evaluation order, for the final assemble
+	evalOne := func(c Candidate) (evaluated, bool, error) {
+		if e, ok := memo[c]; ok {
+			return e, false, nil
+		}
+		evals, err := s.evaluate(ctx, []Candidate{c}, 1, t.onCell)
+		if err != nil {
+			return evaluated{}, false, err
+		}
+		memo[c] = evals[0]
+		order = append(order, evals[0])
+		return evals[0], true, nil
+	}
+	scoreOf := func(e evaluated) (float64, bool) {
+		rk := s.rankedOf(e)
+		return rk.Score, rk.Feasible
+	}
+
+	// The annealing temperature is relative: a move that loses fraction δ of
+	// the current score is accepted with probability exp(-δ/T).
+	const t0, decay = 0.10, 0.92
+
+	all := s.candidates()
+	cur := all[rng.Intn(len(all))]
+	curEval, _, err := evalOne(cur)
+	if err != nil {
+		return nil, err
+	}
+	curScore, curOK := scoreOf(curEval)
+	// stale counts consecutive proposals that hit the memo: once the walk's
+	// whole neighborhood has been visited it can no longer consume budget, so
+	// it restarts from a random candidate (keeping best-so-far, which lives
+	// in the memo). The step bound is a belt-and-braces guarantee of
+	// termination even on degenerate spaces.
+	stale := 0
+	for step := 0; len(memo) < budget && step < 100*budget; step++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		next := s.neighbor(cur, rng)
+		if stale >= 8 {
+			next = all[rng.Intn(len(all))]
+			stale = 0
+		}
+		nextEval, fresh, err := evalOne(next)
+		if err != nil {
+			return nil, err
+		}
+		if fresh {
+			stale = 0
+		} else {
+			stale++
+		}
+		nextScore, nextOK := scoreOf(nextEval)
+		accept := false
+		switch {
+		case !curOK && nextOK:
+			accept = true
+		case !nextOK:
+			accept = !curOK // keep wandering until something is feasible
+		case nextScore >= curScore:
+			accept = true
+		default:
+			delta := (curScore - nextScore) / curScore
+			temp := t0 * math.Pow(decay, float64(step))
+			accept = rng.Float64() < math.Exp(-delta/temp)
+		}
+		if accept {
+			cur, curScore, curOK = next, nextScore, nextOK
+		}
+	}
+	return s.assemble(StrategyAnneal, order), nil
+}
+
+// neighbor proposes a move along one randomly chosen axis: an adjacent value
+// for the ordered devices/micros axes, any other method for the method axis.
+// Single-axis spaces fall through to re-rolling another axis.
+func (s *Spec) neighbor(c Candidate, rng *rand.Rand) Candidate {
+	for {
+		switch rng.Intn(3) {
+		case 0:
+			if len(s.Methods) > 1 {
+				for {
+					m := s.Methods[rng.Intn(len(s.Methods))]
+					if m != c.Method {
+						c.Method = m
+						return c
+					}
+				}
+			}
+		case 1:
+			if len(s.Devices) > 1 {
+				c.Devices = stepAlong(s.Devices, c.Devices, rng)
+				return c
+			}
+		case 2:
+			if len(s.Micros) > 1 {
+				c.Micro = stepAlong(s.Micros, c.Micro, rng)
+				return c
+			}
+		}
+		if len(s.Methods) == 1 && len(s.Devices) == 1 && len(s.Micros) == 1 {
+			return c // degenerate single-point space
+		}
+	}
+}
+
+// stepAlong moves one position up or down a sorted axis from cur.
+func stepAlong(axis []int, cur int, rng *rand.Rand) int {
+	i := sort.SearchInts(axis, cur)
+	if i >= len(axis) || axis[i] != cur {
+		return axis[rng.Intn(len(axis))] // off-axis (shouldn't happen); re-seat
+	}
+	if i == 0 {
+		return axis[1]
+	}
+	if i == len(axis)-1 {
+		return axis[i-1]
+	}
+	if rng.Intn(2) == 0 {
+		return axis[i-1]
+	}
+	return axis[i+1]
+}

@@ -73,7 +73,7 @@ func runTune(w, stderr io.Writer, specArg, strategyName string, parallel int, js
 	// submits: the CLI runs the exact lifecycle the HTTP API exposes.
 	q := jobs.New(jobs.Options{Workers: 1, Capacity: 1})
 	defer q.Close(context.Background())
-	id, err := q.Submit("tune/"+spec.Name, tune.JobFunc(spec, strategy, parallel))
+	id, err := q.Submit("tune/"+spec.Name, tune.JobFunc(spec, strategy, tune.Options{Parallel: parallel}))
 	if err != nil {
 		fmt.Fprintf(stderr, "vpbench: %v\n", err)
 		return 1

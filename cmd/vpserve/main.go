@@ -19,6 +19,23 @@
 //	-job-queue N      pending tuner jobs before 429 (default 64)
 //	-shutdown-timeout D  graceful drain budget on SIGINT/SIGTERM (default 10s)
 //
+// Distributed mode (see internal/cluster): a coordinator shards grids
+// across worker vpserve instances and merges the records back in
+// deterministic order, byte-identical to a single-node response. Workers
+// are plain vpserve processes — `-role worker` only documents intent:
+//
+//	vpserve -addr :8081 -role worker
+//	vpserve -addr :8082 -role worker
+//	vpserve -addr :8080 -role coordinator -workers 127.0.0.1:8081,127.0.0.1:8082
+//
+//	-role ROLE        single (default), coordinator or worker
+//	-workers LIST     comma-separated worker base URLs (coordinator only)
+//	-hedge-after D    duplicate a shard request still unanswered after D
+//	                  to another worker (default 2s; 0 disables;
+//	                  coordinator only)
+//	-probe-every D    worker /healthz probe interval (default 5s; 0 disables;
+//	                  coordinator only)
+//
 // Self-test mode starts an ephemeral server and drives the built-in load
 // harness (internal/load) against it, reporting req/s, latency percentiles
 // and cache hit rate as JSON on stdout:
@@ -41,9 +58,11 @@ import (
 	neturl "net/url"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"vocabpipe/internal/cluster"
 	"vocabpipe/internal/load"
 	"vocabpipe/internal/server"
 )
@@ -64,6 +83,10 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	jobWorkers := fs.Int("job-workers", 2, "concurrent auto-tuner search jobs")
 	jobQueue := fs.Int("job-queue", 64, "pending tuner jobs before submissions get 429")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "graceful drain budget on SIGINT/SIGTERM")
+	role := fs.String("role", "single", "deployment `role`: single, coordinator or worker")
+	workers := fs.String("workers", "", "comma-separated worker base `URLs` (requires -role coordinator)")
+	hedgeAfter := fs.Duration("hedge-after", 2*time.Second, "duplicate an unanswered shard request to another worker after this long (0 disables hedging)")
+	probeEvery := fs.Duration("probe-every", 5*time.Second, "worker /healthz probe interval (0 disables)")
 	selftest := fs.Bool("selftest", false, "start an ephemeral server, drive the load harness against it, report and exit")
 	stGrid := fs.String("selftest-grid", "model=4B;method=baseline,vocab-1;vocab=32k;micro=16",
 		"grid `SPEC` the self-test sweeps")
@@ -87,6 +110,43 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 			}
 		}
 	}
+	var workerURLs []string
+	switch *role {
+	case "single", "worker":
+		if *workers != "" {
+			fmt.Fprintf(stderr, "vpserve: -workers requires -role coordinator\n")
+			return 2
+		}
+	case "coordinator":
+		for _, w := range strings.Split(*workers, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				workerURLs = append(workerURLs, w)
+			}
+		}
+		if len(workerURLs) == 0 {
+			fmt.Fprintf(stderr, "vpserve: -role coordinator needs at least one -workers URL\n")
+			return 2
+		}
+		if *selftest {
+			fmt.Fprintf(stderr, "vpserve: -selftest runs single-node; start workers separately to test coordinator mode\n")
+			return 2
+		}
+	default:
+		fmt.Fprintf(stderr, "vpserve: unknown -role %q (want single, coordinator or worker)\n", *role)
+		return 2
+	}
+	for _, name := range []string{"hedge-after", "probe-every"} {
+		if explicit[name] && *role != "coordinator" {
+			fmt.Fprintf(stderr, "vpserve: -%s requires -role coordinator\n", name)
+			return 2
+		}
+	}
+	if explicit["hedge-after"] && *hedgeAfter == 0 {
+		// The flag's conventional zero means "off"; the library treats zero
+		// as "unset, use the default", so translate rather than silently
+		// reinstating 2s on an operator who asked for no hedging.
+		*hedgeAfter = -1
+	}
 
 	srv := server.New(server.Options{
 		CacheSize:   *cacheSize,
@@ -94,15 +154,21 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		MaxCells:    *maxCells,
 		JobWorkers:  *jobWorkers,
 		JobCapacity: *jobQueue,
+		Cluster: cluster.Options{
+			Workers:    workerURLs,
+			HedgeAfter: *hedgeAfter,
+		},
 	})
 	if *selftest {
 		return runSelftest(srv, stdout, stderr, *stGrid, *stConc, *stDur, *stMinRPS)
 	}
-	return serve(srv, stderr, *addr, *shutdownTimeout, ready)
+	return serve(srv, stderr, *addr, *role, *probeEvery, *shutdownTimeout, ready)
 }
 
 // serve runs the HTTP server until SIGINT/SIGTERM, then drains gracefully.
-func serve(srv *server.Server, stderr io.Writer, addr string, shutdownTimeout time.Duration, ready chan<- string) int {
+// A coordinator also probes its workers' /healthz on a ticker so a revived
+// worker's circuit closes without waiting for live traffic to find it.
+func serve(srv *server.Server, stderr io.Writer, addr, role string, probeEvery, shutdownTimeout time.Duration, ready chan<- string) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -111,7 +177,22 @@ func serve(srv *server.Server, stderr io.Writer, addr string, shutdownTimeout ti
 		fmt.Fprintf(stderr, "vpserve: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(stderr, "vpserve: listening on %s\n", ln.Addr())
+	fmt.Fprintf(stderr, "vpserve: listening on %s (role %s)\n", ln.Addr(), role)
+	if d := srv.Cluster(); d != nil && probeEvery > 0 {
+		go func() {
+			d.Probe(ctx)
+			tick := time.NewTicker(probeEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					d.Probe(ctx)
+				}
+			}
+		}()
+	}
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

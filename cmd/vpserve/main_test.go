@@ -115,3 +115,100 @@ func TestServeGracefulShutdown(t *testing.T) {
 		t.Errorf("shutdown log missing: %q", out)
 	}
 }
+
+// TestClusterFlagValidation pins the -role/-workers flag contract.
+func TestClusterFlagValidation(t *testing.T) {
+	tests := []struct {
+		name     string
+		args     []string
+		fragment string
+	}{
+		{"workers without coordinator role", []string{"-workers", "h:1"}, "requires -role coordinator"},
+		{"worker role with workers", []string{"-role", "worker", "-workers", "h:1"}, "requires -role coordinator"},
+		{"coordinator without workers", []string{"-role", "coordinator"}, "at least one -workers URL"},
+		{"unknown role", []string{"-role", "boss"}, "unknown -role"},
+		{"hedge outside coordinator", []string{"-hedge-after", "1s"}, "requires -role coordinator"},
+		{"probe outside coordinator", []string{"-probe-every", "1s"}, "requires -role coordinator"},
+		{"selftest as coordinator", []string{"-selftest", "-role", "coordinator", "-workers", "h:1"}, "runs single-node"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, stderr, code := runVpserve(tt.args...); code != 2 || !strings.Contains(stderr, tt.fragment) {
+				t.Errorf("code=%d stderr=%q, want exit 2 mentioning %q", code, stderr, tt.fragment)
+			}
+		})
+	}
+}
+
+// TestServeCoordinator boots a worker and a coordinator through the real
+// serve loop and proves a sweep on the coordinator is sharded to the
+// worker and byte-identical to the worker's own answer.
+func TestServeCoordinator(t *testing.T) {
+	startServe := func(args ...string) (addr string, done chan int, stderr *bytes.Buffer) {
+		t.Helper()
+		ready := make(chan string, 1)
+		stderr = &bytes.Buffer{}
+		done = make(chan int, 1)
+		go func() { done <- run(args, io.Discard, stderr, ready) }()
+		select {
+		case addr = <-ready:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("server never became ready (stderr %q)", stderr.String())
+		}
+		return addr, done, stderr
+	}
+	fetch := func(base, path string) []byte {
+		t.Helper()
+		resp, err := http.Get("http://" + base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d (%s)", path, resp.StatusCode, body)
+		}
+		return body
+	}
+
+	workerAddr, workerDone, _ := startServe("-addr", "127.0.0.1:0", "-role", "worker")
+	coordAddr, coordDone, coordErr := startServe("-addr", "127.0.0.1:0",
+		"-role", "coordinator", "-workers", workerAddr, "-probe-every", "50ms")
+
+	const path = "/api/sweep?grid=model%3D4B%3Bmethod%3Dbaseline%2Cvocab-1%3Bvocab%3D32k%3Bmicro%3D16"
+	sharded := fetch(coordAddr, path)
+	direct := fetch(workerAddr, path)
+	if string(sharded) != string(direct) {
+		t.Error("coordinator response differs from the worker's own")
+	}
+	var h struct {
+		Role     string `json:"role"`
+		Dispatch *struct {
+			Remote int64 `json:"remote"`
+		} `json:"dispatch"`
+	}
+	if err := json.Unmarshal(fetch(coordAddr, "/healthz"), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Role != "coordinator" || h.Dispatch == nil || h.Dispatch.Remote == 0 {
+		t.Errorf("coordinator healthz = %+v, want coordinator role with remote shards", h)
+	}
+
+	// One SIGTERM reaches both in-process serve loops; both must drain.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for _, done := range []chan int{workerDone, coordDone} {
+		select {
+		case code := <-done:
+			if code != 0 {
+				t.Fatalf("exit %d (coordinator stderr %q)", code, coordErr.String())
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("server did not shut down after SIGTERM")
+		}
+	}
+	if !strings.Contains(coordErr.String(), "role coordinator") {
+		t.Errorf("coordinator log missing role: %q", coordErr.String())
+	}
+}

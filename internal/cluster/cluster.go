@@ -1,0 +1,477 @@
+// Package cluster scales vpserve horizontally: a coordinator shards a
+// sweep.Grid into contiguous cell ranges over the grid's deterministic
+// expansion order, dispatches each shard to a worker vpserve instance over
+// the existing HTTP API (POST /api/shard), and merges the per-shard records
+// back into expansion order — so the coordinator's JSON stays byte-identical
+// to a single-node run no matter how many workers computed it.
+//
+// Fault model:
+//
+//   - bounded fan-out: at most Options.MaxInFlight shard requests are on the
+//     wire at once;
+//   - retry: a failed shard is retried on a different worker (each worker is
+//     tried at most once per shard);
+//   - hedging: a shard still unanswered after Options.HedgeAfter is sent to
+//     a second worker; the first response wins and the loser is cancelled;
+//   - circuit breaking: a worker with Options.FailureThreshold consecutive
+//     failures is skipped for Options.Cooldown, then allowed one half-open
+//     trial (Probe can also close the circuit early via /healthz);
+//   - attempt deadline: a single worker request is abandoned (and counted
+//     as a failure) after Options.AttemptTimeout, so a worker that hangs
+//     without erroring cannot wedge a shard past retry and fallback;
+//   - local fallback: a shard every worker failed is evaluated in-process
+//     (unless Options.DisableFallback), so a coordinator degrades to
+//     single-node behavior rather than failing the request.
+//
+// Cancellation propagates end to end: the caller's context flows into every
+// shard request, workers observe the closed connection and stop their sweep
+// at the next cell boundary, and the dispatcher returns the context error.
+//
+// Only grids whose cells are fully described by (label, config, method) can
+// cross the wire — sweep.Shardable gates dispatch, and grids with custom
+// Eval closures are evaluated locally by the serving layer instead.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vocabpipe/internal/costmodel"
+	"vocabpipe/internal/report"
+	"vocabpipe/internal/sim"
+	"vocabpipe/internal/sweep"
+)
+
+// Options tunes a Dispatcher.
+type Options struct {
+	// Workers are the worker base URLs ("http://host:port"; a bare
+	// "host:port" gets the scheme prepended). Required.
+	Workers []string
+	// ShardsPerWorker scales shard granularity: a grid splits into
+	// min(cells, workers × ShardsPerWorker) shards (default 4). Finer shards
+	// cost more round trips but make retries cheaper and stragglers smaller.
+	ShardsPerWorker int
+	// MaxInFlight bounds concurrent shard requests (default 2 × workers).
+	MaxInFlight int
+	// HedgeAfter is how long a shard request may go unanswered before a
+	// duplicate is sent to another worker (default 2s; negative disables).
+	HedgeAfter time.Duration
+	// AttemptTimeout is the hard deadline on a single worker request
+	// (default 2m; negative disables). Hedging handles ordinary stragglers
+	// long before this fires — the timeout exists so a worker that hangs
+	// without closing its connection (SIGSTOP, network partition) still
+	// counts as a failure and the shard moves on to retry and, ultimately,
+	// local fallback instead of wedging the request forever.
+	AttemptTimeout time.Duration
+	// FailureThreshold is the consecutive-failure count that opens a
+	// worker's circuit (default 3).
+	FailureThreshold int
+	// Cooldown is how long an open circuit skips its worker before a
+	// half-open trial (default 5s).
+	Cooldown time.Duration
+	// LocalParallel is the sweep worker count used by local fallback
+	// (default GOMAXPROCS, the sweep engine's own default).
+	LocalParallel int
+	// DisableFallback makes a shard with no healthy worker a hard error
+	// instead of evaluating it in-process.
+	DisableFallback bool
+	// Client is the HTTP client shard requests use (default a dedicated
+	// client; per-request deadlines come from the caller's context).
+	Client *http.Client
+}
+
+// Stats counts dispatcher activity since construction; the perf suite and
+// tests read it to prove the retry/hedge paths actually ran.
+type Stats struct {
+	Shards    int64 `json:"shards"`     // shard requests resolved (any path)
+	Remote    int64 `json:"remote"`     // shards answered by a worker
+	Retries   int64 `json:"retries"`    // extra worker attempts after a failure
+	Hedges    int64 `json:"hedges"`     // duplicate requests sent to stragglers
+	HedgeWins int64 `json:"hedge_wins"` // hedged duplicates that answered first
+	Fallbacks int64 `json:"fallbacks"`  // shards evaluated in-process
+}
+
+// Dispatcher is the coordinator side of the cluster: it owns the worker
+// pool, the per-worker circuit state and the shard fan-out. Construct with
+// New; a Dispatcher is safe for concurrent use.
+type Dispatcher struct {
+	opt     Options
+	workers []*workerState
+	client  *http.Client
+	rr      atomic.Uint64 // round-robin cursor for worker picking
+	// sem bounds concurrent shard dispatches across every entry point —
+	// grid fan-out and per-cell tuner evaluations share the same budget.
+	sem chan struct{}
+	now func() time.Time
+
+	shards    atomic.Int64
+	remote    atomic.Int64
+	retries   atomic.Int64
+	hedges    atomic.Int64
+	hedgeWins atomic.Int64
+	fallbacks atomic.Int64
+}
+
+// New builds a Dispatcher. Worker URLs are normalized ("host:port" gains
+// "http://"); an empty worker list panics — a coordinator without workers
+// is a construction bug, not a runtime condition.
+func New(opt Options) *Dispatcher {
+	if len(opt.Workers) == 0 {
+		panic("cluster: New needs at least one worker URL")
+	}
+	if opt.ShardsPerWorker <= 0 {
+		opt.ShardsPerWorker = 4
+	}
+	if opt.MaxInFlight <= 0 {
+		opt.MaxInFlight = 2 * len(opt.Workers)
+	}
+	if opt.HedgeAfter == 0 {
+		opt.HedgeAfter = 2 * time.Second
+	}
+	if opt.AttemptTimeout == 0 {
+		opt.AttemptTimeout = 2 * time.Minute
+	}
+	if opt.FailureThreshold <= 0 {
+		opt.FailureThreshold = 3
+	}
+	if opt.Cooldown <= 0 {
+		opt.Cooldown = 5 * time.Second
+	}
+	client := opt.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	d := &Dispatcher{opt: opt, client: client, sem: make(chan struct{}, opt.MaxInFlight), now: time.Now}
+	for _, w := range opt.Workers {
+		if !strings.Contains(w, "://") {
+			w = "http://" + w
+		}
+		d.workers = append(d.workers, &workerState{url: strings.TrimRight(w, "/")})
+	}
+	return d
+}
+
+// Stats snapshots the dispatch counters.
+func (d *Dispatcher) Stats() Stats {
+	return Stats{
+		Shards:    d.shards.Load(),
+		Remote:    d.remote.Load(),
+		Retries:   d.retries.Load(),
+		Hedges:    d.hedges.Load(),
+		HedgeWins: d.hedgeWins.Load(),
+		Fallbacks: d.fallbacks.Load(),
+	}
+}
+
+// Records evaluates the grid across the worker pool and returns its records
+// in expansion order — the same slice a local sweep.Run(...).Records()
+// yields, byte-for-byte once serialized. Non-shardable grids (custom Eval
+// closures) and empty grids are evaluated locally.
+func (d *Dispatcher) Records(ctx context.Context, g *sweep.Grid) ([]report.Record, error) {
+	cells := g.Expand()
+	if len(cells) == 0 || !sweep.Shardable(g) {
+		return d.localRecords(ctx, g)
+	}
+	ranges := sweep.SplitCells(len(cells), len(d.workers)*d.opt.ShardsPerWorker)
+
+	// One failed shard cancels the rest: the merged response is all or
+	// nothing, so finishing sibling shards for a doomed request only wastes
+	// worker time.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	shards := make([][]report.Record, len(ranges))
+	errs := make([]error, len(ranges))
+	var wg sync.WaitGroup
+	for i, r := range ranges {
+		wg.Add(1)
+		go func(i int, r sweep.Range) {
+			defer wg.Done()
+			shards[i], errs[i] = d.runShard(ctx, g, cells, r)
+			if errs[i] != nil {
+				cancel()
+			}
+		}(i, r)
+	}
+	wg.Wait()
+	// A real shard failure cancels its siblings, which then report their
+	// context's error *verbatim*; surface the root cause, not the
+	// collateral ones, so the serving layer can tell "cluster failed" from
+	// "client gone". Identity comparison on purpose: real failures always
+	// arrive wrapped (and may wrap context.DeadlineExceeded via the
+	// attempt timeout), while collateral errors are bare ctx.Err() values.
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if err != context.Canceled && err != context.DeadlineExceeded {
+			return nil, err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return sweep.MergeShardRecords(len(cells), ranges, shards)
+}
+
+// EvalCell evaluates a single cell remotely with the same retry, hedging
+// and fallback semantics as a shard — the seam tune searches use to farm
+// candidate simulations out to the cluster (tune.Options.Eval). The result
+// is reconstructed from the worker's record bit-exactly where it matters:
+// IterTime travels verbatim, MFU (the default objective) is recomputed
+// locally as the pure function costmodel.Config.MFU(iterTime), and the GiB
+// memory fields scale by a power of two, so a coordinator-mode search ranks
+// identically to a local one. Only Bubble — a timeline property the record
+// carries as a percentage — may differ in the last ULP; derived per-device
+// slices and timelines stay empty.
+func (d *Dispatcher) EvalCell(ctx context.Context, c sweep.Cell) (*sim.Result, error) {
+	// The incoming cell's Eval is typically the very hook that routed it
+	// here (tune wires Options.Eval to this method); drop it so the local
+	// fallback simulates the cell instead of recursing into the dispatcher.
+	c.Eval = nil
+	g := &sweep.Grid{Name: c.Experiment, Cells: []sweep.Cell{c}}
+	if c.Experiment == "" {
+		g.Name = "cell"
+	}
+	cells := g.Expand()
+	recs, err := d.runShard(ctx, g, cells, sweep.Range{Start: 0, End: 1})
+	if err != nil {
+		return nil, err
+	}
+	rec := recs[0]
+	if rec.Error != "" {
+		// The worker's sweep already wrapped the cell label; strip the
+		// prefix so the local engine's own wrapping doesn't stutter.
+		msg := strings.TrimPrefix(rec.Error, fmt.Sprintf("sweep: cell %q: ", cells[0].Label))
+		return nil, fmt.Errorf("%s", msg)
+	}
+	cfg := cells[0].Config
+	res := &sim.Result{
+		Config:   cfg,
+		Method:   cells[0].Method,
+		IterTime: rec.IterTimeS,
+		MFU:      cfg.MFU(rec.IterTimeS),
+		MaxMem:   rec.PeakMemGB * costmodel.GiB,
+		MinMem:   rec.MinMemGB * costmodel.GiB,
+		OOM:      rec.OOM,
+		Bubble:   rec.BubblePct / 100,
+	}
+	return res, nil
+}
+
+// localRecords is the in-process path: non-shardable grids and fallback.
+func (d *Dispatcher) localRecords(ctx context.Context, g *sweep.Grid) ([]report.Record, error) {
+	res, err := sweep.RunCtx(ctx, g, sweep.Options{Parallel: d.opt.LocalParallel})
+	if err != nil {
+		return nil, err
+	}
+	return res.Records(), nil
+}
+
+// runShard resolves one shard: try workers (each at most once, hedging
+// stragglers) until one answers, then fall back to local evaluation.
+func (d *Dispatcher) runShard(ctx context.Context, g *sweep.Grid, cells []sweep.Cell, r sweep.Range) ([]report.Record, error) {
+	// Bounded fan-out lives here so every dispatch path — grid shards and
+	// EvalCell's single-cell tuner evaluations alike — shares one budget.
+	select {
+	case d.sem <- struct{}{}:
+		defer func() { <-d.sem }()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	d.shards.Add(1)
+	body, err := json.Marshal(NewShardRequest(g, cells, r))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encoding shard: %w", err)
+	}
+	tried := make(map[*workerState]bool, len(d.workers))
+	var lastErr error
+	for attempt := 0; len(tried) < len(d.workers); attempt++ {
+		w := d.pick(tried)
+		if w == nil {
+			break // every untried worker has an open circuit
+		}
+		tried[w] = true
+		if attempt > 0 {
+			d.retries.Add(1)
+		}
+		recs, err := d.attempt(ctx, w, tried, body, r.Len())
+		if err == nil {
+			d.remote.Add(1)
+			return recs, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		lastErr = err
+	}
+	if d.opt.DisableFallback {
+		if lastErr == nil {
+			lastErr = fmt.Errorf("cluster: no worker available (all circuits open)")
+		}
+		return nil, fmt.Errorf("cluster: shard [%d,%d) of %q failed on every worker: %w", r.Start, r.End, g.Name, lastErr)
+	}
+	d.fallbacks.Add(1)
+	return d.localRecords(ctx, sweep.Subgrid(g, cells, r))
+}
+
+// attempt posts the shard to primary; if HedgeAfter elapses without an
+// answer, a duplicate goes to one more untried worker and the first success
+// wins (the loser's request is cancelled). Workers the hedge consumes are
+// added to tried.
+func (d *Dispatcher) attempt(ctx context.Context, primary *workerState, tried map[*workerState]bool, body []byte, wantLen int) ([]report.Record, error) {
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		recs   []report.Record
+		err    error
+		hedged bool
+	}
+	ch := make(chan outcome, 2)
+	post := func(w *workerState, hedged bool) {
+		recs, err := d.post(actx, w, body, wantLen)
+		ch <- outcome{recs: recs, err: err, hedged: hedged}
+	}
+	go post(primary, false)
+	inFlight := 1
+
+	var hedgeC <-chan time.Time
+	if d.opt.HedgeAfter > 0 {
+		t := time.NewTimer(d.opt.HedgeAfter)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	var lastErr error
+	primaryDone := false
+	for inFlight > 0 {
+		select {
+		case o := <-ch:
+			inFlight--
+			if !o.hedged {
+				primaryDone = true
+			}
+			if o.err == nil {
+				if o.hedged {
+					d.hedgeWins.Add(1)
+					// The hedge only existed because the primary sat silent
+					// past HedgeAfter; losing to it while STILL in flight is
+					// evidence of a stuck worker, not of a cancelled caller,
+					// so charge the primary's circuit — otherwise a
+					// SIGSTOPped worker whose shards are always rescued by
+					// healthy siblings would never trip its breaker. A
+					// primary that already completed with an error was
+					// charged by its own outcome; don't count it twice.
+					if !primaryDone {
+						primary.chargeSlow(d.opt.FailureThreshold, d.opt.Cooldown, d.now())
+					}
+				}
+				return o.recs, nil
+			}
+			lastErr = o.err
+		case <-hedgeC:
+			hedgeC = nil
+			if h := d.pick(tried); h != nil {
+				tried[h] = true
+				d.hedges.Add(1)
+				go post(h, true)
+				inFlight++
+			}
+		}
+	}
+	return nil, lastErr
+}
+
+// post sends one shard request to one worker and decodes the records.
+// Outcomes feed the worker's circuit state; attempts aborted by the
+// caller's own cancellation (client gone, hedge lost) are neutral — a
+// cancelled caller says nothing about worker health — but an attempt that
+// hits AttemptTimeout is a failure like any other.
+func (d *Dispatcher) post(ctx context.Context, w *workerState, body []byte, wantLen int) ([]report.Record, error) {
+	caller := ctx
+	if d.opt.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d.opt.AttemptTimeout)
+		defer cancel()
+	}
+	w.beginRequest()
+	recs, err := func() ([]report.Record, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/api/shard", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := d.client.Do(req)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: worker %s: %w", w.url, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+			return nil, fmt.Errorf("cluster: worker %s: HTTP %d: %s", w.url, resp.StatusCode, bytes.TrimSpace(msg))
+		}
+		var recs []report.Record
+		if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+			return nil, fmt.Errorf("cluster: worker %s: bad shard response: %w", w.url, err)
+		}
+		if len(recs) != wantLen {
+			return nil, fmt.Errorf("cluster: worker %s: %d records for a %d-cell shard", w.url, len(recs), wantLen)
+		}
+		return recs, nil
+	}()
+	switch {
+	case err == nil:
+		w.endRequest(outcomeSuccess, d.opt.FailureThreshold, d.opt.Cooldown, d.now())
+	case caller.Err() != nil:
+		w.endRequest(outcomeNeutral, d.opt.FailureThreshold, d.opt.Cooldown, d.now())
+	default:
+		w.endRequest(outcomeFailure, d.opt.FailureThreshold, d.opt.Cooldown, d.now())
+	}
+	return recs, err
+}
+
+// pick chooses the next worker: among workers not yet tried whose circuit
+// admits a request (closed, or open-with-expired-cooldown handing out its
+// single half-open trial), least in-flight wins, round-robin breaking ties
+// so load spreads even when everything is idle. Candidates are surveyed
+// with load() first and only the winner is admitted, so losing candidates'
+// half-open trials are not consumed by a survey they did not win.
+func (d *Dispatcher) pick(tried map[*workerState]bool) *workerState {
+	now := d.now()
+	start := int(d.rr.Add(1)-1) % len(d.workers)
+	for i := 0; i < len(d.workers); i++ {
+		var best *workerState
+		bestLoad := 0
+		for j := 0; j < len(d.workers); j++ {
+			w := d.workers[(start+j)%len(d.workers)]
+			if tried[w] || !w.peekAdmit(now) {
+				continue
+			}
+			if load := w.load(); best == nil || load < bestLoad {
+				best, bestLoad = w, load
+			}
+		}
+		if best == nil {
+			return nil
+		}
+		// Between the survey and here another goroutine may have consumed
+		// best's half-open trial; re-check under the worker's own lock and
+		// re-survey on loss (bounded by the worker count).
+		if best.admit(now, d.opt.Cooldown) {
+			return best
+		}
+		tried[best] = true
+	}
+	return nil
+}

@@ -1,0 +1,480 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vocabpipe/internal/report"
+	"vocabpipe/internal/sweep"
+	"vocabpipe/internal/tune"
+)
+
+// testGrid is a small shardable grid (3 cells) every unit test reuses.
+func testGrid(t *testing.T) *sweep.Grid {
+	t.Helper()
+	g, err := sweep.ParseGrid("model=4B;method=baseline,vocab-1,vocab-2;vocab=32k;micro=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// localRecords computes the grid's records in-process — the oracle every
+// dispatch result must match exactly.
+func localRecords(g *sweep.Grid) []report.Record {
+	return sweep.Run(g, sweep.Options{}).Records()
+}
+
+// stubWorker serves the /api/shard protocol by evaluating the shard
+// locally, with optional hooks for delaying or failing requests.
+type stubWorker struct {
+	ts *httptest.Server
+	// delay blocks each shard response until it returns (nil = no delay).
+	// It receives the request so gates can also select on its context —
+	// a handler must unblock when the dispatcher abandons the request, or
+	// the httptest server's Close would deadlock at cleanup.
+	delay func(r *http.Request)
+	// failures: while positive, requests answer 500 and decrement.
+	failures atomic.Int64
+	requests atomic.Int64
+}
+
+func newStubWorker(t *testing.T, delay func(r *http.Request)) *stubWorker {
+	t.Helper()
+	w := &stubWorker{delay: delay}
+	w.ts = httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		w.requests.Add(1)
+		if r.URL.Path == "/healthz" {
+			rw.Write([]byte(`{"status":"ok"}`))
+			return
+		}
+		if w.failures.Load() > 0 {
+			w.failures.Add(-1)
+			http.Error(rw, `{"error":"injected failure"}`, http.StatusInternalServerError)
+			return
+		}
+		// Consume the body BEFORE any gate: net/http only watches for
+		// client aborts (and cancels r.Context()) once the request body has
+		// been read, and a gated handler that never observes cancellation
+		// would wedge the server's Close at cleanup. The real shard handler
+		// decodes the body first for the same reason.
+		var req ShardRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		io.Copy(io.Discard, r.Body)
+		if w.delay != nil {
+			w.delay(r)
+		}
+		g, err := req.ToGrid()
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		report.WriteJSON(rw, localRecords(g))
+	}))
+	t.Cleanup(w.ts.Close)
+	return w
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	g := testGrid(t)
+	cells := g.Expand()
+	r := sweep.Range{Start: 1, End: 3}
+	req := NewShardRequest(g, cells, r)
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ShardRequest
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := back.ToGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sub.Expand()
+	if len(got) != 2 {
+		t.Fatalf("reconstructed %d cells, want 2", len(got))
+	}
+	for i, c := range got {
+		want := cells[r.Start+i]
+		if c.Label != want.Label || c.Config != want.Config || c.Method != want.Method {
+			t.Errorf("cell %d = %+v, want %+v", i, c, want)
+		}
+	}
+	// The reconstructed sub-grid's canonical key is self-consistent: two
+	// identical shards coalesce in a worker's cache.
+	sub2, _ := back.ToGrid()
+	if sub.Key() != sub2.Key() {
+		t.Error("reconstructed grids disagree on Key()")
+	}
+}
+
+func TestWireRejects(t *testing.T) {
+	tests := []struct {
+		name string
+		req  ShardRequest
+	}{
+		{"no cells", ShardRequest{Grid: "g"}},
+		{"range mismatch", ShardRequest{Grid: "g", Range: sweep.Range{Start: 0, End: 2},
+			Cells: []WireCell{{Label: "a", Method: "baseline"}}}},
+		{"missing label", ShardRequest{Grid: "g", Range: sweep.Range{Start: 0, End: 1},
+			Cells: []WireCell{{Method: "baseline"}}}},
+		{"unknown method", ShardRequest{Grid: "g", Range: sweep.Range{Start: 0, End: 1},
+			Cells: []WireCell{{Label: "a", Method: "warp"}}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := tt.req.ToGrid(); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}
+
+// TestDispatchMatchesLocal proves the merged dispatch result equals the
+// local oracle for several worker counts and shard granularities.
+func TestDispatchMatchesLocal(t *testing.T) {
+	g := testGrid(t)
+	want := localRecords(g)
+	for _, workers := range []int{1, 2, 3} {
+		urls := make([]string, workers)
+		for i := range urls {
+			urls[i] = newStubWorker(t, nil).ts.URL
+		}
+		d := New(Options{Workers: urls, ShardsPerWorker: 2})
+		got, err := d.Records(context.Background(), g)
+		if err != nil {
+			t.Fatalf("%d workers: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%d workers: merged records differ from local sweep", workers)
+		}
+	}
+}
+
+// TestRetryOnWorkerFailure: a worker that 500s forces the shard onto a
+// different worker, the merged result is still correct, and the failure is
+// recorded against the bad worker's circuit state.
+func TestRetryOnWorkerFailure(t *testing.T) {
+	g := testGrid(t)
+	bad := newStubWorker(t, nil)
+	bad.failures.Store(1000)
+	good := newStubWorker(t, nil)
+	d := New(Options{Workers: []string{bad.ts.URL, good.ts.URL}, ShardsPerWorker: 1, HedgeAfter: -1})
+	got, err := d.Records(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, localRecords(g)) {
+		t.Error("records differ from local sweep after retries")
+	}
+	st := d.Stats()
+	if st.Retries == 0 {
+		t.Errorf("stats = %+v, want retries > 0", st)
+	}
+	var badFails int64
+	for _, h := range d.Health() {
+		if h.URL == bad.ts.URL {
+			badFails = h.Failures
+		}
+	}
+	if badFails == 0 {
+		t.Errorf("bad worker's failures not recorded: %+v", d.Health())
+	}
+}
+
+// TestCircuitBreaker drives the breaker through closed → open → half-open
+// → closed with an injected clock.
+func TestCircuitBreaker(t *testing.T) {
+	now := time.Unix(1000, 0)
+	w := &workerState{url: "http://w"}
+	const threshold = 3
+	cooldown := 5 * time.Second
+
+	record := func(o requestOutcome) {
+		w.beginRequest()
+		w.endRequest(o, threshold, cooldown, now)
+	}
+	for i := 0; i < threshold-1; i++ {
+		record(outcomeFailure)
+		if !w.admit(now, cooldown) {
+			t.Fatalf("circuit opened after %d failures, threshold is %d", i+1, threshold)
+		}
+	}
+	record(outcomeFailure)
+	if w.admit(now, cooldown) {
+		t.Fatal("circuit still closed at the failure threshold")
+	}
+	// Neutral outcomes (cancelled callers) must not extend the cooldown or
+	// close the circuit.
+	record(outcomeNeutral)
+	if w.admit(now, cooldown) {
+		t.Fatal("neutral outcome closed the circuit")
+	}
+	// Cooldown expiry admits exactly ONE half-open trial: the grant re-arms
+	// the window, so a concurrent second request is refused instead of
+	// piling onto a possibly-still-dead worker.
+	now = now.Add(cooldown)
+	if !w.peekAdmit(now) || !w.admit(now, cooldown) {
+		t.Fatal("circuit not half-open after cooldown")
+	}
+	if w.admit(now, cooldown) {
+		t.Fatal("half-open circuit admitted a second concurrent trial")
+	}
+	// The trial's failure re-opens immediately...
+	record(outcomeFailure)
+	if w.admit(now, cooldown) {
+		t.Fatal("failed half-open trial left the circuit closed")
+	}
+	// ...and a later trial's success closes it fully, unmetered again.
+	now = now.Add(cooldown)
+	if !w.admit(now, cooldown) {
+		t.Fatal("no trial admitted after the second cooldown")
+	}
+	record(outcomeSuccess)
+	if !w.admit(now, cooldown) || !w.admit(now, cooldown) {
+		t.Fatal("success did not fully close the circuit")
+	}
+	w.mu.Lock()
+	fails := w.fails
+	w.mu.Unlock()
+	if fails != 0 {
+		t.Fatalf("success left %d consecutive fails", fails)
+	}
+}
+
+// TestHedgeStraggler: the primary worker hangs, the hedge timer fires, the
+// duplicate lands on the other worker and wins; the slow response is
+// cancelled and discarded.
+func TestHedgeStraggler(t *testing.T) {
+	g := testGrid(t)
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) })
+	slow := newStubWorker(t, func(r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	})
+	fast := newStubWorker(t, nil)
+
+	// One shard for the whole grid, primary picked in worker order, so the
+	// slow worker always gets the first request.
+	d := New(Options{
+		Workers:         []string{slow.ts.URL, fast.ts.URL},
+		ShardsPerWorker: 1,
+		MaxInFlight:     1,
+		HedgeAfter:      20 * time.Millisecond,
+	})
+	start := time.Now()
+	got, err := d.Records(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("dispatch took %v; the hedge did not rescue the straggler", elapsed)
+	}
+	if !reflect.DeepEqual(got, localRecords(g)) {
+		t.Error("hedged records differ from local sweep")
+	}
+	st := d.Stats()
+	if st.Hedges != 1 || st.HedgeWins != 1 {
+		t.Errorf("stats = %+v, want exactly one hedge and one hedge win", st)
+	}
+	if fast.requests.Load() == 0 {
+		t.Error("fast worker never saw the hedged request")
+	}
+	// Losing to a hedge is charged as a circuit failure against the
+	// straggler — a SIGSTOPped worker rescued by healthy siblings must
+	// still trip its breaker eventually.
+	for _, h := range d.Health() {
+		if h.URL == slow.ts.URL && h.Failures == 0 {
+			t.Errorf("straggler not charged for losing the hedge: %+v", h)
+		}
+	}
+}
+
+// TestLocalFallback: with every worker dead the dispatcher evaluates
+// in-process and still returns the exact records.
+func TestLocalFallback(t *testing.T) {
+	g := testGrid(t)
+	dead := newStubWorker(t, nil)
+	dead.ts.Close() // connection refused from the start
+	d := New(Options{Workers: []string{dead.ts.URL}, HedgeAfter: -1})
+	got, err := d.Records(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, localRecords(g)) {
+		t.Error("fallback records differ from local sweep")
+	}
+	if st := d.Stats(); st.Fallbacks == 0 {
+		t.Errorf("stats = %+v, want fallbacks > 0", st)
+	}
+}
+
+// TestDisableFallback: the same dead pool is a hard error when fallback is
+// off, and the error names the shard, not a bare context message.
+func TestDisableFallback(t *testing.T) {
+	g := testGrid(t)
+	dead := newStubWorker(t, nil)
+	dead.ts.Close()
+	d := New(Options{Workers: []string{dead.ts.URL}, DisableFallback: true, HedgeAfter: -1})
+	_, err := d.Records(context.Background(), g)
+	if err == nil {
+		t.Fatal("want error with fallback disabled and no live workers")
+	}
+	if !strings.Contains(err.Error(), "failed on every worker") {
+		t.Errorf("err = %v, want a shard-failure error", err)
+	}
+}
+
+// TestDispatchCancellation: cancelling the caller's context aborts the
+// dispatch promptly even while a worker hangs, and reports the context
+// error rather than a worker error.
+func TestDispatchCancellation(t *testing.T) {
+	g := testGrid(t)
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) })
+	slow := newStubWorker(t, func(r *http.Request) {
+		started <- struct{}{}
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	})
+	d := New(Options{Workers: []string{slow.ts.URL}, ShardsPerWorker: 1, HedgeAfter: -1})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.Records(ctx, g)
+		done <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("dispatch did not return after cancellation")
+	}
+}
+
+// TestProbe: a probe against a dead worker opens its circuit (after the
+// threshold) and against a live one closes it immediately.
+func TestProbe(t *testing.T) {
+	w := newStubWorker(t, nil)
+	d := New(Options{Workers: []string{w.ts.URL}, FailureThreshold: 1, Cooldown: time.Hour})
+	// Kill the worker: one failed probe must open the circuit.
+	w.ts.Close()
+	d.Probe(context.Background())
+	if h := d.Health(); !h[0].CircuitOpen {
+		t.Fatalf("health after failed probe = %+v, want open circuit", h[0])
+	}
+	// Revive at the same address: impossible with httptest, so boot a new
+	// worker and point a fresh dispatcher's state at it through a probe.
+	w2 := newStubWorker(t, nil)
+	d2 := New(Options{Workers: []string{w2.ts.URL}, FailureThreshold: 1, Cooldown: time.Hour})
+	d2.workers[0].beginRequest()
+	d2.workers[0].endRequest(outcomeFailure, 1, time.Hour, d2.now()) // force open
+	if h := d2.Health(); !h[0].CircuitOpen {
+		t.Fatalf("setup: circuit should be open: %+v", h[0])
+	}
+	d2.Probe(context.Background())
+	if h := d2.Health(); h[0].CircuitOpen {
+		t.Fatalf("health after successful probe = %+v, want closed circuit", h[0])
+	}
+}
+
+func TestNewNormalizesURLs(t *testing.T) {
+	d := New(Options{Workers: []string{"127.0.0.1:9", "http://h:1/", "https://h2"}})
+	got := []string{d.workers[0].url, d.workers[1].url, d.workers[2].url}
+	want := []string{"http://127.0.0.1:9", "http://h:1", "https://h2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("normalized = %v, want %v", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("New with no workers did not panic")
+		}
+	}()
+	New(Options{})
+}
+
+// TestEvalCellFallbackDoesNotRecurse: the tune integration wires a cell's
+// Eval hook to EvalCell itself. With every worker dead, the local fallback
+// must simulate the cell rather than re-enter the dispatcher through that
+// hook — a regression here is an unbounded recursion, not a test failure,
+// so the tune search below must simply complete with a real result.
+func TestEvalCellFallbackDoesNotRecurse(t *testing.T) {
+	dead := newStubWorker(t, nil)
+	dead.ts.Close()
+	d := New(Options{Workers: []string{dead.ts.URL}, HedgeAfter: -1})
+
+	spec, err := tune.ParseSpec("model=4B;devices=8;micro=32,64;method=vocab-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tune.Search(context.Background(), spec, tune.StrategyExhaustive,
+		tune.Options{Parallel: 1, Eval: d.EvalCell})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != 2 || res.Best == nil || !res.Best.Feasible {
+		t.Fatalf("fallback search result = %+v", res)
+	}
+	if st := d.Stats(); st.Fallbacks != 2 {
+		t.Errorf("stats = %+v, want 2 local fallbacks (one per candidate)", st)
+	}
+}
+
+// TestAttemptTimeoutUnwedgesStalledPool: a worker that hangs without
+// closing its connection (the SIGSTOP / partition shape) must not wedge
+// the request — the attempt deadline fails it, the circuit records a real
+// failure, and the shard completes via local fallback.
+func TestAttemptTimeoutUnwedgesStalledPool(t *testing.T) {
+	g := testGrid(t)
+	stalled := newStubWorker(t, func(r *http.Request) {
+		<-r.Context().Done() // never answers; unblocks only when abandoned
+	})
+	d := New(Options{
+		Workers:         []string{stalled.ts.URL},
+		ShardsPerWorker: 1,
+		HedgeAfter:      -1,
+		AttemptTimeout:  50 * time.Millisecond,
+	})
+	start := time.Now()
+	got, err := d.Records(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("dispatch took %v; the attempt timeout did not fire", elapsed)
+	}
+	if !reflect.DeepEqual(got, localRecords(g)) {
+		t.Error("fallback records differ from local sweep")
+	}
+	if st := d.Stats(); st.Fallbacks == 0 {
+		t.Errorf("stats = %+v, want fallbacks > 0", st)
+	}
+	// The stall was charged to the worker, not excused as a cancellation.
+	if h := d.Health(); h[0].Failures == 0 {
+		t.Errorf("stalled worker health = %+v, want recorded failures", h[0])
+	}
+}

@@ -1,0 +1,120 @@
+// Package clustertest boots a coordinator plus N worker vpserve instances
+// entirely in-process on httptest servers, so distributed-mode behavior —
+// merge determinism, retry on worker death, hedged stragglers, cancellation
+// propagation — is exercised race-clean in `go test ./...` with no real
+// network, no binaries and no ports to leak.
+//
+// The harness is deliberately thin: real server.Server instances on real
+// loopback HTTP, with two test-only affordances — KillWorker (abort the
+// worker's live connections, then stop its listener, the in-process
+// equivalent of a crashed instance) and Options.WorkerMiddleware (wrap a
+// worker's handler to delay or gate requests deterministically).
+package clustertest
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"vocabpipe/internal/cluster"
+	"vocabpipe/internal/server"
+)
+
+// Options shapes a test cluster.
+type Options struct {
+	// Coordinator configures the coordinator server (its Cluster field is
+	// overwritten with the booted workers plus the Cluster tuning below).
+	Coordinator server.Options
+	// Worker configures each worker server.
+	Worker server.Options
+	// Cluster tunes the coordinator's dispatcher (Workers is filled in by
+	// Start). Tests lower HedgeAfter/Cooldown here to make timing-dependent
+	// paths fast and deterministic.
+	Cluster cluster.Options
+	// WorkerMiddleware, when non-nil, wraps worker i's handler — e.g. to
+	// delay shard responses (forcing a hedge) or to signal request arrival.
+	WorkerMiddleware func(i int, next http.Handler) http.Handler
+}
+
+// Node is one booted worker.
+type Node struct {
+	Server *server.Server
+	TS     *httptest.Server
+
+	mu     sync.Mutex
+	killed bool
+}
+
+// URL is the worker's base URL.
+func (n *Node) URL() string { return n.TS.URL }
+
+// Kill aborts the worker mid-flight: live connections are torn down first
+// (in-flight shard requests fail at the coordinator and retry elsewhere;
+// the worker's own sweeps stop at the next cell boundary), then the
+// listener closes so later dials fail fast. Idempotent.
+func (n *Node) Kill() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.killed {
+		return
+	}
+	n.killed = true
+	n.TS.CloseClientConnections()
+	n.TS.Close()
+}
+
+// Cluster is a coordinator wired to its workers.
+type Cluster struct {
+	Coordinator *server.Server
+	// Front is the coordinator's HTTP front door; drive requests at
+	// Front.URL exactly as a client would a real coordinator.
+	Front   *httptest.Server
+	Workers []*Node
+}
+
+// URL is the coordinator's base URL.
+func (c *Cluster) URL() string { return c.Front.URL }
+
+// Start boots n workers and one coordinator pointed at all of them,
+// registering cleanup on t. Zero-value Options give production defaults.
+func Start(t testing.TB, n int, opt Options) *Cluster {
+	t.Helper()
+	c := &Cluster{}
+	urls := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		ws := server.New(opt.Worker)
+		var h http.Handler = ws.Handler()
+		if opt.WorkerMiddleware != nil {
+			h = opt.WorkerMiddleware(i, h)
+		}
+		node := &Node{Server: ws, TS: httptest.NewServer(h)}
+		c.Workers = append(c.Workers, node)
+		urls = append(urls, node.TS.URL)
+	}
+	opt.Cluster.Workers = urls
+	opt.Coordinator.Cluster = opt.Cluster
+	c.Coordinator = server.New(opt.Coordinator)
+	c.Front = httptest.NewServer(c.Coordinator.Handler())
+
+	t.Cleanup(func() {
+		c.Front.Close()
+		closeServer(t, c.Coordinator)
+		for _, w := range c.Workers {
+			w.Kill() // idempotent: already-killed workers are a no-op
+			closeServer(t, w.Server)
+		}
+	})
+	return c
+}
+
+func closeServer(t testing.TB, s *server.Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Errorf("clustertest: server close: %v", err)
+	}
+}

@@ -1,0 +1,348 @@
+// End-to-end distributed-mode tests: real server.Server coordinator and
+// workers on loopback httptest servers (see clustertest), driven through
+// the public HTTP API exactly as production traffic would be. These are
+// the acceptance tests for the cluster: merge determinism against the
+// committed table5 golden, retry across a worker killed mid-sweep,
+// cancellation propagation, and tuner jobs evaluating through the pool.
+package cluster_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vocabpipe/internal/cluster"
+	"vocabpipe/internal/cluster/clustertest"
+	"vocabpipe/internal/experiments"
+	"vocabpipe/internal/jobs"
+	"vocabpipe/internal/server"
+	"vocabpipe/internal/tune"
+)
+
+// table5Golden reads the CLI's committed golden — the byte-level oracle for
+// every distributed table5 response.
+func table5Golden(t *testing.T) []byte {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("..", "..", "cmd", "vpbench", "testdata", "table5.golden.json"))
+	if err != nil {
+		t.Fatalf("reading CLI golden: %v", err)
+	}
+	return raw
+}
+
+func get(t *testing.T, base, path string) (int, []byte, http.Header) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body, resp.Header
+}
+
+// coordinatorHealth fetches and decodes the coordinator's /healthz.
+func coordinatorHealth(t *testing.T, c *clustertest.Cluster) server.Health {
+	t.Helper()
+	_, raw, _ := get(t, c.URL(), "/healthz")
+	var h server.Health
+	if err := json.Unmarshal(raw, &h); err != nil {
+		t.Fatalf("bad healthz body: %v (%s)", err, raw)
+	}
+	if h.Dispatch == nil {
+		t.Fatalf("coordinator healthz missing dispatch stats: %s", raw)
+	}
+	return h
+}
+
+// TestClusterTable5Determinism is the headline acceptance check: a
+// coordinator with 1, 2 and 3 workers returns table5 byte-identical to the
+// committed golden (and therefore to a single-node vpserve and to
+// `vpbench -json table5`).
+func TestClusterTable5Determinism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table5 grid in -short mode")
+	}
+	golden := table5Golden(t)
+	for _, n := range []int{1, 2, 3} {
+		c := clustertest.Start(t, n, clustertest.Options{})
+		status, body, _ := get(t, c.URL(), "/api/experiments/table5")
+		if status != http.StatusOK {
+			t.Fatalf("%d workers: status = %d", n, status)
+		}
+		if string(body) != string(golden) {
+			t.Errorf("%d workers: response differs from the committed golden", n)
+		}
+		// The work really was distributed, not computed by local fallback.
+		h := coordinatorHealth(t, c)
+		if h.Role != "coordinator" || len(h.Workers) != n {
+			t.Errorf("%d workers: healthz role %q with %d workers", n, h.Role, len(h.Workers))
+		}
+		if h.Dispatch.Remote == 0 || h.Dispatch.Fallbacks != 0 {
+			t.Errorf("%d workers: dispatch stats %+v, want remote shards and no fallbacks", n, *h.Dispatch)
+		}
+	}
+}
+
+// TestClusterWorkerKilledMidSweep kills a worker while its shards are in
+// flight: worker 0 hangs on every shard request until the kill tears its
+// connections down, so the retry path deterministically moves the whole
+// grid onto worker 1 — and the response still matches the golden byte for
+// byte.
+func TestClusterWorkerKilledMidSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table5 grid in -short mode")
+	}
+	firstShard := make(chan struct{})
+	var once sync.Once
+	c := clustertest.Start(t, 2, clustertest.Options{
+		Cluster: cluster.Options{HedgeAfter: -1}, // isolate the retry path
+		WorkerMiddleware: func(i int, next http.Handler) http.Handler {
+			if i != 0 {
+				return next
+			}
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.URL.Path == "/api/shard" {
+					// Drain the body first: net/http cancels r.Context() on
+					// client abort / connection teardown only once the body
+					// has been consumed, and the kill below relies on that
+					// to unwedge this gate.
+					io.Copy(io.Discard, r.Body)
+					once.Do(func() { close(firstShard) })
+					<-r.Context().Done() // hang until the worker dies
+					return
+				}
+				next.ServeHTTP(w, r)
+			})
+		},
+	})
+
+	type result struct {
+		status int
+		body   []byte
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(c.URL() + "/api/experiments/table5")
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		done <- result{status: resp.StatusCode, body: body, err: err}
+	}()
+	<-firstShard
+	c.Workers[0].Kill()
+
+	select {
+	case res := <-done:
+		if res.err != nil {
+			t.Fatalf("request failed after worker death: %v", res.err)
+		}
+		if res.status != http.StatusOK {
+			t.Fatalf("status = %d after worker death", res.status)
+		}
+		if string(res.body) != string(table5Golden(t)) {
+			t.Error("response after worker death differs from the committed golden")
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("sharded request never completed after worker death")
+	}
+	h := coordinatorHealth(t, c)
+	if h.Dispatch.Retries == 0 {
+		t.Errorf("dispatch stats %+v, want retries > 0 (the killed worker's shards must have moved)", *h.Dispatch)
+	}
+	for _, w := range h.Workers {
+		if w.URL == c.Workers[0].URL() && w.Failures == 0 {
+			t.Errorf("dead worker shows no failures: %+v", w)
+		}
+	}
+}
+
+// TestClusterCancellationPropagation: a coordinator client that disconnects
+// mid-sweep cancels the shard requests, which cancels the workers' own
+// sweeps — nothing is cached anywhere, and a healthy follow-up request is a
+// cache miss that recomputes from scratch and matches the golden. The miss
+// assertion is the deterministic regression catch: if cancellation stopped
+// propagating, the first request's sweep would complete and the follow-up
+// would observe a hit (or coalesce as deduped).
+func TestClusterCancellationPropagation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table5 grid in -short mode")
+	}
+	shardStarted := make(chan struct{}, 64)
+	c := clustertest.Start(t, 1, clustertest.Options{
+		Cluster: cluster.Options{HedgeAfter: -1},
+		WorkerMiddleware: func(i int, next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.URL.Path == "/api/shard" {
+					select {
+					case shardStarted <- struct{}{}:
+					default:
+					}
+				}
+				next.ServeHTTP(w, r)
+			})
+		},
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.URL()+"/api/experiments/table5", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	<-shardStarted
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("cancelled request returned a response")
+	}
+
+	// Give the abort a moment to unwind, then confirm the aborted sweep was
+	// cached nowhere.
+	time.Sleep(300 * time.Millisecond)
+	if st := c.Coordinator.CacheStats(); st.Entries != 0 {
+		t.Errorf("coordinator cached an aborted sweep: %+v", st)
+	}
+	if st := c.Workers[0].Server.CacheStats(); st.Entries != 0 {
+		t.Errorf("worker cached an aborted shard: %+v", st)
+	}
+
+	// The abort poisoned nothing and left nothing behind: the follow-up is
+	// a miss that computes the full grid and matches the golden.
+	status, body, hdr := get(t, c.URL(), "/api/experiments/table5")
+	if status != http.StatusOK || string(body) != string(table5Golden(t)) {
+		t.Errorf("follow-up request: status %d, golden match %v", status, string(body) == string(table5Golden(t)))
+	}
+	if xc := hdr.Get("X-Cache"); xc != "miss" {
+		t.Errorf("follow-up X-Cache = %q, want miss (did the aborted sweep complete anyway?)", xc)
+	}
+}
+
+// TestClusterTuneJob: POST /api/optimize on a coordinator farms candidate
+// evaluations out to the workers cell by cell and lands on the same best
+// configuration as a purely local search.
+func TestClusterTuneJob(t *testing.T) {
+	c := clustertest.Start(t, 2, clustertest.Options{})
+
+	resp, err := http.Post(c.URL()+"/api/optimize?scenario=4b-quick&strategy=beam", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("optimize status = %d (%s)", resp.StatusCode, raw)
+	}
+	var acc struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.Unmarshal(raw, &acc); err != nil || acc.JobID == "" {
+		t.Fatalf("bad 202 body: %v (%s)", err, raw)
+	}
+
+	var snap jobs.Snapshot
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		status, body, _ := get(t, c.URL(), "/api/jobs/"+acc.JobID)
+		if status != http.StatusOK {
+			t.Fatalf("poll status = %d (%s)", status, body)
+		}
+		if err := json.Unmarshal(body, &snap); err != nil {
+			t.Fatal(err)
+		}
+		if snap.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %s", snap.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if snap.State != jobs.StateDone {
+		t.Fatalf("job state = %s (error %q)", snap.State, snap.Error)
+	}
+	resRaw, _ := json.Marshal(snap.Result)
+	var res tune.Result
+	if err := json.Unmarshal(resRaw, &res); err != nil {
+		t.Fatalf("job result is not a tune.Result: %v", err)
+	}
+
+	spec, ok := experiments.TuneSpec("4b-quick")
+	if !ok {
+		t.Fatal("scenario 4b-quick missing from the registry")
+	}
+	local, err := tune.Search(context.Background(), spec, tune.StrategyBeam, tune.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || local.Best == nil || res.Best.Label != local.Best.Label {
+		t.Fatalf("cluster best = %+v, local best = %+v", res.Best, local.Best)
+	}
+	if res.Evaluated != local.Evaluated {
+		t.Errorf("cluster evaluated %d candidates, local %d", res.Evaluated, local.Evaluated)
+	}
+	// Scores are bit-exact across modes: IterTime travels verbatim and MFU
+	// is recomputed locally from it (see Dispatcher.EvalCell), so a
+	// coordinator must not merely agree on the winner — it must agree on
+	// the numbers.
+	if res.Best.Score != local.Best.Score || res.Best.MFUPct != local.Best.MFUPct ||
+		res.Best.IterTimeS != local.Best.IterTimeS || res.Best.PeakMemGB != local.Best.PeakMemGB {
+		t.Errorf("cluster best metrics %+v differ from local %+v", res.Best, local.Best)
+	}
+
+	// The candidates really were simulated by the workers.
+	if h := coordinatorHealth(t, c); h.Dispatch.Remote < int64(res.Evaluated) {
+		t.Errorf("dispatch remote = %d, want >= %d (one shard per candidate)", h.Dispatch.Remote, res.Evaluated)
+	}
+}
+
+// TestClusterNonShardableStaysLocal: experiments whose cells carry custom
+// Eval closures (fig1) cannot cross the wire; the coordinator must compute
+// them locally and never touch a worker.
+func TestClusterNonShardableStaysLocal(t *testing.T) {
+	c := clustertest.Start(t, 1, clustertest.Options{})
+	status, body, _ := get(t, c.URL(), "/api/experiments/fig1")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d (%s)", status, body)
+	}
+	if !strings.Contains(string(body), "with-output-layer") {
+		t.Errorf("fig1 records missing expected cells: %s", body)
+	}
+	if h := coordinatorHealth(t, c); h.Dispatch.Shards != 0 {
+		t.Errorf("non-shardable grid was dispatched: %+v", *h.Dispatch)
+	}
+}
+
+// TestClusterSingleCellStaysLocal: /api/schedule on a coordinator is one
+// cheap cell; dispatching it would add a round trip and hedge exposure for
+// nothing, so it must compute in-process.
+func TestClusterSingleCellStaysLocal(t *testing.T) {
+	c := clustertest.Start(t, 1, clustertest.Options{})
+	status, body, _ := get(t, c.URL(), "/api/schedule?config=4B&method=vocab-1&micro=16")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d (%s)", status, body)
+	}
+	if h := coordinatorHealth(t, c); h.Dispatch.Shards != 0 {
+		t.Errorf("single-cell schedule was dispatched: %+v", *h.Dispatch)
+	}
+}

@@ -1,0 +1,185 @@
+// Worker health: per-worker circuit state fed by request outcomes, an
+// active /healthz prober, and the snapshot the coordinator's own /healthz
+// embeds so operators can see the pool at a glance.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// requestOutcome classifies one finished worker request for the circuit.
+type requestOutcome int
+
+const (
+	outcomeSuccess requestOutcome = iota
+	outcomeFailure
+	// outcomeNeutral: the caller's context died mid-request; says nothing
+	// about the worker, so it must not move the circuit either way.
+	outcomeNeutral
+)
+
+// workerState is one worker's URL plus its mutable health bookkeeping.
+type workerState struct {
+	url string
+
+	mu        sync.Mutex
+	inflight  int
+	fails     int       // consecutive failures
+	openUntil time.Time // circuit open while now < openUntil
+	requests  int64
+	failures  int64
+}
+
+// peekAdmit reports whether admit would currently succeed, without
+// consuming anything — pick uses it to survey candidates before committing
+// the winner.
+func (w *workerState) peekAdmit(now time.Time) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.openUntil.IsZero() || !now.Before(w.openUntil)
+}
+
+// admit consumes the circuit's permission for one request. A closed
+// circuit always admits; an open circuit admits nothing until its cooldown
+// expires, and then hands out exactly one half-open trial per cooldown
+// window — the window is re-armed as the trial is granted, so concurrent
+// shards cannot all pile onto a possibly-still-dead worker at once. The
+// trial's success clears the circuit entirely; its failure leaves the
+// re-armed window standing (and endRequest extends it again).
+func (w *workerState) admit(now time.Time, cooldown time.Duration) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.openUntil.IsZero() {
+		return true
+	}
+	if now.Before(w.openUntil) {
+		return false
+	}
+	w.openUntil = now.Add(cooldown)
+	return true
+}
+
+// chargeSlow records a straggler loss — the primary sat silent long enough
+// for a hedge to be launched AND win — as a circuit failure without
+// touching the in-flight count (the losing request's own completion keeps
+// that bookkeeping right, as a neutral outcome).
+func (w *workerState) chargeSlow(threshold int, cooldown time.Duration, now time.Time) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.failures++
+	w.fails++
+	if w.fails >= threshold {
+		w.openUntil = now.Add(cooldown)
+	}
+}
+
+func (w *workerState) load() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.inflight
+}
+
+func (w *workerState) beginRequest() {
+	w.mu.Lock()
+	w.inflight++
+	w.requests++
+	w.mu.Unlock()
+}
+
+func (w *workerState) endRequest(o requestOutcome, threshold int, cooldown time.Duration, now time.Time) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.inflight--
+	switch o {
+	case outcomeSuccess:
+		w.fails = 0
+		w.openUntil = time.Time{}
+	case outcomeFailure:
+		w.failures++
+		w.fails++
+		if w.fails >= threshold {
+			w.openUntil = now.Add(cooldown)
+		}
+	}
+}
+
+// WorkerHealth is one worker's observable state, embedded in the
+// coordinator's /healthz response.
+type WorkerHealth struct {
+	URL string `json:"url"`
+	// CircuitOpen: the worker is currently being skipped.
+	CircuitOpen bool `json:"circuit_open"`
+	// ConsecutiveFails is the current failure streak (resets on success).
+	ConsecutiveFails int   `json:"consecutive_fails"`
+	InFlight         int   `json:"in_flight"`
+	Requests         int64 `json:"requests"`
+	Failures         int64 `json:"failures"`
+}
+
+// Health snapshots every worker in pool order.
+func (d *Dispatcher) Health() []WorkerHealth {
+	now := d.now()
+	out := make([]WorkerHealth, len(d.workers))
+	for i, w := range d.workers {
+		w.mu.Lock()
+		out[i] = WorkerHealth{
+			URL:              w.url,
+			CircuitOpen:      !w.openUntil.IsZero() && now.Before(w.openUntil),
+			ConsecutiveFails: w.fails,
+			InFlight:         w.inflight,
+			Requests:         w.requests,
+			Failures:         w.failures,
+		}
+		w.mu.Unlock()
+	}
+	return out
+}
+
+// Probe GETs every worker's /healthz concurrently and feeds the outcomes
+// into the circuit state: a live worker's circuit closes immediately
+// (instead of waiting out the cooldown), a dead one accrues a failure.
+// The coordinator runs this periodically; tests call it directly.
+func (d *Dispatcher) Probe(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, w := range d.workers {
+		wg.Add(1)
+		go func(w *workerState) {
+			defer wg.Done()
+			err := d.probeOne(ctx, w)
+			switch {
+			case err == nil:
+				w.endRequest(outcomeSuccess, d.opt.FailureThreshold, d.opt.Cooldown, d.now())
+			case ctx.Err() != nil:
+				w.endRequest(outcomeNeutral, d.opt.FailureThreshold, d.opt.Cooldown, d.now())
+			default:
+				w.endRequest(outcomeFailure, d.opt.FailureThreshold, d.opt.Cooldown, d.now())
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func (d *Dispatcher) probeOne(ctx context.Context, w *workerState) error {
+	w.beginRequest()
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: worker %s healthz: HTTP %d", w.url, resp.StatusCode)
+	}
+	return nil
+}

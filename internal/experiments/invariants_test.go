@@ -1,0 +1,98 @@
+// Sweep-wide invariant property tests: golden files pin the *metrics* of
+// the paper grids, but a schedule can drift into violating the paper's
+// dependency constraints (§5.1) while producing plausible numbers. These
+// tests run schedule.Timeline.Validate() — the independent dependency
+// checker — on every cell of the table5 grid and on every candidate of
+// every named tuning scenario, so all engines stay invariant-clean, not
+// just golden-equal.
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"vocabpipe/internal/sim"
+	"vocabpipe/internal/sweep"
+)
+
+// TestTable5GridInvariants validates the committed timeline of every
+// table5 cell (120 schedules across 3 models × 2 seqs × 4 vocabs × 5
+// methods).
+func TestTable5GridInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table5 grid in -short mode")
+	}
+	g := Table5Grid()
+	g.KeepTimelines = true // Validate needs the schedules, not just metrics
+	res := sweep.Run(g, sweep.Options{})
+	validated := 0
+	for i := range res.Cells {
+		c := &res.Cells[i]
+		if c.Err != nil {
+			t.Errorf("cell %q failed to simulate: %v", c.Label, c.Err)
+			continue
+		}
+		if c.Result.Timeline == nil {
+			t.Fatalf("cell %q has no timeline despite KeepTimelines", c.Label)
+		}
+		if err := c.Result.Timeline.Validate(); err != nil {
+			t.Errorf("cell %q violates schedule invariants: %v", c.Label, err)
+		}
+		validated++
+	}
+	if validated != 120 {
+		t.Errorf("validated %d timelines, want 120", validated)
+	}
+}
+
+// TestTuneScenarioInvariants validates every candidate of every named
+// tuning scenario: the exact (method × devices × microbatches) points a
+// search will simulate. Infeasible layouts (e.g. V-Half on an indivisible
+// stage count) may fail to build — that is the tuner's "infeasible" row,
+// not an invariant violation — but every schedule that does build must
+// validate.
+func TestTuneScenarioInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scenario spaces in -short mode")
+	}
+	for _, name := range TuneNames() {
+		t.Run(name, func(t *testing.T) {
+			spec, ok := TuneSpec(name)
+			if !ok {
+				t.Fatalf("scenario %q missing from the registry", name)
+			}
+			d := spec.Defaulted()
+			built, failed := 0, 0
+			for _, m := range d.Methods {
+				for _, dev := range d.Devices {
+					for _, micro := range d.Micros {
+						cfg := d.Base
+						cfg.Devices = dev
+						cfg.NumMicro = micro
+						res, err := sim.Run(cfg, m)
+						if err != nil {
+							// Layout errors are expected for some points of
+							// the space; anything else is a real failure.
+							if !strings.Contains(err.Error(), "divisible") && !strings.Contains(err.Error(), "divide") {
+								t.Errorf("d%d/m%d/%s: unexpected error: %v", dev, micro, m, err)
+							}
+							failed++
+							continue
+						}
+						if res.Timeline == nil {
+							t.Fatalf("d%d/m%d/%s: sim.Run returned no timeline", dev, micro, m)
+						}
+						if err := res.Timeline.Validate(); err != nil {
+							t.Errorf("d%d/m%d/%s violates schedule invariants: %v", dev, micro, m, err)
+						}
+						built++
+					}
+				}
+			}
+			if built == 0 {
+				t.Errorf("scenario %q built no schedules at all (%d failures)", name, failed)
+			}
+			t.Logf("%s: validated %d schedules, %d infeasible layouts", name, built, failed)
+		})
+	}
+}

@@ -308,3 +308,136 @@ func TestConcurrentSubmitters(t *testing.T) {
 		waitState(t, q, id, StateDone)
 	}
 }
+
+// TestChurnStress hammers the queue from many goroutines — submit, cancel,
+// poll — under -race, then proves the two invariants churn most easily
+// breaks: (1) finished-history pruning never evicts a live (non-terminal)
+// job, and (2) every capacity slot is restored afterwards, including slots
+// freed by cancelling queued jobs.
+func TestChurnStress(t *testing.T) {
+	const (
+		workers    = 3
+		capacity   = 8
+		keep       = 4 // tiny retention so pruning runs constantly
+		goroutines = 8
+		perG       = 40
+	)
+	q := newQueue(t, Options{Workers: workers, Capacity: capacity, KeepFinished: keep})
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// completed closes when the job function returns; together
+				// with Cancel's returned snapshot it lets the poller decide
+				// whether a pruned id was legitimately terminal (fast jobs
+				// are routinely pruned before their submitter polls — only
+				// a job that was still live when it vanished is a bug).
+				completed := make(chan struct{})
+				id, err := q.Submit(fmt.Sprintf("churn-%d-%d", g, i),
+					func(ctx context.Context, report func(Progress)) (any, error) {
+						defer close(completed)
+						report(Progress{Done: 1, Total: 1})
+						select {
+						case <-ctx.Done():
+							return nil, ctx.Err()
+						default:
+							return i, nil
+						}
+					})
+				if errors.Is(err, ErrQueueFull) {
+					continue // backpressure is expected under churn
+				}
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				// Every third job gets an immediate cancel — exercising the
+				// queued-cancel slot release and the running-cancel signal.
+				cancelledWhileQueued := false
+				if i%3 == 0 {
+					if snap, ok := q.Cancel(id); ok && snap.State.Terminal() {
+						cancelledWhileQueued = true // fn will never run
+					}
+				}
+				deadline := time.Now().Add(30 * time.Second)
+				for {
+					s, ok := q.Get(id)
+					if !ok {
+						// Vanished: only legal if it had reached a terminal
+						// state first — its function returned, or the cancel
+						// landed while it was still queued.
+						if !cancelledWhileQueued {
+							select {
+							case <-completed:
+							default:
+								t.Errorf("job %s pruned while still live", id)
+								return
+							}
+						}
+						break
+					}
+					if s.State.Terminal() {
+						break
+					}
+					if time.Now().After(deadline) {
+						t.Errorf("job %s stuck in %s", id, s.State)
+						return
+					}
+					time.Sleep(100 * time.Microsecond)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Drain: every submitted job settles terminal, so pending must be empty
+	// and all capacity slots free again. Prove it by refilling the queue to
+	// exactly its rated shape: `workers` running + `capacity` pending accept,
+	// the next submission is backpressure.
+	release := make(chan struct{})
+	blocker := func(ctx context.Context, report func(Progress)) (any, error) {
+		select {
+		case <-release:
+			return nil, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	var blockers []string
+	deadline := time.Now().Add(30 * time.Second)
+	for len(blockers) < workers+capacity {
+		id, err := q.Submit("refill", blocker)
+		if errors.Is(err, ErrQueueFull) {
+			// Workers may not have picked up earlier blockers yet; give the
+			// scheduler a beat rather than failing spuriously.
+			if time.Now().After(deadline) {
+				t.Fatalf("capacity leak: only %d of %d blockers accepted", len(blockers), workers+capacity)
+			}
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		blockers = append(blockers, id)
+	}
+	// With workers busy and the pending queue full, one more must bounce.
+	if _, err := q.Submit("overflow", blocker); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit error = %v, want ErrQueueFull", err)
+	}
+	// Cancelling the queued blockers frees their slots immediately...
+	for _, id := range blockers[workers:] {
+		q.Cancel(id)
+	}
+	for i := 0; i < capacity; i++ {
+		if _, err := q.Submit("reclaimed", blocker); err != nil {
+			t.Fatalf("slot %d not reclaimed after cancel: %v", i, err)
+		}
+	}
+	// ...and releasing the running ones lets Close drain cleanly (the
+	// newQueue cleanup asserts that).
+	close(release)
+}

@@ -209,6 +209,13 @@ func TestSuiteQuickRun(t *testing.T) {
 	if sv == nil || sv.ReqPerSec <= 0 || sv.CacheHitPct < 50 {
 		t.Errorf("server throughput case: %+v", sv)
 	}
+	// The distributed fan-out case must report throughput for its 10-cell
+	// grid — real shard dispatch over loopback HTTP, no local fallback
+	// (clusterCase panics the run if a shard ever falls back).
+	cl := r.Case("cluster/sweep-sharded")
+	if cl == nil || cl.ReqPerSec <= 0 || cl.Cells != 10 {
+		t.Errorf("cluster throughput case: %+v", cl)
+	}
 	// The event-driven engine must beat the reference scan engine on the
 	// largest config — the tentpole's raison d'être. Quick mode is noisy,
 	// so only require parity-or-better rather than the full ~10x.

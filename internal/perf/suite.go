@@ -9,6 +9,7 @@ import (
 	"net/url"
 	"sync"
 
+	"vocabpipe/internal/cluster"
 	"vocabpipe/internal/costmodel"
 	"vocabpipe/internal/experiments"
 	"vocabpipe/internal/report"
@@ -32,6 +33,10 @@ import (
 //   - server/sweep-cached: the vpserve HTTP serving path on a warmed cache
 //     (one real loopback request per op), measured as req/s with the cache
 //     hit rate attached;
+//   - cluster/sweep-sharded: the coordinator fan-out path — one op shards a
+//     grid across two loopback worker servers and merges the records (the
+//     workers' own shard caches are warm after the first op, so this
+//     isolates dispatch + transport + merge overhead), measured as req/s;
 //   - tune/beam-vs-exhaustive: the auto-tuner's beam search plus its
 //     exhaustive oracle on the quick scenario, measured as search cells/sec
 //     with the beam's result quality (quality_pct) attached.
@@ -55,9 +60,75 @@ func Suite() []Case {
 		gridCase("sweep/table5", experiments.Table5Grid()),
 		gridCase("sweep/table6", experiments.Table6Grid()),
 		serverCase(),
+		clusterCase(),
 		tuneCase(),
 	)
 	return cases
+}
+
+// clusterCase measures the distributed fan-out end to end: two worker
+// vpserve instances on loopback, a dispatcher sharding a 10-cell grid
+// across them and merging the result. The first op warms the workers'
+// shard caches, so steady-state ops measure the coordinator's dispatch,
+// HTTP transport and merge — the per-request cost distributed mode adds on
+// top of the sweep itself; ns/op inverts into req/s at concurrency 1.
+func clusterCase() Case {
+	g, err := sweep.ParseGrid("model=4B;method=1f1b;vocab=32k,64k;micro=16")
+	if err != nil {
+		panic(fmt.Sprintf("perf: cluster case grid: %v", err))
+	}
+	cells := len(g.Expand())
+	// Lazy boot (see serverCase): enumerating cases must stay side-effect
+	// free.
+	var (
+		once    sync.Once
+		workers []*server.Server
+		stops   []func()
+		disp    *cluster.Dispatcher
+	)
+	return Case{
+		Name:  "cluster/sweep-sharded",
+		Cells: cells,
+		Run: func(n int) {
+			once.Do(func() {
+				var urls []string
+				for i := 0; i < 2; i++ {
+					ws := server.New(server.Options{CacheSize: 16, Parallel: 1})
+					baseURL, stop, err := server.StartLocal(ws)
+					if err != nil {
+						panic(fmt.Sprintf("perf: cluster case: %v", err))
+					}
+					workers = append(workers, ws)
+					stops = append(stops, stop)
+					urls = append(urls, baseURL)
+				}
+				disp = cluster.New(cluster.Options{Workers: urls, ShardsPerWorker: 2, LocalParallel: 1})
+			})
+			for i := 0; i < n; i++ {
+				recs, err := disp.Records(context.Background(), g)
+				if err != nil {
+					panic(fmt.Sprintf("perf: cluster case: %v", err))
+				}
+				if len(recs) != cells {
+					panic(fmt.Sprintf("perf: cluster case: %d records for %d cells", len(recs), cells))
+				}
+			}
+		},
+		Finish: func(bc *report.BenchCase) {
+			if bc.NsPerOp > 0 {
+				bc.ReqPerSec = 1e9 / bc.NsPerOp
+			}
+			if st := disp.Stats(); st.Fallbacks > 0 {
+				panic(fmt.Sprintf("perf: cluster case fell back to local evaluation: %+v", st))
+			}
+			for _, stop := range stops {
+				stop()
+			}
+			for _, ws := range workers {
+				ws.Close(context.Background())
+			}
+		},
+	}
 }
 
 // tuneCase measures the auto-tuner end to end: one op runs the beam search

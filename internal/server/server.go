@@ -8,15 +8,27 @@
 // Endpoints:
 //
 //	GET /healthz                   liveness + uptime + cache statistics
+//	                               (+ per-worker health in coordinator mode)
 //	GET /api/sweep?grid=SPEC       user-defined grid (sweep.ParseGrid syntax)
 //	GET /api/schedule?config=4B&method=vocab-1[&seq=..&vocab=..&micro=..&devices=..]
 //	                               a single (config, method) cell
 //	GET /api/experiments/{name}    a named paper grid (internal/experiments)
+//	POST /api/shard                evaluate one shard of a grid (the worker
+//	                               side of distributed mode; see
+//	                               internal/cluster for the wire format)
 //	POST /api/optimize             submit an auto-tuner search (internal/tune)
 //	                               as an async job; 202 + job id
 //	GET /api/jobs                  list known jobs
 //	GET /api/jobs/{id}             poll one job: state, progress, result
 //	DELETE /api/jobs/{id}          cancel a queued or running job
+//
+// Distributed mode: when Options.Cluster names worker URLs, the server is a
+// coordinator — shardable grids on the synchronous endpoints (and tuner
+// candidate evaluations) fan out across the workers through
+// internal/cluster and merge back in deterministic cell order, so the
+// response stays byte-identical to a single-node run. Every server answers
+// POST /api/shard (shard evaluation is always local — a worker never
+// re-shards), so any vpserve instance can serve as a worker.
 //
 // Errors are JSON bodies {"error": "..."} with 4xx status; per-cell
 // simulation failures are not transport errors — they appear as error
@@ -43,6 +55,7 @@ import (
 	"time"
 
 	"vocabpipe/internal/cache"
+	"vocabpipe/internal/cluster"
 	"vocabpipe/internal/costmodel"
 	"vocabpipe/internal/experiments"
 	"vocabpipe/internal/jobs"
@@ -77,6 +90,10 @@ type Options struct {
 	// JobCapacity pending submissions POST /api/optimize answers 429.
 	JobWorkers  int
 	JobCapacity int
+	// Cluster configures coordinator mode: when Cluster.Workers is
+	// non-empty, shardable grids are dispatched across those worker vpserve
+	// instances instead of being evaluated in-process.
+	Cluster cluster.Options
 }
 
 // Server holds the handler state. Construct with New; Close releases the
@@ -85,6 +102,7 @@ type Server struct {
 	opt      Options
 	cache    *cache.Cache[[]report.Record]
 	jobs     *jobs.Queue
+	cluster  *cluster.Dispatcher // non-nil in coordinator mode
 	start    time.Time
 	requests atomic.Int64
 }
@@ -103,13 +121,26 @@ func New(opt Options) *Server {
 	if opt.MaxDevices <= 0 {
 		opt.MaxDevices = 1024
 	}
-	return &Server{
+	s := &Server{
 		opt:   opt,
 		cache: cache.New[[]report.Record](opt.CacheSize),
 		jobs:  jobs.New(jobs.Options{Workers: opt.JobWorkers, Capacity: opt.JobCapacity}),
 		start: time.Now(),
 	}
+	if len(opt.Cluster.Workers) > 0 {
+		// The cluster's local fallback uses the same per-grid parallelism
+		// the server's own sweeps would.
+		if opt.Cluster.LocalParallel == 0 {
+			opt.Cluster.LocalParallel = opt.Parallel
+		}
+		s.cluster = cluster.New(opt.Cluster)
+	}
+	return s
 }
+
+// Cluster returns the coordinator's dispatcher, or nil outside coordinator
+// mode. Callers use it for health probing and dispatch statistics.
+func (s *Server) Cluster() *cluster.Dispatcher { return s.cluster }
 
 // Close cancels every queued or running tuner job and waits for the job
 // workers to drain (bounded by ctx). The HTTP listener is the caller's to
@@ -125,6 +156,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/sweep", s.handleSweep)
 	mux.HandleFunc("GET /api/schedule", s.handleSchedule)
 	mux.HandleFunc("GET /api/experiments/{name}", s.handleExperiment)
+	mux.HandleFunc("POST /api/shard", s.handleShard)
 	mux.HandleFunc("POST /api/optimize", s.handleOptimize)
 	mux.HandleFunc("GET /api/jobs", s.handleJobList)
 	mux.HandleFunc("GET /api/jobs/{id}", s.handleJobGet)
@@ -141,23 +173,37 @@ func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
 
 // Health is the /healthz response body.
 type Health struct {
-	Status   string      `json:"status"`
+	Status string `json:"status"`
+	// Role is "single" or "coordinator" (a worker is just a single-node
+	// server another vpserve points at).
+	Role     string      `json:"role"`
 	UptimeS  float64     `json:"uptime_s"`
 	Requests int64       `json:"requests"`
 	Cache    cache.Stats `json:"cache"`
 	// CacheHitRatePct duplicates Cache's derived rate so scrapers need no
 	// arithmetic.
 	CacheHitRatePct float64 `json:"cache_hit_rate_pct"`
+	// Workers and Dispatch report the worker pool's health and the shard
+	// fan-out counters in coordinator mode; absent otherwise.
+	Workers  []cluster.WorkerHealth `json:"workers,omitempty"`
+	Dispatch *cluster.Stats         `json:"dispatch,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.cache.Stats()
 	h := Health{
 		Status:          "ok",
+		Role:            "single",
 		UptimeS:         time.Since(s.start).Seconds(),
 		Requests:        s.requests.Load(),
 		Cache:           st,
 		CacheHitRatePct: st.HitRatePct(),
+	}
+	if s.cluster != nil {
+		h.Role = "coordinator"
+		h.Workers = s.cluster.Health()
+		ds := s.cluster.Stats()
+		h.Dispatch = &ds
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
@@ -197,15 +243,30 @@ func (s *Server) checkGrid(g *sweep.Grid) string {
 // work at the next cell boundary — unless other requests are coalesced onto
 // the same key, in which case the sweep continues with their interest and a
 // partial result is never cached.
+//
+// In coordinator mode, shardable multi-cell grids compute across the
+// worker pool instead of in-process; the merged records land in the same
+// cache under the same key, so coordinator and single-node responses are
+// interchangeable byte for byte. The shard route itself always computes
+// locally — a worker never re-shards its shard — and single-cell grids
+// (every /api/schedule request) stay local too: a network round trip plus
+// straggler-hedging exposure buys nothing for one milliseconds-cheap cell.
 func (s *Server) respond(w http.ResponseWriter, r *http.Request, route string, g *sweep.Grid) {
-	key := route + "|" + g.Key()
-	recs, outcome, err := s.cache.DoCtx(r.Context(), key, func(ctx context.Context) ([]report.Record, error) {
+	// The dispatch decision lives inside the compute closure so cache hits
+	// never pay for it (Shardable is a cheap scan, but the cell-count check
+	// re-expands the grid).
+	compute := func(ctx context.Context) ([]report.Record, error) {
+		if s.cluster != nil && route != "shard" && sweep.Shardable(g) && len(g.Expand()) > 1 {
+			return s.cluster.Records(ctx, g)
+		}
 		res, err := sweep.RunCtx(ctx, g, sweep.Options{Parallel: s.opt.Parallel})
 		if err != nil {
 			return nil, err
 		}
 		return res.Records(), nil
-	})
+	}
+	key := route + "|" + g.Key()
+	recs, outcome, err := s.cache.DoCtx(r.Context(), key, compute)
 	if err != nil {
 		if r.Context().Err() != nil || errors.Is(err, context.Canceled) {
 			// The client is gone; nobody reads this response. Record the
@@ -307,6 +368,35 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.respond(w, r, "experiment", gridFn())
+}
+
+// handleShard is the worker side of distributed mode: evaluate one
+// materialized slice of a grid's expansion order and return its records.
+// It reuses the full respond pipeline — result cache (identical shards from
+// any coordinator coalesce under the sub-grid's canonical key), singleflight
+// dedup, context propagation (a coordinator that cancels or retries away
+// stops the sweep at the next cell boundary) — and the same size guards as
+// every other endpoint, so a worker cannot be handed more work per shard
+// than it would accept as a direct request.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	// Shard bodies carry materialized cells: MaxCells × ~200 bytes is well
+	// under this cap, so anything larger is not a well-formed coordinator.
+	body := http.MaxBytesReader(w, r.Body, 4<<20)
+	var req cluster.ShardRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad shard body: %v", err)
+		return
+	}
+	g, err := req.ToGrid()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if reason := s.checkGrid(g); reason != "" {
+		writeError(w, http.StatusBadRequest, "%s", reason)
+		return
+	}
+	s.respond(w, r, "shard", g)
 }
 
 // optimizeRequest is the POST /api/optimize input. Query parameters and the
@@ -417,8 +507,14 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 
 	// The job runs detached from the submitting request on purpose: the
 	// whole point of the queue is that the client disconnects and polls.
+	// A coordinator farms the search's candidate simulations out to its
+	// worker pool cell by cell (retry/hedging/fallback included).
+	topt := tune.Options{Parallel: s.opt.Parallel}
+	if s.cluster != nil {
+		topt.Eval = s.cluster.EvalCell
+	}
 	id, err := s.jobs.Submit("optimize/"+spec.Name+"/"+string(strategy),
-		tune.JobFunc(spec, strategy, s.opt.Parallel))
+		tune.JobFunc(spec, strategy, topt))
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		writeError(w, http.StatusTooManyRequests, "job queue full, retry later")

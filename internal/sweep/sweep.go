@@ -10,10 +10,27 @@
 // The engine is the seam every vpbench experiment goes through: paper tables
 // are fixed grids, and user-defined scenarios (see ParseGrid) reuse the same
 // machinery.
+//
+// # Cancellation and partial results
+//
+// RunCtx observes cancellation at cell boundaries and always returns one
+// CellResult per cell, so partial progress stays inspectable cell by cell:
+//
+//   - a cell that finished before (or was already in flight at) the
+//     cancellation keeps its full Result or its own evaluation error —
+//     in-flight cells run to completion, they are never torn down mid-sim;
+//   - a cell the engine never started is zero except for Cell/Index and an
+//     Err that wraps both ErrSkipped and the context's error, so callers can
+//     distinguish "this configuration failed" from "this cell never ran"
+//     with errors.Is.
+//
+// No other mixed state exists: every cell has exactly one of a non-nil
+// Result or a non-nil Err.
 package sweep
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -24,6 +41,12 @@ import (
 	"vocabpipe/internal/report"
 	"vocabpipe/internal/sim"
 )
+
+// ErrSkipped marks a cell RunCtx never evaluated because the context was
+// done first. It is always wrapped together with the context's own error,
+// so errors.Is(err, ErrSkipped) and errors.Is(err, context.Canceled) both
+// hold on a skipped cell — the first classifies, the second explains.
+var ErrSkipped = errors.New("skipped")
 
 // EvalFunc evaluates one cell. The default (nil) evaluator is sim.Run on the
 // cell's Config and Method; experiments with bespoke pipelines (ablations,
@@ -112,17 +135,23 @@ func CellLabel(cfg costmodel.Config, m sim.Method) string {
 }
 
 // Key returns a canonical identity string for the grid: the expansion-order
-// cell labels plus the per-cell device, microbatch and exact vocabulary
-// counts (the label truncates vocab to 1 KiB granularity and omits the
-// rest). Two specs that expand to the same cells get the same key no matter
-// how they were written ("vocab=64k" vs "vocab=65536") and specs that
-// differ in any axis get different keys, which makes Key the cache key for
-// result caching and request deduplication in serving layers.
+// cell labels plus each cell's method and full configuration fingerprint.
+// Two specs that expand to the same cells get the same key no matter how
+// they were written ("vocab=64k" vs "vocab=65536") and specs that differ in
+// any simulated input get different keys, which makes Key the cache key for
+// result caching and request deduplication in serving layers. The label
+// alone is NOT trusted as identity — custom-labeled cells (tune candidates
+// are "d8/m32/baseline") omit model and sequence length, and two different
+// experiments must never share a cache entry just because their labels
+// collide.
 func (g *Grid) Key() string {
 	var b strings.Builder
 	b.WriteString(g.Name)
 	for _, c := range g.Expand() {
-		fmt.Fprintf(&b, "|%s;d%d;m%d;v%d", c.Label, c.Config.Devices, c.Config.NumMicro, c.Config.Vocab)
+		cf := c.Config
+		fmt.Fprintf(&b, "|%s;%s;%s;L%d;a%d;h%d;s%d;b%d;m%d;v%d;d%d",
+			c.Label, c.Method, cf.Name, cf.Layers, cf.Heads, cf.Hidden,
+			cf.Seq, cf.MicroBatch, cf.NumMicro, cf.Vocab, cf.Devices)
 	}
 	return b.String()
 }
@@ -160,11 +189,13 @@ func Run(g *Grid, opt Options) *Results {
 }
 
 // RunCtx is Run with cancellation: once ctx is done, workers stop picking up
-// new cells, every unevaluated cell is marked with ctx's error, and RunCtx
-// returns ctx.Err(). Cancellation is observed at cell boundaries — a cell
-// already being simulated runs to completion (individual cells are
-// milliseconds; grids are where the real work is). The returned Results
-// always has one entry per cell, so partial progress stays inspectable.
+// new cells, every unevaluated cell is marked with an error wrapping both
+// ErrSkipped and ctx's error, and RunCtx returns ctx.Err(). Cancellation is
+// observed at cell boundaries — a cell already being simulated runs to
+// completion (individual cells are milliseconds; grids are where the real
+// work is). The returned Results always has one entry per cell, so partial
+// progress stays inspectable (see the package comment for the cell-by-cell
+// guarantee).
 func RunCtx(ctx context.Context, g *Grid, opt Options) (*Results, error) {
 	cells := g.Expand()
 	results := make([]CellResult, len(cells))
@@ -187,7 +218,7 @@ func RunCtx(ctx context.Context, g *Grid, opt Options) (*Results, error) {
 			for i := range jobs {
 				if err := ctx.Err(); err != nil {
 					results[i] = CellResult{Cell: cells[i], Index: i,
-						Err: fmt.Errorf("sweep: cell %q not evaluated: %w", cells[i].Label, err)}
+						Err: fmt.Errorf("sweep: cell %q %w: %w", cells[i].Label, ErrSkipped, err)}
 					continue
 				}
 				results[i] = evalCell(cells[i], i, g.KeepTimelines)

@@ -358,3 +358,70 @@ func TestRunCtxPreCancelled(t *testing.T) {
 		}
 	}
 }
+
+// TestRunCtxPartialResultsCellByCell pins the package's cancellation
+// contract cell by cell under a parallel run: after a mid-grid cancel,
+// every cell is classified as either completed (Result set, no error) or
+// skipped (zero Result, error wrapping both ErrSkipped and the context
+// error) — never both, never neither — and the cells that finished before
+// the cancellation are genuinely present in the partial results.
+func TestRunCtxPartialResultsCellByCell(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const total, cancelAfter = 12, 3
+	cells := make([]Cell, total)
+	for i := range cells {
+		cells[i] = Cell{Label: string(rune('a' + i))}
+	}
+	g := &Grid{Name: "partial", Cells: cells, Eval: func(c Cell) (*sim.Result, error) {
+		return &sim.Result{IterTime: 1}, nil
+	}}
+	res, err := RunCtx(ctx, g, Options{Parallel: 2, OnCell: func(done, _ int, _ CellResult) {
+		if done == cancelAfter {
+			cancel()
+		}
+	}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx error = %v, want context.Canceled", err)
+	}
+	if len(res.Cells) != total {
+		t.Fatalf("got %d cell results, want %d (partial results must keep every cell)", len(res.Cells), total)
+	}
+	completed, skipped := 0, 0
+	for _, c := range res.Cells {
+		switch {
+		case c.Err == nil && c.Result != nil:
+			completed++
+		case c.Err != nil && c.Result == nil:
+			// Skipped cells are zero apart from identity + the typed error.
+			if !errors.Is(c.Err, ErrSkipped) {
+				t.Errorf("cell %q error %v does not wrap ErrSkipped", c.Label, c.Err)
+			}
+			if !errors.Is(c.Err, context.Canceled) {
+				t.Errorf("cell %q error %v does not wrap context.Canceled", c.Label, c.Err)
+			}
+			skipped++
+		default:
+			t.Errorf("cell %q is in a mixed state: Result=%v Err=%v", c.Label, c.Result, c.Err)
+		}
+	}
+	if completed+skipped != total {
+		t.Fatalf("completed %d + skipped %d != %d", completed, skipped, total)
+	}
+	// The cells observed completing before the cancel are a lower bound on
+	// completed; in-flight cells may legitimately push it higher (at most
+	// one per worker past the cancel point).
+	if completed < cancelAfter {
+		t.Errorf("completed = %d, want >= %d (progress before cancellation was dropped)", completed, cancelAfter)
+	}
+	if skipped == 0 {
+		t.Error("no cell was skipped; the cancel landed too late to test anything")
+	}
+	// A successful run, by contrast, must never contain ErrSkipped.
+	full := Run(g, Options{Parallel: 2})
+	for _, c := range full.Cells {
+		if errors.Is(c.Err, ErrSkipped) {
+			t.Errorf("uncancelled run skipped cell %q", c.Label)
+		}
+	}
+}

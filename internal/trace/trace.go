@@ -88,8 +88,10 @@ func Detailed(tl *schedule.Timeline, maxPasses int) string {
 	return b.String()
 }
 
-// chromeEvent is one complete ("X") trace_event.
-type chromeEvent struct {
+// Event is one complete ("X") Chrome trace_event: a pass rendered as a
+// duration on device Tid. Exported so tests and tools can decode a written
+// trace back into typed form (see ReadChromeTrace).
+type Event struct {
 	Name string            `json:"name"`
 	Cat  string            `json:"cat"`
 	Ph   string            `json:"ph"`
@@ -103,9 +105,9 @@ type chromeEvent struct {
 // WriteChromeTrace emits the timeline as a Chrome trace_event JSON array.
 // Times are interpreted as seconds and exported in microseconds.
 func WriteChromeTrace(w io.Writer, tl *schedule.Timeline) error {
-	events := make([]chromeEvent, 0, len(tl.Passes))
+	events := make([]Event, 0, len(tl.Passes))
 	for _, p := range tl.Passes {
-		events = append(events, chromeEvent{
+		events = append(events, Event{
 			Name: fmt.Sprintf("%s mb%d", p.Type, p.Micro),
 			Cat:  p.Type.String(),
 			Ph:   "X",
@@ -121,4 +123,16 @@ func WriteChromeTrace(w io.Writer, tl *schedule.Timeline) error {
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(events)
+}
+
+// ReadChromeTrace decodes a trace written by WriteChromeTrace back into
+// typed events — the round-trip half that lets tests assert structural
+// invariants (event counts, phases, per-device timing) instead of just
+// "valid JSON".
+func ReadChromeTrace(r io.Reader) ([]Event, error) {
+	var events []Event
+	if err := json.NewDecoder(r).Decode(&events); err != nil {
+		return nil, fmt.Errorf("trace: decoding chrome trace: %w", err)
+	}
+	return events, nil
 }

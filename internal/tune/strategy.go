@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"vocabpipe/internal/sim"
 	"vocabpipe/internal/sweep"
 )
 
@@ -63,6 +64,12 @@ type Options struct {
 	// OnProgress, when non-nil, observes the search after each simulated
 	// candidate. Calls are serialized.
 	OnProgress func(Progress)
+	// Eval, when non-nil, replaces in-process simulation of each candidate
+	// cell — the seam a coordinator vpserve uses to farm candidate
+	// evaluations out to its worker pool (cluster.Dispatcher.EvalCell). The
+	// context is the search's own, so cancelling the search cancels remote
+	// evaluations too.
+	Eval func(ctx context.Context, c sweep.Cell) (*sim.Result, error)
 }
 
 // Search runs the strategy over the spec's space and returns the ranked
@@ -117,7 +124,7 @@ func (t *tracker) onCell(r sweep.CellResult) {
 
 func searchExhaustive(ctx context.Context, s *Spec, opt Options) (*Result, error) {
 	t := &tracker{spec: s, opt: opt, total: s.SpaceSize()}
-	evals, err := s.evaluate(ctx, s.candidates(), opt.Parallel, t.onCell)
+	evals, err := s.evaluate(ctx, s.candidates(), opt, t.onCell)
 	if err != nil {
 		return nil, err
 	}
@@ -141,7 +148,7 @@ func searchBeam(ctx context.Context, s *Spec, opt Options) (*Result, error) {
 	t := &tracker{spec: s, opt: opt,
 		total: len(stageA) + min(s.BeamWidth, len(stageA))*(len(s.Micros)-1)}
 
-	evalsA, err := s.evaluate(ctx, stageA, opt.Parallel, t.onCell)
+	evalsA, err := s.evaluate(ctx, stageA, opt, t.onCell)
 	if err != nil {
 		return nil, err
 	}
@@ -173,7 +180,7 @@ func searchBeam(ctx context.Context, s *Spec, opt Options) (*Result, error) {
 		}
 	}
 	t.total = len(stageA) + len(stageB)
-	evalsB, err := s.evaluate(ctx, stageB, opt.Parallel, t.onCell)
+	evalsB, err := s.evaluate(ctx, stageB, opt, t.onCell)
 	if err != nil {
 		return nil, err
 	}
@@ -198,7 +205,7 @@ func searchAnneal(ctx context.Context, s *Spec, opt Options) (*Result, error) {
 		if e, ok := memo[c]; ok {
 			return e, false, nil
 		}
-		evals, err := s.evaluate(ctx, []Candidate{c}, 1, t.onCell)
+		evals, err := s.evaluate(ctx, []Candidate{c}, Options{Parallel: 1, Eval: opt.Eval}, t.onCell)
 		if err != nil {
 			return evaluated{}, false, err
 		}

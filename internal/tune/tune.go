@@ -399,9 +399,15 @@ func markPareto(feasible []Ranked) {
 // evaluate runs the candidates through the concurrent sweep engine (one cell
 // per candidate, panic capture and deterministic order included). onCell,
 // when non-nil, observes each completed cell as it happens (completion
-// order, serialized by the sweep engine).
-func (s *Spec) evaluate(ctx context.Context, cands []Candidate, parallel int, onCell func(sweep.CellResult)) ([]evaluated, error) {
+// order, serialized by the sweep engine). opt.Eval, when set, replaces the
+// in-process simulator per cell (bound to this evaluation's ctx, so remote
+// evaluators inherit the search's cancellation).
+func (s *Spec) evaluate(ctx context.Context, cands []Candidate, opt Options, onCell func(sweep.CellResult)) ([]evaluated, error) {
 	g := &sweep.Grid{Name: "tune/" + s.Name}
+	if opt.Eval != nil {
+		eval := opt.Eval
+		g.Eval = func(c sweep.Cell) (*sim.Result, error) { return eval(ctx, c) }
+	}
 	for _, c := range cands {
 		g.Cells = append(g.Cells, sweep.Cell{
 			Label:  c.Label(),
@@ -409,12 +415,12 @@ func (s *Spec) evaluate(ctx context.Context, cands []Candidate, parallel int, on
 			Method: c.Method,
 		})
 	}
-	var opt sweep.Options
-	opt.Parallel = parallel
+	var sopt sweep.Options
+	sopt.Parallel = opt.Parallel
 	if onCell != nil {
-		opt.OnCell = func(done, total int, r sweep.CellResult) { onCell(r) }
+		sopt.OnCell = func(done, total int, r sweep.CellResult) { onCell(r) }
 	}
-	res, err := sweep.RunCtx(ctx, g, opt)
+	res, err := sweep.RunCtx(ctx, g, sopt)
 	if err != nil {
 		return nil, err
 	}

@@ -45,6 +45,18 @@
 //
 // -selftest-min-rps makes the run a gate: exit 1 when the warmed-cache
 // throughput falls below the floor (the CI smoke step uses 100).
+//
+// Load-test mode drives the same harness against an EXTERNAL URL — an
+// already-running vpserve (or anything speaking HTTP) — and prints the JSON
+// report on stdout. The CI smoke step uses it to cross-check the client-side
+// attempt count against the server's own /metrics request counters:
+//
+//	vpserve -loadtest http://127.0.0.1:8080/api/sweep?grid=... \
+//	        [-loadtest-duration 2s] [-loadtest-concurrency 8]
+//
+// Observability: every serving vpserve exposes Prometheus metrics at
+// GET /metrics and streams job progress over SSE at
+// GET /api/jobs/{id}/events (see the README's Observability section).
 package main
 
 import (
@@ -93,6 +105,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	stConc := fs.Int("selftest-concurrency", 8, "self-test worker count")
 	stDur := fs.Duration("selftest-duration", 2*time.Second, "self-test load duration")
 	stMinRPS := fs.Float64("selftest-min-rps", 0, "fail (exit 1) when self-test throughput is below this floor; 0 disables")
+	loadtest := fs.String("loadtest", "", "drive the load harness against this external `URL`, print the JSON report and exit")
+	ltConc := fs.Int("loadtest-concurrency", 8, "load-test worker count")
+	ltDur := fs.Duration("loadtest-duration", 2*time.Second, "load-test duration")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -109,6 +124,17 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 				return 2
 			}
 		}
+	}
+	if *loadtest == "" {
+		for _, name := range []string{"loadtest-concurrency", "loadtest-duration"} {
+			if explicit[name] {
+				fmt.Fprintf(stderr, "vpserve: -%s only applies to -loadtest\n", name)
+				return 2
+			}
+		}
+	} else if *selftest {
+		fmt.Fprintf(stderr, "vpserve: -selftest and -loadtest are mutually exclusive\n")
+		return 2
 	}
 	var workerURLs []string
 	switch *role {
@@ -146,6 +172,10 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		// as "unset, use the default", so translate rather than silently
 		// reinstating 2s on an operator who asked for no hedging.
 		*hedgeAfter = -1
+	}
+
+	if *loadtest != "" {
+		return runLoadtest(stdout, stderr, *loadtest, *ltConc, *ltDur)
 	}
 
 	srv := server.New(server.Options{
@@ -221,6 +251,24 @@ func serve(srv *server.Server, stderr io.Writer, addr, role string, probeEvery, 
 		return 1
 	}
 	fmt.Fprintln(stderr, "vpserve: bye")
+	return 0
+}
+
+// runLoadtest drives the load harness against an external URL and prints
+// the JSON report. Unlike -selftest it imposes no pass/fail policy beyond
+// "the run completed" — the caller (CI) owns the assertions, and the report
+// carries the full ledger (attempts = requests + errors) it needs.
+func runLoadtest(stdout, stderr io.Writer, url string, conc int, dur time.Duration) int {
+	rep, err := load.Run(context.Background(), url, load.Options{Concurrency: conc, Duration: dur})
+	if err != nil {
+		fmt.Fprintf(stderr, "vpserve: loadtest: %v\n", err)
+		return 1
+	}
+	if err := rep.WriteJSON(stdout); err != nil {
+		fmt.Fprintf(stderr, "vpserve: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "vpserve: loadtest %s\n", rep.Summary())
 	return 0
 }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"strings"
 	"syscall"
@@ -71,6 +72,45 @@ func TestSelftestBadGrid(t *testing.T) {
 	_, stderr, code := runVpserve("-selftest", "-selftest-grid", "model=900B")
 	if code != 1 || !strings.Contains(stderr, "bad -selftest-grid") {
 		t.Errorf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+// TestLoadtestMode drives the harness against an external stub URL and
+// checks the report ledger on stdout.
+func TestLoadtestMode(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	stdout, stderr, code := runVpserve("-loadtest", ts.URL,
+		"-loadtest-duration", "100ms", "-loadtest-concurrency", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	var rep load.Report
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("stdout is not a load report: %v (%s)", err, stdout)
+	}
+	if rep.Attempts == 0 || rep.Attempts != rep.Requests+rep.Errors {
+		t.Errorf("ledger broken: %+v", rep)
+	}
+	if !strings.Contains(stderr, "loadtest") {
+		t.Errorf("missing summary on stderr: %q", stderr)
+	}
+}
+
+func TestLoadtestFlagValidation(t *testing.T) {
+	if _, stderr, code := runVpserve("-loadtest-duration", "1s"); code != 2 || !strings.Contains(stderr, "only applies to -loadtest") {
+		t.Errorf("loadtest flag without -loadtest: code=%d stderr=%q", code, stderr)
+	}
+	if _, stderr, code := runVpserve("-selftest", "-loadtest", "http://x"); code != 2 || !strings.Contains(stderr, "mutually exclusive") {
+		t.Errorf("selftest+loadtest: code=%d stderr=%q", code, stderr)
+	}
+	if _, stderr, code := runVpserve("-loadtest", "not-a-url", "-loadtest-duration", "50ms"); code != 0 || stderr == "" {
+		// A bad URL yields errored attempts, not a refusal: the ledger still
+		// reports what happened and CI owns the policy.
+		t.Errorf("bad URL: code=%d stderr=%q, want report with errors", code, stderr)
 	}
 }
 

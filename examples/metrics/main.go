@@ -1,0 +1,109 @@
+// Metrics: the observability spine end to end. This example boots an
+// ephemeral vpserve, generates a little traffic (a computed sweep, a cache
+// hit, a rejected request), submits an auto-tuner job and follows its
+// Server-Sent Events stream to completion, then scrapes /metrics and prints
+// the interesting families — the same Prometheus text a real scraper would
+// ingest.
+//
+//	go run ./examples/metrics
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	neturl "net/url"
+	"strings"
+
+	"vocabpipe/internal/server"
+)
+
+func main() {
+	srv := server.New(server.Options{JobWorkers: 1})
+	baseURL, stop, err := server.StartLocal(srv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stop()
+
+	// Traffic: the first sweep computes (cache miss), the second replays
+	// from cache, the third is a 400 — three different (route, code) series.
+	sweepURL := baseURL + "/api/sweep?grid=" + neturl.QueryEscape("model=4B;method=baseline;vocab=32k;micro=16")
+	for _, u := range []string{sweepURL, sweepURL, baseURL + "/api/sweep"} {
+		resp, err := http.Get(u)
+		if err != nil {
+			log.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		path := strings.TrimPrefix(u, baseURL)
+		if i := strings.IndexByte(path, '?'); i >= 0 {
+			path = path[:i]
+		}
+		fmt.Printf("GET %s -> %d (X-Cache: %s)\n", path, resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+
+	// Submit a tuner search and follow its SSE stream: every frame is the
+	// job snapshot JSON, the stream ends itself after the terminal frame.
+	resp, err := http.Post(baseURL+"/api/optimize?scenario=4b-quick&strategy=beam", "application/json", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var acc struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("\nsubmitted tuner job %s; following /api/jobs/%s/events:\n", acc.JobID, acc.JobID)
+
+	events, err := http.Get(baseURL + "/api/jobs/" + acc.JobID + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := bufio.NewScanner(events.Body)
+	frames := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") || strings.HasPrefix(line, "data: ") {
+			if len(line) > 100 {
+				line = line[:100] + "…"
+			}
+			fmt.Println("  " + line)
+			if strings.HasPrefix(line, "data: ") {
+				frames++
+			}
+		}
+	}
+	events.Body.Close()
+	fmt.Printf("stream closed after %d frames (job finished)\n\n", frames)
+
+	// Scrape /metrics and show the spine: HTTP traffic by route and status
+	// class, cache counters, job lifecycle, one histogram family.
+	scrape, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw, err := io.ReadAll(scrape.Body)
+	scrape.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("selected /metrics families:")
+	for _, line := range strings.Split(string(raw), "\n") {
+		switch {
+		case strings.HasPrefix(line, "vpserve_http_requests_total"),
+			strings.HasPrefix(line, "vpserve_cache_hits_total"),
+			strings.HasPrefix(line, "vpserve_cache_misses_total"),
+			strings.HasPrefix(line, "vpserve_jobs_submitted_total"),
+			strings.HasPrefix(line, "vpserve_jobs_done_total"),
+			strings.HasPrefix(line, "vpserve_http_request_duration_seconds_count"),
+			strings.HasPrefix(line, "vpserve_sse_streams_active"):
+			fmt.Println("  " + line)
+		}
+	}
+}

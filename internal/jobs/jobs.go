@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -94,6 +95,49 @@ type job struct {
 	finished  time.Time
 	cancel    context.CancelFunc // non-nil while running
 	cancelReq bool               // Cancel seen before/while running
+	// watchers receive a Snapshot on every progress update and state
+	// change; their channels close when the job reaches a terminal state.
+	watchers map[*watcher]bool
+}
+
+// watcher is one Watch subscription. Its channel is buffered to one
+// snapshot and coalesced: a slow consumer always sees the latest state, not
+// a backlog, and the terminal snapshot is never dropped (it replaces any
+// stale pending one before the channel closes).
+type watcher struct {
+	ch chan Snapshot
+}
+
+// notifyLocked publishes the current snapshot to every watcher and, on a
+// terminal state, delivers the final snapshot and closes the channels.
+// Caller holds j.mu.
+func (j *job) notifyLocked() {
+	if len(j.watchers) == 0 {
+		return
+	}
+	snap := j.snapshotLocked()
+	for w := range j.watchers {
+		select {
+		case w.ch <- snap:
+			continue
+		default:
+		}
+		// Full: drop the stale snapshot and replace it with the latest.
+		select {
+		case <-w.ch:
+		default:
+		}
+		select {
+		case w.ch <- snap:
+		default:
+		}
+	}
+	if snap.State.Terminal() {
+		for w := range j.watchers {
+			close(w.ch)
+		}
+		j.watchers = nil
+	}
 }
 
 // Queue runs submitted jobs on a fixed worker pool. Construct with New.
@@ -112,6 +156,15 @@ type Queue struct {
 	closed   bool
 	nextID   int
 	keep     int
+
+	// Lifecycle counters behind Stats. Atomics because terminal transitions
+	// happen under the individual job's lock, not q.mu.
+	running   atomic.Int64
+	submitted atomic.Int64
+	done      atomic.Int64
+	failed    atomic.Int64
+	cancelled atomic.Int64
+	pruned    atomic.Int64
 
 	baseCtx context.Context
 	stopAll context.CancelFunc
@@ -183,8 +236,81 @@ func (q *Queue) Submit(name string, fn Func) (string, error) {
 	q.order = append(q.order, j.id)
 	q.pruneLocked()
 	q.mu.Unlock()
+	q.submitted.Add(1)
 	q.cond.Signal()
 	return j.id, nil
+}
+
+// Stats is a point-in-time view of the queue's lifecycle counters, the feed
+// for the /metrics jobs families. Queued and Running are gauges; the rest
+// are monotone totals since construction.
+type Stats struct {
+	// Queued is the current pending-queue depth (capacity minus headroom).
+	Queued int `json:"queued"`
+	// Running is how many jobs workers are executing right now.
+	Running int `json:"running"`
+	// Submitted counts successful Submit calls.
+	Submitted int64 `json:"submitted"`
+	// Done, Failed and Cancelled count terminal transitions.
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+	// Pruned counts finished jobs dropped past the retention cap.
+	Pruned int64 `json:"pruned"`
+}
+
+// Stats snapshots the queue counters.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	depth := len(q.pending)
+	q.mu.Unlock()
+	return Stats{
+		Queued:    depth,
+		Running:   int(q.running.Load()),
+		Submitted: q.submitted.Load(),
+		Done:      q.done.Load(),
+		Failed:    q.failed.Load(),
+		Cancelled: q.cancelled.Load(),
+		Pruned:    q.pruned.Load(),
+	}
+}
+
+// Watch subscribes to one job's lifecycle: the returned channel immediately
+// carries the current snapshot, then one on every progress update and state
+// change, and closes once a terminal snapshot has been delivered. Delivery
+// is coalesced — a slow consumer sees the latest state rather than a
+// backlog — but the terminal snapshot is never dropped. The cancel function
+// detaches the watcher (idempotent, safe after close); the ok result is
+// false for unknown job ids.
+func (q *Queue) Watch(id string) (<-chan Snapshot, func(), bool) {
+	q.mu.Lock()
+	j := q.jobs[id]
+	q.mu.Unlock()
+	if j == nil {
+		return nil, nil, false
+	}
+	w := &watcher{ch: make(chan Snapshot, 1)}
+	j.mu.Lock()
+	snap := j.snapshotLocked()
+	w.ch <- snap
+	if snap.State.Terminal() {
+		close(w.ch)
+	} else {
+		if j.watchers == nil {
+			j.watchers = make(map[*watcher]bool)
+		}
+		j.watchers[w] = true
+	}
+	j.mu.Unlock()
+	cancel := func() {
+		j.mu.Lock()
+		if j.watchers[w] {
+			delete(j.watchers, w)
+			close(w.ch)
+		}
+		j.mu.Unlock()
+	}
+	return w.ch, cancel, true
 }
 
 // pruneLocked drops the oldest terminal jobs past the retention cap.
@@ -204,6 +330,7 @@ func (q *Queue) pruneLocked() {
 		j := q.jobs[id]
 		if j != nil && finished > q.keep && j.snapshot().State.Terminal() {
 			delete(q.jobs, id)
+			q.pruned.Add(1)
 			finished--
 			continue
 		}
@@ -260,6 +387,8 @@ func (q *Queue) Cancel(id string) (Snapshot, bool) {
 		j.state = StateCancelled
 		j.err = context.Canceled
 		j.finished = q.now()
+		q.cancelled.Add(1)
+		j.notifyLocked()
 		j.mu.Unlock()
 		// Free the capacity slot immediately: a cancelled job must not
 		// occupy the pending queue (and 429 new submissions) while it waits
@@ -341,12 +470,15 @@ func (q *Queue) runOne(j *job) {
 		cancel()
 	}
 	fn := j.fn
+	q.running.Add(1)
+	j.notifyLocked()
 	j.mu.Unlock()
 	defer cancel()
 
 	report := func(p Progress) {
 		j.mu.Lock()
 		j.progress = p
+		j.notifyLocked()
 		j.mu.Unlock()
 	}
 
@@ -371,19 +503,29 @@ func (q *Queue) runOne(j *job) {
 	case err == nil:
 		j.state = StateDone
 		j.result = result
+		q.done.Add(1)
 	case (j.cancelReq || q.baseCtx.Err() != nil) && errors.Is(err, context.Canceled):
 		j.state = StateCancelled
 		j.err = err
+		q.cancelled.Add(1)
 	default:
 		j.state = StateFailed
 		j.err = err
+		q.failed.Add(1)
 	}
+	q.running.Add(-1)
+	j.notifyLocked()
 }
 
 // snapshot copies the job state under its lock.
 func (j *job) snapshot() Snapshot {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.snapshotLocked()
+}
+
+// snapshotLocked copies the job state; caller holds j.mu.
+func (j *job) snapshotLocked() Snapshot {
 	s := Snapshot{
 		ID:        j.id,
 		Name:      j.name,

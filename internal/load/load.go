@@ -5,6 +5,21 @@
 // /healthz cache counters it turns "the service is fast" into a measured
 // claim — `vpserve -selftest` and the CI smoke step run it, and the perf
 // suite records the numbers in BENCH files.
+//
+// Accounting rules (the honest version):
+//
+//   - Attempts counts every request the harness issued, whether it came
+//     back as a response or died in transport. Offered load (ReqPerSec)
+//     derives from Attempts, so a server that drops connections cannot
+//     inflate its own throughput score by shrinking the denominator.
+//   - Requests counts completed HTTP responses (any status).
+//   - The headline percentiles cover 200-OK responses only. Fast error
+//     pages are not latency wins; a shedding server cannot flatter its p99
+//     with quick 503s. Non-200 latencies get their own percentile fields.
+//   - Workers stop STARTING requests at the deadline but let the in-flight
+//     one finish and count it, so the client-side totals reconcile with
+//     server-side request counters (the CI smoke step cross-checks this
+//     against /metrics).
 package load
 
 import (
@@ -24,8 +39,14 @@ type Options struct {
 	// requests back to back (closed loop: a new request starts only when the
 	// previous one finished).
 	Concurrency int
-	// Duration is how long to drive load (default 2s).
+	// Duration is how long to keep starting new requests (default 2s).
+	// In-flight requests at the deadline are allowed to complete and are
+	// counted, so a run can end slightly after Duration.
 	Duration time.Duration
+	// RequestTimeout caps a single request (default 30s). A request that
+	// outlives it counts as a transport error; it exists so one hung
+	// connection cannot wedge the whole run.
+	RequestTimeout time.Duration
 	// Client is the HTTP client to use (default http.DefaultClient).
 	Client *http.Client
 }
@@ -35,16 +56,27 @@ type Report struct {
 	URL         string  `json:"url"`
 	Concurrency int     `json:"concurrency"`
 	DurationS   float64 `json:"duration_s"`
-	Requests    int     `json:"requests"`
+	// Attempts counts every request issued: completed responses plus
+	// transport errors. Attempts == Requests + Errors always holds.
+	Attempts int `json:"attempts"`
+	// Requests counts completed HTTP responses of any status.
+	Requests int `json:"requests"`
 	// Errors counts transport failures; NonOK counts non-200 responses.
-	Errors    int     `json:"errors"`
-	NonOK     int     `json:"non_ok"`
+	Errors int `json:"errors"`
+	NonOK  int `json:"non_ok"`
+	// ReqPerSec is offered load: Attempts divided by wall time.
 	ReqPerSec float64 `json:"req_per_sec"`
-	P50Ms     float64 `json:"p50_ms"`
-	P90Ms     float64 `json:"p90_ms"`
-	P99Ms     float64 `json:"p99_ms"`
-	MaxMs     float64 `json:"max_ms"`
-	BytesRead int64   `json:"bytes_read"`
+	// P50/P90/P99/Max cover 200-OK responses only.
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+	// Non-200 responses get separate percentiles so error-path latency is
+	// visible without polluting the headline numbers.
+	NonOKP50Ms float64 `json:"non_ok_p50_ms,omitempty"`
+	NonOKP99Ms float64 `json:"non_ok_p99_ms,omitempty"`
+	NonOKMaxMs float64 `json:"non_ok_max_ms,omitempty"`
+	BytesRead  int64   `json:"bytes_read"`
 	// CacheHitRatePct is filled by callers that can see the server's cache
 	// counters (e.g. from /healthz deltas); negative means unknown.
 	CacheHitRatePct float64 `json:"cache_hit_rate_pct"`
@@ -53,10 +85,11 @@ type Report struct {
 // worker accumulates one goroutine's observations, merged after the run so
 // the hot loop takes no locks.
 type worker struct {
-	latencies []time.Duration
-	errors    int
-	nonOK     int
-	bytes     int64
+	okLat    []time.Duration
+	nonOKLat []time.Duration
+	attempts int
+	errors   int
+	bytes    int64
 }
 
 // Run drives Options.Concurrency workers against url until Options.Duration
@@ -68,44 +101,59 @@ func Run(ctx context.Context, url string, opt Options) (*Report, error) {
 	if opt.Duration <= 0 {
 		opt.Duration = 2 * time.Second
 	}
+	if opt.RequestTimeout <= 0 {
+		opt.RequestTimeout = 30 * time.Second
+	}
 	client := opt.Client
 	if client == nil {
 		client = http.DefaultClient
 	}
 
-	ctx, cancel := context.WithTimeout(ctx, opt.Duration)
-	defer cancel()
-
 	workers := make([]worker, opt.Concurrency)
 	done := make(chan int, opt.Concurrency)
 	start := time.Now()
+	deadline := start.Add(opt.Duration)
 	for i := 0; i < opt.Concurrency; i++ {
 		go func(w *worker) {
 			defer func() { done <- 1 }()
-			for ctx.Err() == nil {
+			// The deadline gates STARTING a request; an in-flight request
+			// runs to completion so its outcome is counted and the totals
+			// reconcile with the server's own request counters.
+			for ctx.Err() == nil && time.Now().Before(deadline) {
 				t0 := time.Now()
-				req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+				rctx, rcancel := context.WithTimeout(ctx, opt.RequestTimeout)
+				req, err := http.NewRequestWithContext(rctx, http.MethodGet, url, nil)
 				if err != nil {
+					rcancel()
+					w.attempts++
 					w.errors++
 					return
 				}
 				resp, err := client.Do(req)
 				if err != nil {
-					// A deadline hit mid-request is the normal end of the
-					// run, not a measured failure.
+					rcancel()
 					if ctx.Err() != nil {
+						// Harness teardown, not a measured failure: the
+						// request was aborted by the caller, so it never
+						// reached a countable outcome.
 						return
 					}
+					// Transport failure — including a RequestTimeout hit.
+					w.attempts++
 					w.errors++
 					continue
 				}
 				n, _ := io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
+				rcancel()
+				w.attempts++
 				w.bytes += n
-				if resp.StatusCode != http.StatusOK {
-					w.nonOK++
+				lat := time.Since(t0)
+				if resp.StatusCode == http.StatusOK {
+					w.okLat = append(w.okLat, lat)
+				} else {
+					w.nonOKLat = append(w.nonOKLat, lat)
 				}
-				w.latencies = append(w.latencies, time.Since(t0))
 			}
 		}(&workers[i])
 	}
@@ -120,23 +168,31 @@ func Run(ctx context.Context, url string, opt Options) (*Report, error) {
 		DurationS:       elapsed.Seconds(),
 		CacheHitRatePct: -1,
 	}
-	var all []time.Duration
+	var ok, nonOK []time.Duration
 	for i := range workers {
-		all = append(all, workers[i].latencies...)
+		ok = append(ok, workers[i].okLat...)
+		nonOK = append(nonOK, workers[i].nonOKLat...)
+		rep.Attempts += workers[i].attempts
 		rep.Errors += workers[i].errors
-		rep.NonOK += workers[i].nonOK
 		rep.BytesRead += workers[i].bytes
 	}
-	rep.Requests = len(all)
+	rep.NonOK = len(nonOK)
+	rep.Requests = len(ok) + len(nonOK)
 	if elapsed > 0 {
-		rep.ReqPerSec = float64(rep.Requests) / elapsed.Seconds()
+		rep.ReqPerSec = float64(rep.Attempts) / elapsed.Seconds()
 	}
-	if len(all) > 0 {
-		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-		rep.P50Ms = ms(Percentile(all, 0.50))
-		rep.P90Ms = ms(Percentile(all, 0.90))
-		rep.P99Ms = ms(Percentile(all, 0.99))
-		rep.MaxMs = ms(all[len(all)-1])
+	if len(ok) > 0 {
+		sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
+		rep.P50Ms = ms(Percentile(ok, 0.50))
+		rep.P90Ms = ms(Percentile(ok, 0.90))
+		rep.P99Ms = ms(Percentile(ok, 0.99))
+		rep.MaxMs = ms(ok[len(ok)-1])
+	}
+	if len(nonOK) > 0 {
+		sort.Slice(nonOK, func(i, j int) bool { return nonOK[i] < nonOK[j] })
+		rep.NonOKP50Ms = ms(Percentile(nonOK, 0.50))
+		rep.NonOKP99Ms = ms(Percentile(nonOK, 0.99))
+		rep.NonOKMaxMs = ms(nonOK[len(nonOK)-1])
 	}
 	return rep, nil
 }
@@ -185,7 +241,7 @@ func (r *Report) Summary() string {
 		hit = fmt.Sprintf("%.1f%%", r.CacheHitRatePct)
 	}
 	return fmt.Sprintf(
-		"%d req in %.2fs (%d workers): %.0f req/s, p50 %.2fms p90 %.2fms p99 %.2fms max %.2fms, errors %d, non-200 %d, cache hit %s",
-		r.Requests, r.DurationS, r.Concurrency, r.ReqPerSec,
+		"%d attempts (%d responses) in %.2fs (%d workers): %.0f req/s, ok p50 %.2fms p90 %.2fms p99 %.2fms max %.2fms, errors %d, non-200 %d, cache hit %s",
+		r.Attempts, r.Requests, r.DurationS, r.Concurrency, r.ReqPerSec,
 		r.P50Ms, r.P90Ms, r.P99Ms, r.MaxMs, r.Errors, r.NonOK, hit)
 }

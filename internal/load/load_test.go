@@ -46,6 +46,9 @@ func TestRunCountsRequests(t *testing.T) {
 	if rep.CacheHitRatePct != -1 {
 		t.Errorf("CacheHitRatePct = %v, want -1 (unknown) by default", rep.CacheHitRatePct)
 	}
+	if rep.Attempts != rep.Requests {
+		t.Errorf("Attempts = %d, Requests = %d; with zero errors they must match", rep.Attempts, rep.Requests)
+	}
 }
 
 func TestRunCountsNonOK(t *testing.T) {
@@ -76,6 +79,163 @@ func TestRunCountsTransportErrors(t *testing.T) {
 	}
 	if rep.Requests != 0 {
 		t.Errorf("Requests = %d, want 0", rep.Requests)
+	}
+	// The accounting fix: errored attempts still count as offered load. The
+	// old code derived throughput from completed responses only, so a server
+	// refusing every connection scored 0 req/s attempted — a lie.
+	if rep.Attempts == 0 || rep.Attempts != rep.Errors {
+		t.Errorf("Attempts = %d, Errors = %d; every refusal is an attempt", rep.Attempts, rep.Errors)
+	}
+	if rep.ReqPerSec <= 0 {
+		t.Errorf("ReqPerSec = %v, want >0 offered load even when everything errors", rep.ReqPerSec)
+	}
+}
+
+// TestRunAccountingInvariants drives the harness against servers with
+// different failure mixes and pins the ledger identity
+// Attempts == Requests + Errors plus the per-mode expectations.
+func TestRunAccountingInvariants(t *testing.T) {
+	tests := []struct {
+		name       string
+		handler    http.HandlerFunc
+		closed     bool // close the listener before the run
+		wantErrors bool
+		wantNonOK  bool
+	}{
+		{
+			name:    "all ok",
+			handler: func(w http.ResponseWriter, r *http.Request) { w.Write([]byte("ok")) },
+		},
+		{
+			name: "all 500",
+			handler: func(w http.ResponseWriter, r *http.Request) {
+				http.Error(w, "boom", http.StatusInternalServerError)
+			},
+			wantNonOK: true,
+		},
+		{
+			name: "mixed 200 and 503",
+			handler: func() http.HandlerFunc {
+				var n atomic.Int64
+				return func(w http.ResponseWriter, r *http.Request) {
+					if n.Add(1)%2 == 0 {
+						http.Error(w, "shed", http.StatusServiceUnavailable)
+						return
+					}
+					w.Write([]byte("ok"))
+				}
+			}(),
+			wantNonOK: true,
+		},
+		{
+			name:       "connection refused",
+			handler:    func(w http.ResponseWriter, r *http.Request) {},
+			closed:     true,
+			wantErrors: true,
+		},
+		{
+			name: "connection dropped mid-response",
+			handler: func(w http.ResponseWriter, r *http.Request) {
+				conn, _, err := w.(http.Hijacker).Hijack()
+				if err == nil {
+					conn.Close()
+				}
+			},
+			wantErrors: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ts := httptest.NewServer(tt.handler)
+			if tt.closed {
+				ts.Close()
+			} else {
+				defer ts.Close()
+			}
+			rep, err := Run(context.Background(), ts.URL, Options{Concurrency: 2, Duration: 80 * time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Attempts != rep.Requests+rep.Errors {
+				t.Errorf("ledger broken: Attempts %d != Requests %d + Errors %d",
+					rep.Attempts, rep.Requests, rep.Errors)
+			}
+			if rep.Attempts == 0 {
+				t.Error("no attempts recorded at all")
+			}
+			if rep.ReqPerSec <= 0 {
+				t.Errorf("ReqPerSec = %v, want >0", rep.ReqPerSec)
+			}
+			if tt.wantErrors && rep.Errors == 0 {
+				t.Error("expected transport errors, saw none")
+			}
+			if !tt.wantErrors && rep.Errors != 0 {
+				t.Errorf("Errors = %d, want 0", rep.Errors)
+			}
+			if tt.wantNonOK && rep.NonOK == 0 {
+				t.Error("expected non-200 responses, saw none")
+			}
+		})
+	}
+}
+
+// TestRunSeparatesNonOKLatencies pins the percentile fix: a server that sheds
+// half its traffic with instant 503s must not be able to flatter the headline
+// p50/p99, which cover 200-OK responses only. OK responses sleep 30ms, so if
+// instant 503s leaked into the OK percentiles, P50 would collapse below 30.
+func TestRunSeparatesNonOKLatencies(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%2 == 0 {
+			http.Error(w, "shed", http.StatusServiceUnavailable) // instant
+			return
+		}
+		time.Sleep(30 * time.Millisecond)
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), ts.URL, Options{Concurrency: 4, Duration: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	okCount := rep.Requests - rep.NonOK
+	if okCount == 0 || rep.NonOK == 0 {
+		t.Fatalf("need both outcomes: ok=%d non-ok=%d", okCount, rep.NonOK)
+	}
+	if rep.P50Ms < 30 {
+		t.Errorf("OK p50 = %.2fms < 30ms: instant 503s leaked into the OK percentiles", rep.P50Ms)
+	}
+	if rep.NonOKP50Ms <= 0 || rep.NonOKMaxMs <= 0 {
+		t.Errorf("non-OK percentiles missing: p50 %.2f max %.2f", rep.NonOKP50Ms, rep.NonOKMaxMs)
+	}
+	if rep.NonOKP50Ms > rep.NonOKP99Ms || rep.NonOKP99Ms > rep.NonOKMaxMs {
+		t.Errorf("non-OK percentiles not monotone: p50 %.2f p99 %.2f max %.2f",
+			rep.NonOKP50Ms, rep.NonOKP99Ms, rep.NonOKMaxMs)
+	}
+}
+
+// TestRunRequestTimeout: a hung server trips the per-request safety timeout
+// and the stall is counted as a transport error, not silently dropped.
+func TestRunRequestTimeout(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer ts.Close()
+	defer close(release) // LIFO: unblock handlers before ts.Close waits on them
+
+	rep, err := Run(context.Background(), ts.URL, Options{
+		Concurrency:    2,
+		Duration:       40 * time.Millisecond,
+		RequestTimeout: 60 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors == 0 || rep.Attempts != rep.Errors {
+		t.Errorf("hung requests must surface as errored attempts: attempts %d errors %d",
+			rep.Attempts, rep.Errors)
 	}
 }
 

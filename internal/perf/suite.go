@@ -33,6 +33,9 @@ import (
 //   - server/sweep-cached: the vpserve HTTP serving path on a warmed cache
 //     (one real loopback request per op), measured as req/s with the cache
 //     hit rate attached;
+//   - server/metrics-overhead: a full /metrics scrape per op against a
+//     seeded registry — the cost of the observability spine's most
+//     expensive operation;
 //   - cluster/sweep-sharded: the coordinator fan-out path — one op shards a
 //     grid across two loopback worker servers and merges the records (the
 //     workers' own shard caches are warm after the first op, so this
@@ -60,10 +63,69 @@ func Suite() []Case {
 		gridCase("sweep/table5", experiments.Table5Grid()),
 		gridCase("sweep/table6", experiments.Table6Grid()),
 		serverCase(),
+		metricsCase(),
 		clusterCase(),
 		tuneCase(),
 	)
 	return cases
+}
+
+// metricsCase measures a /metrics scrape end to end on a server that has
+// seen traffic: a loopback GET per op rendering every registered family.
+// Together with server/sweep-cached it bounds the observability spine's
+// overhead — the scrape itself is the most expensive metrics operation (the
+// per-request middleware cost is two atomic bumps and is already inside
+// server/sweep-cached's numbers).
+func metricsCase() Case {
+	srv := server.New(server.Options{CacheSize: 16, Parallel: 1})
+	var (
+		once   sync.Once
+		target string
+		stop   func()
+	)
+	return Case{
+		Name: "server/metrics-overhead",
+		Run: func(n int) {
+			once.Do(func() {
+				baseURL, st, err := server.StartLocal(srv)
+				if err != nil {
+					panic(fmt.Sprintf("perf: metrics case: %v", err))
+				}
+				// Seed a little route/cache/label state so the scrape renders
+				// a realistic family set, not an all-zero registry.
+				seed := baseURL + "/api/sweep?grid=" + url.QueryEscape("model=4B;method=baseline;vocab=32k;micro=16")
+				for _, u := range []string{seed, baseURL + "/healthz"} {
+					resp, err := http.Get(u)
+					if err != nil {
+						panic(fmt.Sprintf("perf: metrics case seed: %v", err))
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				target, stop = baseURL+"/metrics", st
+			})
+			for i := 0; i < n; i++ {
+				resp, err := http.Get(target)
+				if err != nil {
+					panic(fmt.Sprintf("perf: metrics case: %v", err))
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					panic(fmt.Sprintf("perf: metrics case: HTTP %d", resp.StatusCode))
+				}
+			}
+		},
+		Finish: func(bc *report.BenchCase) {
+			if bc.NsPerOp > 0 {
+				bc.ReqPerSec = 1e9 / bc.NsPerOp
+			}
+			if stop != nil {
+				stop()
+			}
+			srv.Close(context.Background())
+		},
+	}
 }
 
 // clusterCase measures the distributed fan-out end to end: two worker

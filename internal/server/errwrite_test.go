@@ -1,0 +1,122 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// failingWriter errors every Write — a client that vanished, a proxy that
+// reset the connection. Headers and status still record so tests can see
+// what the handler intended.
+type failingWriter struct {
+	header http.Header
+	status int
+}
+
+func (w *failingWriter) Header() http.Header {
+	if w.header == nil {
+		w.header = http.Header{}
+	}
+	return w.header
+}
+func (w *failingWriter) WriteHeader(code int) { w.status = code }
+func (w *failingWriter) Write([]byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return 0, errors.New("connection reset by peer")
+}
+
+// logRecorder captures Options.Logf output.
+type logRecorder struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (l *logRecorder) logf(format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lines = append(l.lines, fmt.Sprintf(format, args...))
+}
+
+func (l *logRecorder) joined() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return strings.Join(l.lines, "\n")
+}
+
+func newRecordingServer(t *testing.T) (*Server, *logRecorder) {
+	t.Helper()
+	rec := &logRecorder{}
+	s := New(Options{Logf: rec.logf})
+	t.Cleanup(func() { s.Close(context.Background()) })
+	return s, rec
+}
+
+// TestHealthzWriteFailureLogged is the regression test for the silently
+// dropped Encode error: a healthz response that cannot be written must leave
+// a log line, not vanish.
+func TestHealthzWriteFailureLogged(t *testing.T) {
+	s, rec := newRecordingServer(t)
+	w := &failingWriter{}
+	r := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	s.handleHealthz(w, r)
+
+	if w.status != http.StatusOK {
+		t.Errorf("status = %d; encoding succeeded so the failure is write-side", w.status)
+	}
+	if got := rec.joined(); !strings.Contains(got, "healthz") || !strings.Contains(got, "connection reset") {
+		t.Errorf("write failure not logged; log = %q", got)
+	}
+}
+
+// TestHealthzEncodesBeforeWriting: the body is staged in a buffer, so a
+// working writer receives exactly one Write of the complete document —
+// no chance of a half-written 200.
+func TestHealthzEncodesBeforeWriting(t *testing.T) {
+	s, rec := newRecordingServer(t)
+	w := httptest.NewRecorder()
+	s.handleHealthz(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), `"status": "ok"`) {
+		t.Errorf("body = %s", w.Body.String())
+	}
+	if rec.joined() != "" {
+		t.Errorf("healthy path logged: %q", rec.joined())
+	}
+}
+
+// TestWriteErrorFailureLogged: the JSON error body failing to reach the
+// client is logged with the intended status code.
+func TestWriteErrorFailureLogged(t *testing.T) {
+	s, rec := newRecordingServer(t)
+	w := &failingWriter{}
+	s.writeError(w, http.StatusBadRequest, "bad thing: %d", 42)
+
+	if w.status != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400 (header write still happens)", w.status)
+	}
+	if got := rec.joined(); !strings.Contains(got, "400") || !strings.Contains(got, "connection reset") {
+		t.Errorf("error-body write failure not logged; log = %q", got)
+	}
+}
+
+// TestWriteErrorDefaultLogf: constructing a server without Logf must not
+// leave the field nil (the default is log.Printf).
+func TestWriteErrorDefaultLogf(t *testing.T) {
+	s := New(Options{})
+	defer s.Close(context.Background())
+	if s.opt.Logf == nil {
+		t.Fatal("default Logf is nil")
+	}
+	// Exercising the path must not panic even with the real logger.
+	s.writeError(&failingWriter{}, http.StatusInternalServerError, "x")
+}

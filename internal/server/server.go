@@ -43,11 +43,13 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
@@ -59,6 +61,7 @@ import (
 	"vocabpipe/internal/costmodel"
 	"vocabpipe/internal/experiments"
 	"vocabpipe/internal/jobs"
+	"vocabpipe/internal/metrics"
 	"vocabpipe/internal/report"
 	"vocabpipe/internal/sim"
 	"vocabpipe/internal/sweep"
@@ -94,6 +97,14 @@ type Options struct {
 	// non-empty, shardable grids are dispatched across those worker vpserve
 	// instances instead of being evaluated in-process.
 	Cluster cluster.Options
+	// SSEHeartbeat is the idle keep-alive interval on the job event stream
+	// (GET /api/jobs/{id}/events): a comment line flushed so intermediaries
+	// do not reap a quiet connection (default 15s).
+	SSEHeartbeat time.Duration
+	// Logf receives server-side error logs that have no response channel
+	// left — encode/write failures on responses already in flight. Default
+	// log.Printf; tests inject a recorder.
+	Logf func(format string, args ...any)
 }
 
 // Server holds the handler state. Construct with New; Close releases the
@@ -105,6 +116,13 @@ type Server struct {
 	cluster  *cluster.Dispatcher // non-nil in coordinator mode
 	start    time.Time
 	requests atomic.Int64
+
+	// Observability spine (see metrics.go): the registry behind GET
+	// /metrics plus the instruments the HTTP middleware updates inline.
+	metrics   *metrics.Registry
+	httpReqs  *metrics.CounterVec   // route, code class
+	httpDur   *metrics.HistogramVec // route
+	sseActive *metrics.Gauge
 }
 
 // New returns a Server with defaults applied.
@@ -121,6 +139,12 @@ func New(opt Options) *Server {
 	if opt.MaxDevices <= 0 {
 		opt.MaxDevices = 1024
 	}
+	if opt.SSEHeartbeat <= 0 {
+		opt.SSEHeartbeat = 15 * time.Second
+	}
+	if opt.Logf == nil {
+		opt.Logf = log.Printf
+	}
 	s := &Server{
 		opt:   opt,
 		cache: cache.New[[]report.Record](opt.CacheSize),
@@ -135,6 +159,7 @@ func New(opt Options) *Server {
 		}
 		s.cluster = cluster.New(opt.Cluster)
 	}
+	s.initMetrics()
 	return s
 }
 
@@ -149,10 +174,15 @@ func (s *Server) Close(ctx context.Context) error {
 	return s.jobs.Close(ctx)
 }
 
-// Handler returns the routing handler for the API.
+// Handler returns the routing handler for the API, wrapped in the metrics
+// middleware: every request increments the per-route counter with its
+// status class and lands its wall time in the per-route latency histogram.
+// The route label is the registered mux pattern (bounded cardinality), not
+// the raw URL.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /api/sweep", s.handleSweep)
 	mux.HandleFunc("GET /api/schedule", s.handleSchedule)
 	mux.HandleFunc("GET /api/experiments/{name}", s.handleExperiment)
@@ -160,10 +190,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/optimize", s.handleOptimize)
 	mux.HandleFunc("GET /api/jobs", s.handleJobList)
 	mux.HandleFunc("GET /api/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /api/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("DELETE /api/jobs/{id}", s.handleJobCancel)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
-		mux.ServeHTTP(w, r)
+		route := routeLabel(mux, r)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		mux.ServeHTTP(sw, r)
+		s.httpReqs.With(route, statusClass(sw.status)).Inc()
+		s.httpDur.With(route).Observe(time.Since(start).Seconds())
 	})
 }
 
@@ -187,6 +223,8 @@ type Health struct {
 	// fan-out counters in coordinator mode; absent otherwise.
 	Workers  []cluster.WorkerHealth `json:"workers,omitempty"`
 	Dispatch *cluster.Stats         `json:"dispatch,omitempty"`
+	// Jobs reports the async queue's depth and lifecycle counters.
+	Jobs jobs.Stats `json:"jobs"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -198,6 +236,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Requests:        s.requests.Load(),
 		Cache:           st,
 		CacheHitRatePct: st.HitRatePct(),
+		Jobs:            s.jobs.Stats(),
 	}
 	if s.cluster != nil {
 		h.Role = "coordinator"
@@ -205,17 +244,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		ds := s.cluster.Stats()
 		h.Dispatch = &ds
 	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
+	// Encode into a buffer first: an encode failure can still become a 500
+	// (nothing has been written to the wire yet) instead of a silent
+	// half-response with an implicit 200.
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
-	enc.Encode(h)
+	if err := enc.Encode(h); err != nil {
+		s.writeError(w, http.StatusInternalServerError, "encoding health: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		// The response is already in flight; the log line is all that's left.
+		s.opt.Logf("server: healthz: writing response: %v", err)
+	}
 }
 
-// writeError emits the JSON error body every failing endpoint uses.
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+// writeError emits the JSON error body every failing endpoint uses. Encode
+// or write failures (a client gone mid-error, a broken proxy) have no
+// response channel left, so they are logged rather than dropped.
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	if err := json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)}); err != nil {
+		s.opt.Logf("server: writing %d error body: %v", status, err)
+	}
 }
 
 // checkGrid applies the serving-layer size guards to a parsed grid,
@@ -274,7 +328,7 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, route string, g
 			w.WriteHeader(StatusClientClosedRequest)
 			return
 		}
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -296,16 +350,16 @@ func outcomeHeader(o cache.Outcome) string {
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	spec := r.URL.Query().Get("grid")
 	if spec == "" {
-		writeError(w, http.StatusBadRequest, "missing required query parameter %q (sweep.ParseGrid syntax, e.g. grid=model=4B;method=1f1b)", "grid")
+		s.writeError(w, http.StatusBadRequest, "missing required query parameter %q (sweep.ParseGrid syntax, e.g. grid=model=4B;method=1f1b)", "grid")
 		return
 	}
 	g, err := sweep.ParseGrid(spec)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if reason := s.checkGrid(g); reason != "" {
-		writeError(w, http.StatusBadRequest, "%s", reason)
+		s.writeError(w, http.StatusBadRequest, "%s", reason)
 		return
 	}
 	s.respond(w, r, "sweep", g)
@@ -318,17 +372,17 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	cfgName := q.Get("config")
 	methodName := q.Get("method")
 	if cfgName == "" || methodName == "" {
-		writeError(w, http.StatusBadRequest, "config and method query parameters are required")
+		s.writeError(w, http.StatusBadRequest, "config and method query parameters are required")
 		return
 	}
 	cfg, ok := costmodel.ConfigByName(cfgName)
 	if !ok {
-		writeError(w, http.StatusBadRequest, "unknown config %q (want 4B, 10B, 21B, 7B, 16B or 30B)", cfgName)
+		s.writeError(w, http.StatusBadRequest, "unknown config %q (want 4B, 10B, 21B, 7B, 16B or 30B)", cfgName)
 		return
 	}
 	m, ok := sim.MethodByName(methodName)
 	if !ok {
-		writeError(w, http.StatusBadRequest, "unknown method %q (want one of %v)", methodName, sim.AllMethods)
+		s.writeError(w, http.StatusBadRequest, "unknown method %q (want one of %v)", methodName, sim.AllMethods)
 		return
 	}
 	for _, p := range []struct {
@@ -346,14 +400,14 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		}
 		v, err := strconv.Atoi(raw)
 		if err != nil || v <= 0 {
-			writeError(w, http.StatusBadRequest, "bad %s %q (want a positive integer)", p.name, raw)
+			s.writeError(w, http.StatusBadRequest, "bad %s %q (want a positive integer)", p.name, raw)
 			return
 		}
 		p.apply(v)
 	}
 	g := &sweep.Grid{Name: "schedule", Configs: []costmodel.Config{cfg}, Methods: []sim.Method{m}}
 	if reason := s.checkGrid(g); reason != "" {
-		writeError(w, http.StatusBadRequest, "%s", reason)
+		s.writeError(w, http.StatusBadRequest, "%s", reason)
 		return
 	}
 	s.respond(w, r, "schedule", g)
@@ -363,7 +417,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	gridFn, ok := experiments.Grid(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown experiment %q (grid-backed experiments: %s)",
+		s.writeError(w, http.StatusNotFound, "unknown experiment %q (grid-backed experiments: %s)",
 			name, strings.Join(experiments.Names(), ", "))
 		return
 	}
@@ -384,16 +438,16 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, 4<<20)
 	var req cluster.ShardRequest
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad shard body: %v", err)
+		s.writeError(w, http.StatusBadRequest, "bad shard body: %v", err)
 		return
 	}
 	g, err := req.ToGrid()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if reason := s.checkGrid(g); reason != "" {
-		writeError(w, http.StatusBadRequest, "%s", reason)
+		s.writeError(w, http.StatusBadRequest, "%s", reason)
 		return
 	}
 	s.respond(w, r, "shard", g)
@@ -450,7 +504,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		// GET guards: no valid spec is anywhere near 64 KiB.
 		body := http.MaxBytesReader(w, r.Body, 64<<10)
 		if err := json.NewDecoder(body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
-			writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+			s.writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
 			return
 		}
 	}
@@ -467,23 +521,23 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	var spec *tune.Spec
 	switch {
 	case req.Spec != "" && req.Scenario != "":
-		writeError(w, http.StatusBadRequest, "spec and scenario are mutually exclusive")
+		s.writeError(w, http.StatusBadRequest, "spec and scenario are mutually exclusive")
 		return
 	case req.Spec != "":
 		var err error
 		if spec, err = tune.ParseSpec(req.Spec); err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			s.writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 	case req.Scenario != "":
 		var ok bool
 		if spec, ok = experiments.TuneSpec(req.Scenario); !ok {
-			writeError(w, http.StatusBadRequest, "unknown scenario %q (want one of %s)",
+			s.writeError(w, http.StatusBadRequest, "unknown scenario %q (want one of %s)",
 				req.Scenario, strings.Join(experiments.TuneNames(), ", "))
 			return
 		}
 	default:
-		writeError(w, http.StatusBadRequest, "provide spec=... (tune.ParseSpec syntax) or scenario=... (named scenarios: %s)",
+		s.writeError(w, http.StatusBadRequest, "provide spec=... (tune.ParseSpec syntax) or scenario=... (named scenarios: %s)",
 			strings.Join(experiments.TuneNames(), ", "))
 		return
 	}
@@ -492,16 +546,16 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if req.Strategy != "" {
 		var ok bool
 		if strategy, ok = tune.StrategyByName(req.Strategy); !ok {
-			writeError(w, http.StatusBadRequest, "unknown strategy %q (want one of %v)", req.Strategy, tune.Strategies())
+			s.writeError(w, http.StatusBadRequest, "unknown strategy %q (want one of %v)", req.Strategy, tune.Strategies())
 			return
 		}
 	}
 	if err := spec.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if reason := s.checkTuneSpec(spec); reason != "" {
-		writeError(w, http.StatusBadRequest, "%s", reason)
+		s.writeError(w, http.StatusBadRequest, "%s", reason)
 		return
 	}
 
@@ -517,13 +571,13 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		tune.JobFunc(spec, strategy, topt))
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
-		writeError(w, http.StatusTooManyRequests, "job queue full, retry later")
+		s.writeError(w, http.StatusTooManyRequests, "job queue full, retry later")
 		return
 	case errors.Is(err, jobs.ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		s.writeError(w, http.StatusServiceUnavailable, "server shutting down")
 		return
 	case err != nil:
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 
@@ -541,7 +595,7 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	snap, ok := s.jobs.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		s.writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -551,7 +605,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	snap, ok := s.jobs.Cancel(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		s.writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -46,13 +46,35 @@
 // -selftest-min-rps makes the run a gate: exit 1 when the warmed-cache
 // throughput falls below the floor (the CI smoke step uses 100).
 //
-// Load-test mode drives the same harness against an EXTERNAL URL — an
+// Load-test mode drives a harness against an EXTERNAL URL — an
 // already-running vpserve (or anything speaking HTTP) — and prints the JSON
 // report on stdout. The CI smoke step uses it to cross-check the client-side
-// attempt count against the server's own /metrics request counters:
+// attempt count against the server's own /metrics request counters.
+//
+// The default is the CLOSED-LOOP harness (N workers in lockstep):
 //
 //	vpserve -loadtest http://127.0.0.1:8080/api/sweep?grid=... \
 //	        [-loadtest-duration 2s] [-loadtest-concurrency 8]
+//
+// Passing -loadtest-scenario (a preset: spike, soak, diurnal) or
+// -loadtest-stages (custom "[start=RATE,]TARGET:DURATION,..." legs) switches
+// to the OPEN-LOOP arrival-rate engine: injection follows the staged rate
+// curve regardless of server speed, a bounded VU pool turns client-side
+// saturation into counted drops, and declarative SLO gates decide pass/fail
+// (exit 4 on breach):
+//
+//	vpserve -loadtest 'http://127.0.0.1:8080/api/v1/sweep?grid=...micro%3D{64+i%499}' \
+//	        -loadtest-scenario spike -loadtest-rate 50 -loadtest-peak 500 \
+//	        -loadtest-duration 5s -loadtest-max-vus 64 \
+//	        -loadtest-thresholds 'p99<250ms,error_rate<0.1%'
+//
+// The URL may carry one {i} or {OFF+i%MOD} placeholder, expanded per
+// iteration to sweep distinct (cold) cache keys.
+//
+// Admission control (serving modes): -max-inflight bounds concurrently
+// admitted compute requests, -admit-queue bounds how many more may wait
+// (negative: shed immediately); past both the server sheds with 429 +
+// Retry-After.
 //
 // Observability: every serving vpserve exposes Prometheus metrics at
 // GET /metrics and streams job progress over SSE at
@@ -106,8 +128,18 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	stDur := fs.Duration("selftest-duration", 2*time.Second, "self-test load duration")
 	stMinRPS := fs.Float64("selftest-min-rps", 0, "fail (exit 1) when self-test throughput is below this floor; 0 disables")
 	loadtest := fs.String("loadtest", "", "drive the load harness against this external `URL`, print the JSON report and exit")
-	ltConc := fs.Int("loadtest-concurrency", 8, "load-test worker count")
+	ltConc := fs.Int("loadtest-concurrency", 8, "closed-loop load-test worker count")
 	ltDur := fs.Duration("loadtest-duration", 2*time.Second, "load-test duration")
+	ltScenario := fs.String("loadtest-scenario", "", "open-loop scenario `preset`: "+strings.Join(load.PresetNames(), ", "))
+	ltStages := fs.String("loadtest-stages", "", "open-loop custom stages `SPEC`: [start=RATE,]TARGET:DURATION,...")
+	ltRate := fs.Float64("loadtest-rate", 100, "open-loop base arrival rate, req/s")
+	ltPeak := fs.Float64("loadtest-peak", 0, "open-loop peak arrival rate, req/s (default 2×base)")
+	ltMaxVUs := fs.Int("loadtest-max-vus", 64, "open-loop VU pool bound; arrivals past it are counted drops")
+	ltJitter := fs.Float64("loadtest-jitter", 0, "open-loop inter-arrival jitter fraction (0.1 = ±10%)")
+	ltSeed := fs.Int64("loadtest-seed", 1, "open-loop jitter PRNG seed")
+	ltThresholds := fs.String("loadtest-thresholds", "", "comma-separated SLO `gates` (p99<50ms,error_rate<0.1%,...); any breach exits 4")
+	maxInFlight := fs.Int("max-inflight", 0, "admitted compute requests in flight before queueing (default 64)")
+	admitQueue := fs.Int("admit-queue", 0, "accept-queue depth before shedding 429s (default 4×max-inflight; negative: shed immediately)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -126,7 +158,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		}
 	}
 	if *loadtest == "" {
-		for _, name := range []string{"loadtest-concurrency", "loadtest-duration"} {
+		for _, name := range []string{"loadtest-concurrency", "loadtest-duration",
+			"loadtest-scenario", "loadtest-stages", "loadtest-rate", "loadtest-peak",
+			"loadtest-max-vus", "loadtest-jitter", "loadtest-seed", "loadtest-thresholds"} {
 			if explicit[name] {
 				fmt.Fprintf(stderr, "vpserve: -%s only applies to -loadtest\n", name)
 				return 2
@@ -134,6 +168,23 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		}
 	} else if *selftest {
 		fmt.Fprintf(stderr, "vpserve: -selftest and -loadtest are mutually exclusive\n")
+		return 2
+	}
+	openLoop := *ltScenario != "" || *ltStages != ""
+	if *ltScenario != "" && *ltStages != "" {
+		fmt.Fprintf(stderr, "vpserve: -loadtest-scenario and -loadtest-stages are mutually exclusive\n")
+		return 2
+	}
+	if !openLoop {
+		for _, name := range []string{"loadtest-rate", "loadtest-peak", "loadtest-max-vus",
+			"loadtest-jitter", "loadtest-seed", "loadtest-thresholds"} {
+			if explicit[name] {
+				fmt.Fprintf(stderr, "vpserve: -%s needs an open-loop plan (-loadtest-scenario or -loadtest-stages)\n", name)
+				return 2
+			}
+		}
+	} else if explicit["loadtest-concurrency"] {
+		fmt.Fprintf(stderr, "vpserve: -loadtest-concurrency is the closed-loop knob; open-loop runs bound VUs with -loadtest-max-vus\n")
 		return 2
 	}
 	var workerURLs []string
@@ -175,6 +226,25 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	}
 
 	if *loadtest != "" {
+		for _, name := range []string{"max-inflight", "admit-queue"} {
+			if explicit[name] {
+				fmt.Fprintf(stderr, "vpserve: -%s tunes the server; it does not apply to -loadtest\n", name)
+				return 2
+			}
+		}
+		if openLoop {
+			return runOpenLoadtest(stdout, stderr, *loadtest, openLoopPlan{
+				scenario:   *ltScenario,
+				stages:     *ltStages,
+				rate:       *ltRate,
+				peak:       *ltPeak,
+				total:      *ltDur,
+				maxVUs:     *ltMaxVUs,
+				jitter:     *ltJitter,
+				seed:       *ltSeed,
+				thresholds: *ltThresholds,
+			})
+		}
 		return runLoadtest(stdout, stderr, *loadtest, *ltConc, *ltDur)
 	}
 
@@ -184,6 +254,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		MaxCells:    *maxCells,
 		JobWorkers:  *jobWorkers,
 		JobCapacity: *jobQueue,
+		MaxInFlight: *maxInFlight,
+		AdmitQueue:  *admitQueue,
 		Cluster: cluster.Options{
 			Workers:    workerURLs,
 			HedgeAfter: *hedgeAfter,
@@ -269,6 +341,63 @@ func runLoadtest(stdout, stderr io.Writer, url string, conc int, dur time.Durati
 		return 1
 	}
 	fmt.Fprintf(stderr, "vpserve: loadtest %s\n", rep.Summary())
+	return 0
+}
+
+// openLoopPlan bundles the open-loop flags into one argument.
+type openLoopPlan struct {
+	scenario   string // preset name, or "" when stages is set
+	stages     string // custom stages spec, or ""
+	rate, peak float64
+	total      time.Duration
+	maxVUs     int
+	jitter     float64
+	seed       int64
+	thresholds string
+}
+
+// runOpenLoadtest drives the open-loop arrival-rate engine against an
+// external URL. Exit codes: 0 pass, 1 unusable inputs or broken run, 4 an
+// SLO threshold breached on the final ledger — distinct so CI can tell
+// "could not test" from "tested and failed the gate".
+func runOpenLoadtest(stdout, stderr io.Writer, url string, plan openLoopPlan) int {
+	var sc *load.Scenario
+	var err error
+	if plan.stages != "" {
+		sc, err = load.ParseStages(plan.stages)
+	} else {
+		sc, err = load.Preset(plan.scenario, plan.rate, plan.peak, plan.total)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "vpserve: loadtest: %v\n", err)
+		return 1
+	}
+	var thresholds []load.Threshold
+	if plan.thresholds != "" {
+		if thresholds, err = load.ParseThresholds(plan.thresholds); err != nil {
+			fmt.Fprintf(stderr, "vpserve: loadtest: %v\n", err)
+			return 1
+		}
+	}
+	rep, err := load.RunOpenLoop(context.Background(), url, load.OpenLoopOptions{
+		Scenario:   sc,
+		MaxVUs:     plan.maxVUs,
+		Jitter:     plan.jitter,
+		Seed:       plan.seed,
+		Thresholds: thresholds,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "vpserve: loadtest: %v\n", err)
+		return 1
+	}
+	if err := rep.WriteJSON(stdout); err != nil {
+		fmt.Fprintf(stderr, "vpserve: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "vpserve: loadtest %s\n", rep.Summary())
+	if !rep.ThresholdsOK {
+		return 4
+	}
 	return 0
 }
 

@@ -114,6 +114,101 @@ func TestLoadtestFlagValidation(t *testing.T) {
 	}
 }
 
+// TestOpenLoopLoadtestMode switches -loadtest to the open-loop engine via
+// -loadtest-scenario and checks the open-loop report ledger on stdout.
+func TestOpenLoopLoadtestMode(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	stdout, stderr, code := runVpserve("-loadtest", ts.URL+"/?i={i}",
+		"-loadtest-scenario", "soak", "-loadtest-rate", "200",
+		"-loadtest-duration", "200ms", "-loadtest-max-vus", "8",
+		"-loadtest-thresholds", "error_rate<0.1%,p99<10s")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	var rep load.OpenReport
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("stdout is not an open-loop report: %v (%s)", err, stdout)
+	}
+	if rep.Scheduled == 0 || rep.Scheduled != rep.Attempts+rep.Dropped {
+		t.Errorf("ledger broken: %+v", rep)
+	}
+	if !rep.ThresholdsOK || len(rep.Thresholds) != 2 {
+		t.Errorf("thresholds: ok=%v %+v", rep.ThresholdsOK, rep.Thresholds)
+	}
+	if !strings.Contains(stderr, "open-loop") {
+		t.Errorf("missing summary on stderr: %q", stderr)
+	}
+}
+
+// TestOpenLoopThresholdGate: a breached SLO gate exits 4, distinct from the
+// exit-1 "could not test" failures.
+func TestOpenLoopThresholdGate(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	stdout, stderr, code := runVpserve("-loadtest", ts.URL,
+		"-loadtest-stages", "100:200ms",
+		"-loadtest-thresholds", "non_ok_rate<1%")
+	if code != 4 {
+		t.Fatalf("exit %d, want 4 (stderr %q)", code, stderr)
+	}
+	var rep load.OpenReport
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("gated run still prints the report: %v (%s)", err, stdout)
+	}
+	if rep.ThresholdsOK || rep.NonOK == 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestOpenLoopFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		args     []string
+		fragment string
+	}{
+		{"open-loop knob without a plan",
+			[]string{"-loadtest", "http://x", "-loadtest-rate", "50"},
+			"needs an open-loop plan"},
+		{"scenario and stages together",
+			[]string{"-loadtest", "http://x", "-loadtest-scenario", "soak", "-loadtest-stages", "5:1s"},
+			"mutually exclusive"},
+		{"concurrency on an open-loop run",
+			[]string{"-loadtest", "http://x", "-loadtest-scenario", "soak", "-loadtest-concurrency", "4"},
+			"closed-loop knob"},
+		{"admission knob in loadtest mode",
+			[]string{"-loadtest", "http://x", "-max-inflight", "4"},
+			"does not apply to -loadtest"},
+		{"open-loop flag without -loadtest",
+			[]string{"-loadtest-scenario", "soak"},
+			"only applies to -loadtest"},
+		{"unknown preset",
+			[]string{"-loadtest", "http://x", "-loadtest-scenario", "warp"},
+			"unknown scenario preset"},
+		{"bad stages",
+			[]string{"-loadtest", "http://x", "-loadtest-stages", "nope"},
+			"not TARGET:DURATION"},
+		{"bad threshold",
+			[]string{"-loadtest", "http://x", "-loadtest-scenario", "soak", "-loadtest-thresholds", "bogus<5"},
+			"unknown metric"},
+	} {
+		_, stderr, code := runVpserve(tc.args...)
+		if code != 2 && code != 1 {
+			t.Errorf("%s: exit %d, want a refusal (stderr %q)", tc.name, code, stderr)
+			continue
+		}
+		if !strings.Contains(stderr, tc.fragment) {
+			t.Errorf("%s: stderr %q missing %q", tc.name, stderr, tc.fragment)
+		}
+	}
+}
+
 // TestServeGracefulShutdown boots the real serve loop on an ephemeral port,
 // queries it over HTTP, then delivers SIGTERM and expects a clean drain.
 func TestServeGracefulShutdown(t *testing.T) {

@@ -31,8 +31,8 @@ func main() {
 
 	// Traffic: the first sweep computes (cache miss), the second replays
 	// from cache, the third is a 400 — three different (route, code) series.
-	sweepURL := baseURL + "/api/sweep?grid=" + neturl.QueryEscape("model=4B;method=baseline;vocab=32k;micro=16")
-	for _, u := range []string{sweepURL, sweepURL, baseURL + "/api/sweep"} {
+	sweepURL := baseURL + "/api/v1/sweep?grid=" + neturl.QueryEscape("model=4B;method=baseline;vocab=32k;micro=16")
+	for _, u := range []string{sweepURL, sweepURL, baseURL + "/api/v1/sweep"} {
 		resp, err := http.Get(u)
 		if err != nil {
 			log.Fatal(err)
@@ -48,20 +48,20 @@ func main() {
 
 	// Submit a tuner search and follow its SSE stream: every frame is the
 	// job snapshot JSON, the stream ends itself after the terminal frame.
-	resp, err := http.Post(baseURL+"/api/optimize?scenario=4b-quick&strategy=beam", "application/json", nil)
+	resp, err := http.Post(baseURL+"/api/v1/optimize?scenario=4b-quick&strategy=beam", "application/json", nil)
 	if err != nil {
 		log.Fatal(err)
 	}
 	var acc struct {
-		JobID string `json:"job_id"`
+		ID string `json:"id"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
 		log.Fatal(err)
 	}
 	resp.Body.Close()
-	fmt.Printf("\nsubmitted tuner job %s; following /api/jobs/%s/events:\n", acc.JobID, acc.JobID)
+	fmt.Printf("\nsubmitted tuner job %s; following /api/v1/jobs/%s/events:\n", acc.ID, acc.ID)
 
-	events, err := http.Get(baseURL + "/api/jobs/" + acc.JobID + "/events")
+	events, err := http.Get(baseURL + "/api/v1/jobs/" + acc.ID + "/events")
 	if err != nil {
 		log.Fatal(err)
 	}

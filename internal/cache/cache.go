@@ -141,6 +141,22 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	return zero, false
 }
 
+// Contains reports whether key would resolve without a cold computation:
+// either cached or already being computed (a new caller would dedup onto the
+// in-flight leader). Unlike Get it does not promote the entry in the LRU and
+// touches no counters — it is a pure probe, built for admission control where
+// classifying a request must not perturb cache state.
+func (c *Cache[V]) Contains(key string) bool {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[key]; ok {
+		return true
+	}
+	_, ok := s.inflight[key]
+	return ok
+}
+
 // Do returns the value for key, computing it with compute on a miss. Only
 // one computation per key runs at a time: concurrent callers of the same key
 // block and share the leader's value or error. Errors are never stored.

@@ -407,7 +407,7 @@ func (d *Dispatcher) post(ctx context.Context, w *workerState, body []byte, want
 	}
 	w.beginRequest()
 	recs, err := func() ([]report.Record, error) {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/api/shard", bytes.NewReader(body))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/api/v1/shard", bytes.NewReader(body))
 		if err != nil {
 			return nil, err
 		}

@@ -112,7 +112,7 @@ func TestClusterWorkerKilledMidSweep(t *testing.T) {
 				return next
 			}
 			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-				if r.URL.Path == "/api/shard" {
+				if r.URL.Path == "/api/v1/shard" {
 					// Drain the body first: net/http cancels r.Context() on
 					// client abort / connection teardown only once the body
 					// has been consumed, and the kill below relies on that
@@ -187,7 +187,7 @@ func TestClusterCancellationPropagation(t *testing.T) {
 		Cluster: cluster.Options{HedgeAfter: -1},
 		WorkerMiddleware: func(i int, next http.Handler) http.Handler {
 			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-				if r.URL.Path == "/api/shard" {
+				if r.URL.Path == "/api/v1/shard" {
 					select {
 					case shardStarted <- struct{}{}:
 					default:
@@ -254,16 +254,16 @@ func TestClusterTuneJob(t *testing.T) {
 		t.Fatalf("optimize status = %d (%s)", resp.StatusCode, raw)
 	}
 	var acc struct {
-		JobID string `json:"job_id"`
+		ID string `json:"id"`
 	}
-	if err := json.Unmarshal(raw, &acc); err != nil || acc.JobID == "" {
+	if err := json.Unmarshal(raw, &acc); err != nil || acc.ID == "" {
 		t.Fatalf("bad 202 body: %v (%s)", err, raw)
 	}
 
 	var snap jobs.Snapshot
 	deadline := time.Now().Add(60 * time.Second)
 	for {
-		status, body, _ := get(t, c.URL(), "/api/jobs/"+acc.JobID)
+		status, body, _ := get(t, c.URL(), "/api/jobs/"+acc.ID)
 		if status != http.StatusOK {
 			t.Fatalf("poll status = %d (%s)", status, body)
 		}

@@ -1,0 +1,490 @@
+// Open-loop arrival-rate executor. Where the closed-loop harness (load.go)
+// couples injection to completion — a stalled server quietly throttles its
+// own load generator — the open-loop engine injects on a wall-clock schedule
+// derived from the scenario's staged rate curve, regardless of how many
+// requests are in flight. A bounded VU pool caps client-side concurrency;
+// when every VU is busy at an arrival instant the iteration is DROPPED and
+// counted as such, never silently deferred. That makes queueing collapse
+// visible: the ledger's invariants are
+//
+//	Scheduled == Attempts + Dropped
+//	Attempts  == OK + NonOK + Errors
+//
+// and the declarative thresholds (threshold.go) are evaluated continuously
+// against the live ledger, so a report carries both final verdicts and
+// first-breach offsets.
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// OpenLoopOptions tunes an open-loop run.
+type OpenLoopOptions struct {
+	// Scenario is the staged arrival plan (required).
+	Scenario *Scenario
+	// MaxVUs bounds client-side concurrency (default 64). An arrival that
+	// finds every VU busy is dropped and counted.
+	MaxVUs int
+	// Jitter perturbs each inter-arrival gap by ±Jitter (fraction; 0.1 =
+	// ±10%). Zero means a perfectly regular schedule.
+	Jitter float64
+	// Seed makes the jittered schedule reproducible (default 1).
+	Seed int64
+	// RequestTimeout caps a single request (default 30s); a hit counts as a
+	// transport error.
+	RequestTimeout time.Duration
+	// Client is the HTTP client (default http.DefaultClient).
+	Client *http.Client
+	// Thresholds are the SLO gates to evaluate (may be empty).
+	Thresholds []Threshold
+	// EvalEvery is the continuous-evaluation cadence (default 200ms).
+	EvalEvery time.Duration
+}
+
+// StageReport is one stage's slice of the ledger.
+type StageReport struct {
+	Index     int     `json:"index"`
+	Target    float64 `json:"target_rps"`
+	DurationS float64 `json:"duration_s"`
+	Scheduled int     `json:"scheduled"`
+	Dropped   int     `json:"dropped"`
+	Attempts  int     `json:"attempts"`
+	OK        int     `json:"ok"`
+	NonOK     int     `json:"non_ok"`
+	Errors    int     `json:"errors"`
+	// OKRPS is delivered goodput for the stage: OK responses over the
+	// stage's duration.
+	OKRPS   float64 `json:"ok_rps"`
+	OKP50Ms float64 `json:"ok_p50_ms,omitempty"`
+	OKP99Ms float64 `json:"ok_p99_ms,omitempty"`
+}
+
+// OpenReport is the measured outcome of an open-loop run.
+type OpenReport struct {
+	URL       string  `json:"url"`
+	Scenario  string  `json:"scenario"`
+	MaxVUs    int     `json:"max_vus"`
+	DurationS float64 `json:"duration_s"`
+	// Scheduled counts every arrival the scenario produced; it always equals
+	// Attempts + Dropped. Offered load (ScheduledRPS) derives from it.
+	Scheduled    int     `json:"scheduled"`
+	Dropped      int     `json:"dropped"`
+	Attempts     int     `json:"attempts"`
+	OK           int     `json:"ok"`
+	NonOK        int     `json:"non_ok"`
+	Errors       int     `json:"errors"`
+	ScheduledRPS float64 `json:"scheduled_rps"`
+	// OKRPS is delivered goodput: OK responses over wall time.
+	OKRPS float64 `json:"ok_rps"`
+	// OK-only latency percentiles (fast error pages are not latency wins).
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+	// StatusCodes counts completed responses by HTTP status.
+	StatusCodes map[string]int `json:"status_codes,omitempty"`
+	// ErrorCodes counts machine-readable envelope codes decoded from non-OK
+	// response bodies ({"error":{"code":...}}), e.g. shed_overload.
+	ErrorCodes map[string]int `json:"error_codes,omitempty"`
+	// RetryAfter429 counts 429 responses that carried a Retry-After header
+	// (the contract says all of them should).
+	RetryAfter429 int               `json:"retry_after_429,omitempty"`
+	BytesRead     int64             `json:"bytes_read"`
+	Stages        []StageReport     `json:"stages"`
+	Thresholds    []ThresholdResult `json:"thresholds,omitempty"`
+	// ThresholdsOK is the run verdict: every gate holds on the final ledger.
+	// Vacuously true when no thresholds were given.
+	ThresholdsOK bool `json:"thresholds_ok"`
+}
+
+// openLedger is the run's single source of truth, shared by VUs, the
+// scheduler and the threshold evaluator. A mutex (not per-worker slices) so
+// the evaluator can snapshot mid-run.
+type openLedger struct {
+	mu        sync.Mutex
+	scheduled int
+	dropped   int
+	attempts  int
+	errors    int
+	okLat     []time.Duration
+	nonOK     int
+	status    map[int]int
+	errCodes  map[string]int
+	retry429  int
+	bytes     int64
+	perStage  []stageTally
+}
+
+type stageTally struct {
+	scheduled, dropped, attempts, nonOK, errors int
+	okLat                                       []time.Duration
+}
+
+// counts snapshots the ledger into the threshold evaluator's view. The OK
+// latency slice is copied and sorted outside the lock.
+func (l *openLedger) counts(elapsed time.Duration) Counts {
+	l.mu.Lock()
+	ok := append([]time.Duration(nil), l.okLat...)
+	c := Counts{
+		Scheduled: l.scheduled,
+		Dropped:   l.dropped,
+		Attempts:  l.attempts,
+		Errors:    l.errors,
+		OK:        len(l.okLat),
+		NonOK:     l.nonOK,
+		Shed:      l.status[http.StatusTooManyRequests],
+		ElapsedS:  elapsed.Seconds(),
+	}
+	l.mu.Unlock()
+	sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
+	if len(ok) > 0 {
+		c.OKP50Ms = ms(Percentile(ok, 0.50))
+		c.OKP90Ms = ms(Percentile(ok, 0.90))
+		c.OKP99Ms = ms(Percentile(ok, 0.99))
+		c.OKMaxMs = ms(ok[len(ok)-1])
+	}
+	return c
+}
+
+// urlFunc expands the per-iteration URL. Templates substitute `{i}` with the
+// iteration number and `{OFF+i%MOD}` with OFF+(i mod MOD) — the latter is
+// how a loadtest sweeps a bounded family of distinct cache keys (cold
+// computes) instead of hammering one warmed entry, e.g.
+// `...&grid=model=4B;...;micro={64+i%199}`.
+type urlFunc func(i int) string
+
+// NewURLTemplate compiles a URL template into its per-iteration expansion.
+// A URL without placeholders expands to itself.
+func NewURLTemplate(raw string) (urlFunc, error) {
+	open := strings.IndexByte(raw, '{')
+	if open < 0 {
+		return func(int) string { return raw }, nil
+	}
+	closing := strings.IndexByte(raw[open:], '}')
+	if closing < 0 {
+		return nil, fmt.Errorf("url template %q: unclosed '{'", raw)
+	}
+	expr := raw[open+1 : open+closing]
+	prefix, suffix := raw[:open], raw[open+closing+1:]
+	if strings.ContainsAny(suffix, "{}") {
+		return nil, fmt.Errorf("url template %q: at most one {...} placeholder", raw)
+	}
+	if expr == "i" {
+		return func(i int) string { return prefix + strconv.Itoa(i) + suffix }, nil
+	}
+	// OFF+i%MOD
+	offStr, rest, ok := strings.Cut(expr, "+i%")
+	if !ok {
+		return nil, fmt.Errorf("url template %q: placeholder must be {i} or {OFF+i%%MOD}", raw)
+	}
+	off, err1 := strconv.Atoi(strings.TrimSpace(offStr))
+	mod, err2 := strconv.Atoi(strings.TrimSpace(rest))
+	if err1 != nil || err2 != nil || mod <= 0 {
+		return nil, fmt.Errorf("url template %q: bad {OFF+i%%MOD} placeholder", raw)
+	}
+	return func(i int) string { return prefix + strconv.Itoa(off+i%mod) + suffix }, nil
+}
+
+// iteration is one scheduled arrival handed to a VU.
+type iteration struct {
+	seq   int
+	stage int
+}
+
+// RunOpenLoop executes the scenario against url (a template; see
+// NewURLTemplate) and returns the merged report. It returns an error only
+// for unusable inputs — a run whose requests fail is still a valid
+// measurement and is reported, with thresholds deciding pass/fail.
+func RunOpenLoop(ctx context.Context, url string, opt OpenLoopOptions) (*OpenReport, error) {
+	if opt.Scenario == nil {
+		return nil, fmt.Errorf("open-loop run needs a scenario")
+	}
+	if err := opt.Scenario.Validate(); err != nil {
+		return nil, err
+	}
+	urlAt, err := NewURLTemplate(url)
+	if err != nil {
+		return nil, err
+	}
+	if opt.MaxVUs <= 0 {
+		opt.MaxVUs = 64
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	if opt.RequestTimeout <= 0 {
+		opt.RequestTimeout = 30 * time.Second
+	}
+	if opt.EvalEvery <= 0 {
+		opt.EvalEvery = 200 * time.Millisecond
+	}
+	client := opt.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+
+	led := &openLedger{
+		status:   make(map[int]int),
+		errCodes: make(map[string]int),
+		perStage: make([]stageTally, len(opt.Scenario.Stages)),
+	}
+	tracker := newThresholdTracker(opt.Thresholds)
+
+	// VU pool. tokens is UNBUFFERED on purpose: a non-blocking send succeeds
+	// only when a VU is parked on the receive right now, so saturation at an
+	// arrival instant becomes a counted drop instead of hidden queueing
+	// inside the load generator.
+	tokens := make(chan iteration)
+	var vus sync.WaitGroup
+	for v := 0; v < opt.MaxVUs; v++ {
+		vus.Add(1)
+		go func() {
+			defer vus.Done()
+			for it := range tokens {
+				runIteration(ctx, client, urlAt(it.seq), it.stage, opt.RequestTimeout, led)
+			}
+		}()
+	}
+
+	// Continuous threshold evaluation against the live ledger.
+	evalDone := make(chan struct{})
+	evalStop := make(chan struct{})
+	start := time.Now()
+	go func() {
+		defer close(evalDone)
+		tick := time.NewTicker(opt.EvalEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				el := time.Since(start)
+				tracker.observe(led.counts(el), el)
+			case <-evalStop:
+				return
+			}
+		}
+	}()
+
+	// Scheduler: walk the arrival schedule on absolute offsets. Lateness
+	// (timer overshoot, bursty catch-up) does not compound — the next
+	// arrival is always start+offset, so late injections fire back to back
+	// and the average rate holds.
+	gen := newArrivalGen(opt.Scenario, opt.Jitter, opt.Seed)
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	seq := 0
+schedule:
+	for {
+		off, stage, ok := gen.next()
+		if !ok {
+			break
+		}
+		if wait := time.Until(start.Add(off)); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				break schedule
+			}
+		} else if ctx.Err() != nil {
+			break
+		}
+		led.mu.Lock()
+		led.scheduled++
+		led.perStage[stage].scheduled++
+		led.mu.Unlock()
+		select {
+		case tokens <- iteration{seq: seq, stage: stage}:
+		default:
+			led.mu.Lock()
+			led.dropped++
+			led.perStage[stage].dropped++
+			led.mu.Unlock()
+		}
+		seq++
+	}
+	close(tokens)
+	vus.Wait() // in-flight requests complete and are counted
+	close(evalStop)
+	<-evalDone
+	elapsed := time.Since(start)
+
+	// Final continuous-eval sample on the settled ledger, then the verdicts.
+	final := led.counts(elapsed)
+	tracker.observe(final, elapsed)
+	return buildOpenReport(url, opt, led, tracker, final, elapsed), nil
+}
+
+// runIteration issues one request and records its outcome.
+func runIteration(ctx context.Context, client *http.Client, url string, stage int, timeout time.Duration, led *openLedger) {
+	t0 := time.Now()
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, url, nil)
+	if err == nil {
+		var resp *http.Response
+		resp, err = client.Do(req)
+		if err == nil {
+			recordResponse(resp, time.Since(t0), stage, led)
+			return
+		}
+	}
+	led.mu.Lock()
+	led.attempts++
+	led.errors++
+	led.perStage[stage].attempts++
+	led.perStage[stage].errors++
+	led.mu.Unlock()
+}
+
+// recordResponse drains the body, classifying non-OK responses by their
+// envelope code when the body carries one.
+func recordResponse(resp *http.Response, lat time.Duration, stage int, led *openLedger) {
+	var n int64
+	var code string
+	hasRetryAfter := resp.Header.Get("Retry-After") != ""
+	if resp.StatusCode == http.StatusOK {
+		n, _ = io.Copy(io.Discard, resp.Body)
+	} else {
+		// Read (bounded) to classify, then drain the rest for keep-alive.
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		rest, _ := io.Copy(io.Discard, resp.Body)
+		n = int64(len(body)) + rest
+		var env struct {
+			Error struct {
+				Code string `json:"code"`
+			} `json:"error"`
+		}
+		if json.Unmarshal(body, &env) == nil {
+			code = env.Error.Code
+		}
+	}
+	resp.Body.Close()
+
+	led.mu.Lock()
+	defer led.mu.Unlock()
+	led.attempts++
+	led.bytes += n
+	led.status[resp.StatusCode]++
+	st := &led.perStage[stage]
+	st.attempts++
+	if resp.StatusCode == http.StatusOK {
+		led.okLat = append(led.okLat, lat)
+		st.okLat = append(st.okLat, lat)
+		return
+	}
+	led.nonOK++
+	st.nonOK++
+	if code != "" {
+		led.errCodes[code]++
+	}
+	if resp.StatusCode == http.StatusTooManyRequests && hasRetryAfter {
+		led.retry429++
+	}
+}
+
+func buildOpenReport(url string, opt OpenLoopOptions, led *openLedger, tracker *thresholdTracker, final Counts, elapsed time.Duration) *OpenReport {
+	rep := &OpenReport{
+		URL:       url,
+		Scenario:  opt.Scenario.Name,
+		MaxVUs:    opt.MaxVUs,
+		DurationS: elapsed.Seconds(),
+		Scheduled: final.Scheduled,
+		Dropped:   final.Dropped,
+		Attempts:  final.Attempts,
+		OK:        final.OK,
+		NonOK:     final.NonOK,
+		Errors:    final.Errors,
+		P50Ms:     final.OKP50Ms,
+		P90Ms:     final.OKP90Ms,
+		P99Ms:     final.OKP99Ms,
+		MaxMs:     final.OKMaxMs,
+	}
+	if elapsed > 0 {
+		rep.ScheduledRPS = float64(rep.Scheduled) / elapsed.Seconds()
+		rep.OKRPS = float64(rep.OK) / elapsed.Seconds()
+	}
+	led.mu.Lock()
+	rep.BytesRead = led.bytes
+	rep.RetryAfter429 = led.retry429
+	if len(led.status) > 0 {
+		rep.StatusCodes = make(map[string]int, len(led.status))
+		for s, c := range led.status {
+			rep.StatusCodes[strconv.Itoa(s)] = c
+		}
+	}
+	if len(led.errCodes) > 0 {
+		rep.ErrorCodes = make(map[string]int, len(led.errCodes))
+		for k, v := range led.errCodes {
+			rep.ErrorCodes[k] = v
+		}
+	}
+	for i, st := range led.perStage {
+		sr := StageReport{
+			Index:     i,
+			Target:    opt.Scenario.Stages[i].Target,
+			DurationS: opt.Scenario.Stages[i].Duration.Seconds(),
+			Scheduled: st.scheduled,
+			Dropped:   st.dropped,
+			Attempts:  st.attempts,
+			OK:        len(st.okLat),
+			NonOK:     st.nonOK,
+			Errors:    st.errors,
+		}
+		if sr.DurationS > 0 {
+			sr.OKRPS = float64(sr.OK) / sr.DurationS
+		}
+		if len(st.okLat) > 0 {
+			ok := append([]time.Duration(nil), st.okLat...)
+			sort.Slice(ok, func(a, b int) bool { return ok[a] < ok[b] })
+			sr.OKP50Ms = ms(Percentile(ok, 0.50))
+			sr.OKP99Ms = ms(Percentile(ok, 0.99))
+		}
+		rep.Stages = append(rep.Stages, sr)
+	}
+	led.mu.Unlock()
+	rep.Thresholds, rep.ThresholdsOK = tracker.results(final)
+	return rep
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *OpenReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Summary is the one-glance human rendering.
+func (r *OpenReport) Summary() string {
+	verdict := "pass"
+	if !r.ThresholdsOK {
+		verdict = "FAIL"
+	}
+	var breaches []string
+	for _, t := range r.Thresholds {
+		if !t.OK {
+			breaches = append(breaches, fmt.Sprintf("%s (value %.4g)", t.Spec, t.Value))
+		}
+	}
+	s := fmt.Sprintf(
+		"open-loop %s: %d scheduled (%.0f/s) → %d attempted, %d dropped; %d ok (%.0f/s), %d non-200, %d errors; ok p50 %.2fms p99 %.2fms max %.2fms; thresholds %s",
+		r.Scenario, r.Scheduled, r.ScheduledRPS, r.Attempts, r.Dropped,
+		r.OK, r.OKRPS, r.NonOK, r.Errors, r.P50Ms, r.P99Ms, r.MaxMs, verdict)
+	if len(breaches) > 0 {
+		s += ": " + strings.Join(breaches, ", ")
+	}
+	return s
+}

@@ -1,0 +1,218 @@
+package load
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestPresetShapes(t *testing.T) {
+	for _, name := range PresetNames() {
+		sc, err := Preset(name, 100, 0, 10*time.Second)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("preset %q does not validate: %v", name, err)
+		}
+		total := sc.TotalDuration()
+		if total <= 0 || total > 10*time.Second {
+			t.Fatalf("preset %q: total duration %s out of range", name, total)
+		}
+	}
+
+	// Spike: peak defaults to 2×base and covers the middle of the run.
+	sc, err := Preset("spike", 50, 0, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.RateAt(0); got != 50 {
+		t.Fatalf("spike rate at start = %g, want 50", got)
+	}
+	if got := sc.RateAt(5 * time.Second); got != 100 {
+		t.Fatalf("spike rate mid-run = %g, want peak 100", got)
+	}
+	if got := sc.RateAt(9 * time.Second); got != 50 {
+		t.Fatalf("spike rate near end = %g, want 50", got)
+	}
+
+	if _, err := Preset("nope", 100, 0, time.Second); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	if _, err := Preset("soak", 0, 0, time.Second); err == nil {
+		t.Fatal("zero base rate accepted")
+	}
+	if _, err := Preset("soak", 100, 0, 0); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}
+
+func TestParseStages(t *testing.T) {
+	sc, err := ParseStages("start=0,200:5s,200:30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.StartRate != 0 || len(sc.Stages) != 2 {
+		t.Fatalf("got start=%g stages=%d", sc.StartRate, len(sc.Stages))
+	}
+	if sc.Stages[0] != (Stage{Target: 200, Duration: 5 * time.Second}) {
+		t.Fatalf("stage 0 = %+v", sc.Stages[0])
+	}
+	if got := sc.RateAt(2500 * time.Millisecond); got != 100 {
+		t.Fatalf("mid-ramp rate = %g, want 100", got)
+	}
+
+	// Without start=, the first stage is flat at its own target.
+	sc, err = ParseStages("50:1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.StartRate != 50 {
+		t.Fatalf("implicit start rate = %g, want 50", sc.StartRate)
+	}
+
+	for _, bad := range []string{
+		"", ",", "200", "200:xyz", "abc:5s", "-5:1s", "start=-1,200:5s",
+		"200:5s,start=0", "start=1,start=2,200:5s", "0:5s", // never positive
+	} {
+		if _, err := ParseStages(bad); err == nil {
+			t.Errorf("ParseStages(%q) accepted", bad)
+		}
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		sc   Scenario
+	}{
+		{"no stages", Scenario{Name: "x"}},
+		{"negative target", Scenario{Stages: []Stage{{Target: -1, Duration: time.Second}}}},
+		{"negative duration", Scenario{Stages: []Stage{{Target: 1, Duration: -time.Second}}}},
+		{"zero total", Scenario{Stages: []Stage{{Target: 1, Duration: 0}}}},
+		{"never positive", Scenario{Stages: []Stage{{Target: 0, Duration: time.Second}}}},
+	} {
+		if err := tc.sc.Validate(); err == nil {
+			t.Errorf("%s: validated", tc.name)
+		}
+	}
+}
+
+// drain walks the full arrival schedule, checking monotonicity and stage
+// bounds, and returns the per-stage arrival counts.
+func drain(t *testing.T, sc *Scenario, jitter float64, seed int64) []int {
+	t.Helper()
+	gen := newArrivalGen(sc, jitter, seed)
+	counts := make([]int, len(sc.Stages))
+	last := time.Duration(-1)
+	total := sc.TotalDuration()
+	for {
+		off, stage, ok := gen.next()
+		if !ok {
+			return counts
+		}
+		if off < last {
+			t.Fatalf("schedule went backwards: %s after %s", off, last)
+		}
+		if off > total {
+			t.Fatalf("arrival at %s past scenario end %s", off, total)
+		}
+		if stage < 0 || stage >= len(sc.Stages) {
+			t.Fatalf("arrival in stage %d of %d", stage, len(sc.Stages))
+		}
+		last = off
+		counts[stage]++
+	}
+}
+
+func sum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// TestArrivalCounts checks the generator against the analytic arrival mass
+// ∫rate dt per stage: a flat 100/s 2s stage carries 200 arrivals, a 0→200
+// ramp over 2s carries 200 — within one arrival of the closed form.
+func TestArrivalCounts(t *testing.T) {
+	flat := &Scenario{Name: "flat", StartRate: 100, Stages: []Stage{
+		{Target: 100, Duration: 2 * time.Second},
+	}}
+	counts := drain(t, flat, 0, 1)
+	if got := sum(counts); math.Abs(float64(got-200)) > 1 {
+		t.Fatalf("flat 100/s × 2s: %d arrivals, want ~200", got)
+	}
+
+	// A ramp starting at rate zero — the case a naive 1/rate(t) stepper
+	// degenerates on. Mass = (0+200)/2 × 2s = 200.
+	ramp := &Scenario{Name: "ramp", StartRate: 0, Stages: []Stage{
+		{Target: 200, Duration: 2 * time.Second},
+	}}
+	counts = drain(t, ramp, 0, 1)
+	if got := sum(counts); math.Abs(float64(got-200)) > 1 {
+		t.Fatalf("0→200 ramp over 2s: %d arrivals, want ~200", got)
+	}
+
+	// Multi-stage with a cliff: mass carries across the zero-duration step
+	// and each stage's share matches its own integral.
+	spike := &Scenario{Name: "spike", StartRate: 10, Stages: []Stage{
+		{Target: 10, Duration: 1 * time.Second},  // 10
+		{Target: 100, Duration: 0},               // cliff, no arrivals
+		{Target: 100, Duration: 1 * time.Second}, // 100
+		{Target: 10, Duration: 0},                // cliff
+		{Target: 10, Duration: 1 * time.Second},  // 10
+	}}
+	counts = drain(t, spike, 0, 1)
+	want := []int{10, 0, 100, 0, 10}
+	for i := range want {
+		if math.Abs(float64(counts[i]-want[i])) > 1 {
+			t.Fatalf("spike stage %d: %d arrivals, want ~%d (all: %v)", i, counts[i], want[i], counts)
+		}
+	}
+}
+
+func TestArrivalJitterDeterminism(t *testing.T) {
+	sc := &Scenario{Name: "flat", StartRate: 500, Stages: []Stage{
+		{Target: 500, Duration: time.Second},
+	}}
+	offsets := func(seed int64) []time.Duration {
+		gen := newArrivalGen(sc, 0.2, seed)
+		var out []time.Duration
+		for {
+			off, _, ok := gen.next()
+			if !ok {
+				return out
+			}
+			out = append(out, off)
+		}
+	}
+	a, b := offsets(7), offsets(7)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverges at arrival %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	c := offsets(8)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical jittered schedule")
+	}
+	// Jitter perturbs the schedule but conserves average rate: still ~500
+	// arrivals in the second.
+	if math.Abs(float64(len(a)-500)) > 25 {
+		t.Fatalf("jittered flat 500/s × 1s: %d arrivals, want ~500", len(a))
+	}
+}

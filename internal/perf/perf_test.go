@@ -209,6 +209,12 @@ func TestSuiteQuickRun(t *testing.T) {
 	if sv == nil || sv.ReqPerSec <= 0 || sv.CacheHitPct < 50 {
 		t.Errorf("server throughput case: %+v", sv)
 	}
+	// The open-loop SLO case gates itself (a breach panics the run); here
+	// just confirm it measured goodput through a warmed cache.
+	ol := r.Case("server/open-loop-slo")
+	if ol == nil || ol.ReqPerSec <= 0 || ol.CacheHitPct < 50 {
+		t.Errorf("open-loop SLO case: %+v", ol)
+	}
 	// The distributed fan-out case must report throughput for its 10-cell
 	// grid — real shard dispatch over loopback HTTP, no local fallback
 	// (clusterCase panics the run if a shard ever falls back).

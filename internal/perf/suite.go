@@ -8,10 +8,12 @@ import (
 	"net/http"
 	"net/url"
 	"sync"
+	"time"
 
 	"vocabpipe/internal/cluster"
 	"vocabpipe/internal/costmodel"
 	"vocabpipe/internal/experiments"
+	"vocabpipe/internal/load"
 	"vocabpipe/internal/report"
 	"vocabpipe/internal/schedule"
 	"vocabpipe/internal/server"
@@ -36,6 +38,12 @@ import (
 //   - server/metrics-overhead: a full /metrics scrape per op against a
 //     seeded registry — the cost of the observability spine's most
 //     expensive operation;
+//   - server/open-loop-slo: one op is a full open-loop soak (internal/load's
+//     arrival-rate engine, 1000 req/s for 300ms) against a warmed cache-hit
+//     URL, gated by the declarative SLO thresholds (p99<50ms,
+//     error_rate<0.1%, dropped_rate<1%) — the run panics on any breach, so
+//     a BENCH report existing at all certifies the serving path held its
+//     SLO under rate-driven load; req/s records the delivered goodput;
 //   - cluster/sweep-sharded: the coordinator fan-out path — one op shards a
 //     grid across two loopback worker servers and merges the records (the
 //     workers' own shard caches are warm after the first op, so this
@@ -63,6 +71,7 @@ func Suite() []Case {
 		gridCase("sweep/table5", experiments.Table5Grid()),
 		gridCase("sweep/table6", experiments.Table6Grid()),
 		serverCase(),
+		openLoopCase(),
 		metricsCase(),
 		clusterCase(),
 		tuneCase(),
@@ -302,6 +311,78 @@ func serverCase() Case {
 				stop()
 			}
 			srv.Close(context.Background()) // release the idle job workers
+		},
+	}
+}
+
+// openLoopCase measures the serving path under the open-loop arrival-rate
+// engine with its SLO gates armed: one op schedules 1000 req/s for 300ms
+// against a warmed cache-hit URL through a bounded VU pool and panics unless
+// every threshold holds on the final ledger — so the BENCH number is not
+// just a throughput but a certified "the SLO held at this offered load".
+// ReqPerSec reports the last op's delivered goodput (OK responses per
+// second of wall time), which under a passing run tracks the offered rate.
+func openLoopCase() Case {
+	const grid = "model=4B;method=baseline,vocab-1;vocab=32k;micro=16"
+	srv := server.New(server.Options{CacheSize: 16, Parallel: 1})
+	sc, err := load.Preset("soak", 1000, 0, 300*time.Millisecond)
+	if err != nil {
+		panic(fmt.Sprintf("perf: open-loop case scenario: %v", err))
+	}
+	thresholds, err := load.ParseThresholds("p99<50ms,error_rate<0.1%,dropped_rate<1%")
+	if err != nil {
+		panic(fmt.Sprintf("perf: open-loop case thresholds: %v", err))
+	}
+	var (
+		once   sync.Once
+		target string
+		stop   func()
+		okRPS  float64
+	)
+	return Case{
+		Name: "server/open-loop-slo",
+		Run: func(n int) {
+			once.Do(func() {
+				baseURL, st, err := server.StartLocal(srv)
+				if err != nil {
+					panic(fmt.Sprintf("perf: open-loop case: %v", err))
+				}
+				target, stop = baseURL+"/api/v1/sweep?grid="+url.QueryEscape(grid), st
+				// Warm the key: the measured runs exercise the cache-hit
+				// serving path at the scheduled arrival rate.
+				resp, err := http.Get(target)
+				if err != nil {
+					panic(fmt.Sprintf("perf: open-loop case warmup: %v", err))
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					panic(fmt.Sprintf("perf: open-loop case warmup: HTTP %d", resp.StatusCode))
+				}
+			})
+			for i := 0; i < n; i++ {
+				rep, err := load.RunOpenLoop(context.Background(), target, load.OpenLoopOptions{
+					Scenario:   sc,
+					MaxVUs:     64,
+					Seed:       1,
+					Thresholds: thresholds,
+				})
+				if err != nil {
+					panic(fmt.Sprintf("perf: open-loop case: %v", err))
+				}
+				if rep.Errors > 0 || !rep.ThresholdsOK {
+					panic(fmt.Sprintf("perf: open-loop case breached its SLO: %s", rep.Summary()))
+				}
+				okRPS = rep.OKRPS
+			}
+		},
+		Finish: func(bc *report.BenchCase) {
+			bc.ReqPerSec = okRPS
+			bc.CacheHitPct = srv.CacheStats().HitRatePct()
+			if stop != nil {
+				stop()
+			}
+			srv.Close(context.Background())
 		},
 	}
 }

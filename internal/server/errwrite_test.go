@@ -99,7 +99,7 @@ func TestHealthzEncodesBeforeWriting(t *testing.T) {
 func TestWriteErrorFailureLogged(t *testing.T) {
 	s, rec := newRecordingServer(t)
 	w := &failingWriter{}
-	s.writeError(w, http.StatusBadRequest, "bad thing: %d", 42)
+	s.writeError(w, http.StatusBadRequest, ErrInvalidParameter, nil, "bad thing: %d", 42)
 
 	if w.status != http.StatusBadRequest {
 		t.Errorf("status = %d, want 400 (header write still happens)", w.status)
@@ -118,5 +118,5 @@ func TestWriteErrorDefaultLogf(t *testing.T) {
 		t.Fatal("default Logf is nil")
 	}
 	// Exercising the path must not panic even with the real logger.
-	s.writeError(&failingWriter{}, http.StatusInternalServerError, "x")
+	s.writeError(&failingWriter{}, http.StatusInternalServerError, ErrInternal, nil, "x")
 }

@@ -50,11 +50,9 @@ func FuzzGridQuery(f *testing.F) {
 			if rec.Code != http.StatusBadRequest {
 				t.Fatalf("spec %q: parse err %v but HTTP %d", spec, parseErr, rec.Code)
 			}
-			var e struct {
-				Error string `json:"error"`
-			}
-			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
-				t.Fatalf("spec %q: 400 without JSON error body: %v (%s)", spec, err, rec.Body.Bytes())
+			var e ErrorEnvelope
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error.Code == "" || e.Error.Message == "" {
+				t.Fatalf("spec %q: 400 without envelope error body: %v (%s)", spec, err, rec.Body.Bytes())
 			}
 			return
 		}

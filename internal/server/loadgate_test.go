@@ -1,0 +1,100 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+	"testing"
+	"time"
+
+	"vocabpipe/internal/load"
+)
+
+// TestOpenLoopSpikeDegradesGracefully is the in-process version of the CI
+// spike gate: a tiny server (one admission slot, a two-deep accept queue)
+// takes a 20× overload spike from the open-loop engine and must degrade by
+// shedding — fast enveloped 429s with Retry-After — while every response it
+// does serve stays fast, nothing errors at the transport level, and the
+// ledgers on both sides reconcile exactly. Run under -race in CI, this is
+// also the admission controller's concurrency proof against real traffic.
+func TestOpenLoopSpikeDegradesGracefully(t *testing.T) {
+	s, ts := newTestServer(t, Options{MaxInFlight: 1, AdmitQueue: 2, Parallel: 1})
+
+	// Cold single-cell grids: micro sweeps 64..562, so nearly every arrival
+	// is a distinct cache key and must queue for the one compute slot.
+	urlTmpl := ts.URL + "/api/v1/sweep?grid=" +
+		url.QueryEscape("model=4B;method=vocab-1;vocab=32k;micro=") + "{64+i%499}"
+
+	sc, err := load.Preset("spike", 50, 1000, 600*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := load.ParseThresholds("p99<1000ms,error_rate<0.1%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.requests.Load()
+	rep, err := load.RunOpenLoop(context.Background(), urlTmpl, load.OpenLoopOptions{
+		Scenario:   sc,
+		MaxVUs:     32,
+		Seed:       1,
+		Thresholds: th,
+		EvalEvery:  50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := s.requests.Load() - before
+
+	// Ledger identities, and the client's attempts reconcile exactly with
+	// what the server's own middleware counted — shed responses included.
+	if rep.Scheduled != rep.Attempts+rep.Dropped {
+		t.Fatalf("Scheduled %d != Attempts %d + Dropped %d", rep.Scheduled, rep.Attempts, rep.Dropped)
+	}
+	if rep.Attempts != rep.OK+rep.NonOK+rep.Errors {
+		t.Fatalf("Attempts %d != OK %d + NonOK %d + Errors %d", rep.Attempts, rep.OK, rep.NonOK, rep.Errors)
+	}
+	if int64(rep.Attempts) != served {
+		t.Fatalf("client attempted %d, server counted %d", rep.Attempts, served)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d transport errors during the spike", rep.Errors)
+	}
+	if rep.OK == 0 {
+		t.Fatal("nothing served during the spike")
+	}
+
+	// The overload must surface as shedding: enveloped 429s, every one
+	// carrying Retry-After, all speaking the shed_overload code.
+	n429 := rep.StatusCodes["429"]
+	if n429 == 0 {
+		t.Fatalf("20× overload produced no 429s (status %v)", rep.StatusCodes)
+	}
+	if rep.ErrorCodes["shed_overload"] != n429 {
+		t.Fatalf("error codes %v: want %d shed_overload", rep.ErrorCodes, n429)
+	}
+	if rep.RetryAfter429 != n429 {
+		t.Fatalf("only %d of %d 429s carried Retry-After", rep.RetryAfter429, n429)
+	}
+	if !rep.ThresholdsOK {
+		t.Fatalf("SLO gates failed under shed-protected overload: %+v", rep.Thresholds)
+	}
+
+	// The server's own admission ledger saw the sheds, and the controller
+	// leaked nothing.
+	st := s.admit.stats()
+	if st.Shed == 0 {
+		t.Fatal("admission controller recorded no sheds")
+	}
+	if st.InFlight != 0 || st.Queued != 0 {
+		t.Fatalf("admission state leaked after the run: %+v", st)
+	}
+
+	// The server is healthy after the storm.
+	if status, body, _ := get(t, ts, "/healthz"); status != http.StatusOK {
+		t.Fatalf("healthz after spike: %d (%s)", status, body)
+	}
+	if status, _, _ := get(t, ts, sweepPath(smallGrid)); status != http.StatusOK {
+		t.Fatalf("sweep after spike: %d", status)
+	}
+}

@@ -35,6 +35,43 @@ func (s *Server) initMetrics() {
 		"Seconds since the server was constructed.",
 		func() float64 { return time.Since(s.start).Seconds() })
 
+	// Admission control (admission.go): depth gauges read the controller's
+	// own counters at scrape time; the wait histogram is observed inline on
+	// every admitted compute-endpoint request.
+	r.GaugeFunc("vpserve_admission_inflight",
+		"Requests holding an admission slot on the compute endpoints.",
+		func() float64 { return float64(s.admit.stats().InFlight) })
+	r.GaugeFunc("vpserve_admission_queue_depth",
+		"Requests waiting in the bounded accept queue.",
+		func() float64 { return float64(s.admit.stats().Queued) })
+	r.GaugeFunc("vpserve_admission_queue_capacity",
+		"Configured accept-queue capacity.",
+		func() float64 { return float64(s.admit.stats().QueueCapacity) })
+	admitClasses := []string{"class"}
+	r.CounterSamples("vpserve_admission_admitted_total",
+		"Requests admitted to the compute endpoints, by class (cheap = cache "+
+			"hit or in-flight dedup, compute = cold).", admitClasses,
+		func() []metrics.Sample {
+			st := s.admit.stats()
+			return []metrics.Sample{
+				{Labels: []string{"cheap"}, Value: float64(st.AdmittedCheap)},
+				{Labels: []string{"compute"}, Value: float64(st.Admitted - st.AdmittedCheap)},
+			}
+		})
+	r.CounterSamples("vpserve_admission_shed_total",
+		"Requests shed with 429 because the accept queue was full, by class.",
+		admitClasses,
+		func() []metrics.Sample {
+			st := s.admit.stats()
+			return []metrics.Sample{
+				{Labels: []string{"cheap"}, Value: float64(st.ShedCheap)},
+				{Labels: []string{"compute"}, Value: float64(st.Shed - st.ShedCheap)},
+			}
+		})
+	s.admitWait = r.Histogram("vpserve_admission_wait_seconds",
+		"Time admitted requests spent queued before getting a slot.",
+		metrics.DefLatencyBuckets)
+
 	// Result cache: scrape-time reads of the cache's own atomic counters.
 	r.CounterFunc("vpserve_cache_hits_total",
 		"Result-cache lookups answered from a stored entry.",

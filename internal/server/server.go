@@ -5,22 +5,37 @@
 // a sharded LRU cache with in-flight request deduplication (internal/cache),
 // so a thundering herd on one grid computes it once.
 //
-// Endpoints:
+// Endpoints (versioned under /api/v1; the unversioned /api/... paths remain
+// as deprecated aliases of the same handlers):
 //
-//	GET /healthz                   liveness + uptime + cache statistics
-//	                               (+ per-worker health in coordinator mode)
-//	GET /api/sweep?grid=SPEC       user-defined grid (sweep.ParseGrid syntax)
-//	GET /api/schedule?config=4B&method=vocab-1[&seq=..&vocab=..&micro=..&devices=..]
-//	                               a single (config, method) cell
-//	GET /api/experiments/{name}    a named paper grid (internal/experiments)
-//	POST /api/shard                evaluate one shard of a grid (the worker
-//	                               side of distributed mode; see
-//	                               internal/cluster for the wire format)
-//	POST /api/optimize             submit an auto-tuner search (internal/tune)
-//	                               as an async job; 202 + job id
-//	GET /api/jobs                  list known jobs
-//	GET /api/jobs/{id}             poll one job: state, progress, result
-//	DELETE /api/jobs/{id}          cancel a queued or running job
+//	GET /healthz                      liveness + uptime + cache + admission
+//	                                  statistics (+ per-worker health in
+//	                                  coordinator mode)
+//	GET /api/v1/sweep?grid=SPEC       user-defined grid (sweep.ParseGrid syntax)
+//	GET /api/v1/schedule?config=4B&method=vocab-1[&seq=..&vocab=..&micro=..&devices=..]
+//	                                  a single (config, method) cell
+//	GET /api/v1/experiments/{name}    a named paper grid (internal/experiments)
+//	POST /api/v1/shard                evaluate one shard of a grid (the worker
+//	                                  side of distributed mode; see
+//	                                  internal/cluster for the wire format)
+//	POST /api/v1/optimize             submit an auto-tuner search (internal/tune)
+//	                                  as an async job; 202 + the job resource
+//	GET /api/v1/jobs                  list known jobs
+//	GET /api/v1/jobs/{id}             poll one job: state, progress, result
+//	DELETE /api/v1/jobs/{id}          cancel a queued or running job
+//
+// Every job-bearing response — the jobs list, a job poll, the optimize 202
+// body and each SSE data frame — serializes the one canonical job schema
+// (jobView): the jobs.Snapshot fields plus poll/events URLs.
+//
+// Admission control: the synchronous compute endpoints (sweep, schedule,
+// experiments, shard) pass through a bounded in-flight semaphore with a
+// bounded two-class accept queue (admission.go). Requests whose cache key is
+// already resident or in flight are "cheap" and admitted ahead of cold
+// computes; when the queue is full the request is shed with 429 +
+// Retry-After. /healthz, /metrics and the job endpoints bypass admission —
+// observability and queue management must keep answering precisely when the
+// server is saturated.
 //
 // Distributed mode: when Options.Cluster names worker URLs, the server is a
 // coordinator — shardable grids on the synchronous endpoints (and tuner
@@ -30,9 +45,10 @@
 // POST /api/shard (shard evaluation is always local — a worker never
 // re-shards), so any vpserve instance can serve as a worker.
 //
-// Errors are JSON bodies {"error": "..."} with 4xx status; per-cell
-// simulation failures are not transport errors — they appear as error
-// records inside a 200 response, exactly as vpbench reports them.
+// Errors are the uniform envelope {"error":{"code":..., "message":...,
+// "details":{...}}} with a stable machine-readable code (see errors.go);
+// per-cell simulation failures are not transport errors — they appear as
+// error records inside a 200 response, exactly as vpbench reports them.
 //
 // Synchronous endpoints propagate the request context into the sweep
 // engine: a client that disconnects mid-computation cancels the in-flight
@@ -93,6 +109,13 @@ type Options struct {
 	// JobCapacity pending submissions POST /api/optimize answers 429.
 	JobWorkers  int
 	JobCapacity int
+	// MaxInFlight bounds concurrently admitted requests on the synchronous
+	// compute endpoints (default 64). AdmitQueue bounds how many more may
+	// wait for a slot (default 4×MaxInFlight; negative disables waiting —
+	// every overflow sheds immediately). Past both, requests are shed with
+	// 429 + Retry-After.
+	MaxInFlight int
+	AdmitQueue  int
 	// Cluster configures coordinator mode: when Cluster.Workers is
 	// non-empty, shardable grids are dispatched across those worker vpserve
 	// instances instead of being evaluated in-process.
@@ -114,6 +137,7 @@ type Server struct {
 	cache    *cache.Cache[[]report.Record]
 	jobs     *jobs.Queue
 	cluster  *cluster.Dispatcher // non-nil in coordinator mode
+	admit    *admitter
 	start    time.Time
 	requests atomic.Int64
 
@@ -123,6 +147,7 @@ type Server struct {
 	httpReqs  *metrics.CounterVec   // route, code class
 	httpDur   *metrics.HistogramVec // route
 	sseActive *metrics.Gauge
+	admitWait *metrics.Histogram // queued time of admitted requests
 }
 
 // New returns a Server with defaults applied.
@@ -139,6 +164,15 @@ func New(opt Options) *Server {
 	if opt.MaxDevices <= 0 {
 		opt.MaxDevices = 1024
 	}
+	if opt.MaxInFlight <= 0 {
+		opt.MaxInFlight = 64
+	}
+	switch {
+	case opt.AdmitQueue < 0:
+		opt.AdmitQueue = 0 // shed immediately once the slots are full
+	case opt.AdmitQueue == 0:
+		opt.AdmitQueue = 4 * opt.MaxInFlight
+	}
 	if opt.SSEHeartbeat <= 0 {
 		opt.SSEHeartbeat = 15 * time.Second
 	}
@@ -149,6 +183,7 @@ func New(opt Options) *Server {
 		opt:   opt,
 		cache: cache.New[[]report.Record](opt.CacheSize),
 		jobs:  jobs.New(jobs.Options{Workers: opt.JobWorkers, Capacity: opt.JobCapacity}),
+		admit: newAdmitter(opt.MaxInFlight, opt.AdmitQueue),
 		start: time.Now(),
 	}
 	if len(opt.Cluster.Workers) > 0 {
@@ -179,19 +214,35 @@ func (s *Server) Close(ctx context.Context) error {
 // status class and lands its wall time in the per-route latency histogram.
 // The route label is the registered mux pattern (bounded cardinality), not
 // the raw URL.
+//
+// Every API route registers twice: canonically under /api/v1/... and as a
+// deprecated unversioned /api/... alias. Both patterns dispatch to the same
+// handler, so alias responses are byte-identical; the two registered
+// patterns are distinct (still bounded) route labels in the metrics, which
+// is also how a migration off the legacy paths can be watched.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /api/sweep", s.handleSweep)
-	mux.HandleFunc("GET /api/schedule", s.handleSchedule)
-	mux.HandleFunc("GET /api/experiments/{name}", s.handleExperiment)
-	mux.HandleFunc("POST /api/shard", s.handleShard)
-	mux.HandleFunc("POST /api/optimize", s.handleOptimize)
-	mux.HandleFunc("GET /api/jobs", s.handleJobList)
-	mux.HandleFunc("GET /api/jobs/{id}", s.handleJobGet)
-	mux.HandleFunc("GET /api/jobs/{id}/events", s.handleJobEvents)
-	mux.HandleFunc("DELETE /api/jobs/{id}", s.handleJobCancel)
+	api := []struct {
+		pattern string // method + path below /api
+		h       http.HandlerFunc
+	}{
+		{"GET /sweep", s.handleSweep},
+		{"GET /schedule", s.handleSchedule},
+		{"GET /experiments/{name}", s.handleExperiment},
+		{"POST /shard", s.handleShard},
+		{"POST /optimize", s.handleOptimize},
+		{"GET /jobs", s.handleJobList},
+		{"GET /jobs/{id}", s.handleJobGet},
+		{"GET /jobs/{id}/events", s.handleJobEvents},
+		{"DELETE /jobs/{id}", s.handleJobCancel},
+	}
+	for _, rt := range api {
+		method, path, _ := strings.Cut(rt.pattern, " ")
+		mux.HandleFunc(method+" /api/v1"+path, rt.h)
+		mux.HandleFunc(method+" /api"+path, rt.h) // deprecated alias
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
 		route := routeLabel(mux, r)
@@ -225,6 +276,9 @@ type Health struct {
 	Dispatch *cluster.Stats         `json:"dispatch,omitempty"`
 	// Jobs reports the async queue's depth and lifecycle counters.
 	Jobs jobs.Stats `json:"jobs"`
+	// Admission reports the compute-endpoint admission controller: in-flight
+	// slots, queue depth and shed totals.
+	Admission AdmissionStats `json:"admission"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -237,6 +291,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Cache:           st,
 		CacheHitRatePct: st.HitRatePct(),
 		Jobs:            s.jobs.Stats(),
+		Admission:       s.admit.stats(),
 	}
 	if s.cluster != nil {
 		h.Role = "coordinator"
@@ -251,7 +306,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(h); err != nil {
-		s.writeError(w, http.StatusInternalServerError, "encoding health: %v", err)
+		s.writeError(w, http.StatusInternalServerError, ErrInternal, nil, "encoding health: %v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -261,33 +316,36 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// writeError emits the JSON error body every failing endpoint uses. Encode
-// or write failures (a client gone mid-error, a broken proxy) have no
-// response channel left, so they are logged rather than dropped.
-func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)}); err != nil {
-		s.opt.Logf("server: writing %d error body: %v", status, err)
-	}
+// sizeViolation is a size-guard rejection: its envelope code, human message
+// and machine details. nil means the request is within bounds.
+type sizeViolation struct {
+	code    ErrCode
+	msg     string
+	details map[string]any
 }
 
 // checkGrid applies the serving-layer size guards to a parsed grid,
-// returning a non-empty reason when the request must be rejected.
-func (s *Server) checkGrid(g *sweep.Grid) string {
+// returning a non-nil violation when the request must be rejected.
+func (s *Server) checkGrid(g *sweep.Grid) *sizeViolation {
 	cells := g.Expand()
 	if len(cells) > s.opt.MaxCells {
-		return fmt.Sprintf("grid expands to %d cells, limit %d", len(cells), s.opt.MaxCells)
+		return &sizeViolation{ErrTooManyCells,
+			fmt.Sprintf("grid expands to %d cells, limit %d", len(cells), s.opt.MaxCells),
+			map[string]any{"cells": len(cells), "limit": s.opt.MaxCells}}
 	}
 	for i := range cells {
 		if m := cells[i].Config.NumMicro; m > s.opt.MaxMicro {
-			return fmt.Sprintf("cell %q asks for %d microbatches, limit %d", cells[i].Label, m, s.opt.MaxMicro)
+			return &sizeViolation{ErrTooManyMicro,
+				fmt.Sprintf("cell %q asks for %d microbatches, limit %d", cells[i].Label, m, s.opt.MaxMicro),
+				map[string]any{"cell": cells[i].Label, "micro": m, "limit": s.opt.MaxMicro}}
 		}
 		if d := cells[i].Config.Devices; d > s.opt.MaxDevices {
-			return fmt.Sprintf("cell %q asks for %d devices, limit %d", cells[i].Label, d, s.opt.MaxDevices)
+			return &sizeViolation{ErrTooManyDevices,
+				fmt.Sprintf("cell %q asks for %d devices, limit %d", cells[i].Label, d, s.opt.MaxDevices),
+				map[string]any{"cell": cells[i].Label, "devices": d, "limit": s.opt.MaxDevices}}
 		}
 	}
-	return ""
+	return nil
 }
 
 // respond computes (or recalls) the grid's records and writes them exactly
@@ -306,6 +364,34 @@ func (s *Server) checkGrid(g *sweep.Grid) string {
 // (every /api/schedule request) stay local too: a network round trip plus
 // straggler-hedging exposure buys nothing for one milliseconds-cheap cell.
 func (s *Server) respond(w http.ResponseWriter, r *http.Request, route string, g *sweep.Grid) {
+	key := route + "|" + g.Key()
+
+	// Admission: a resident or in-flight key is a cheap read (it costs no
+	// sweep work), admitted ahead of cold computes. The probe does not touch
+	// cache counters or LRU order; the classification is advisory — the key
+	// could be evicted between probe and DoCtx — so a misclassified request
+	// merely waits in the wrong queue, it is never double-computed.
+	class := classCompute
+	if s.cache.Contains(key) {
+		class = classCheap
+	}
+	release, ok, waited, retryAfter := s.admit.admit(r.Context(), class)
+	if !ok {
+		if r.Context().Err() != nil {
+			// The client vanished while queued; nobody reads this response.
+			w.WriteHeader(StatusClientClosedRequest)
+			return
+		}
+		st := s.admit.stats()
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+		s.writeError(w, http.StatusTooManyRequests, ErrShedOverload,
+			map[string]any{"in_flight": st.InFlight, "queued": st.Queued, "queue_capacity": st.QueueCapacity},
+			"server overloaded: %d requests in flight and the accept queue is full", st.InFlight)
+		return
+	}
+	defer release()
+	s.admitWait.Observe(waited.Seconds())
+
 	// The dispatch decision lives inside the compute closure so cache hits
 	// never pay for it (Shardable is a cheap scan, but the cell-count check
 	// re-expands the grid).
@@ -319,7 +405,6 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, route string, g
 		}
 		return res.Records(), nil
 	}
-	key := route + "|" + g.Key()
 	recs, outcome, err := s.cache.DoCtx(r.Context(), key, compute)
 	if err != nil {
 		if r.Context().Err() != nil || errors.Is(err, context.Canceled) {
@@ -328,7 +413,7 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, route string, g
 			w.WriteHeader(StatusClientClosedRequest)
 			return
 		}
-		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		s.writeError(w, http.StatusInternalServerError, ErrInternal, nil, "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -350,16 +435,17 @@ func outcomeHeader(o cache.Outcome) string {
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	spec := r.URL.Query().Get("grid")
 	if spec == "" {
-		s.writeError(w, http.StatusBadRequest, "missing required query parameter %q (sweep.ParseGrid syntax, e.g. grid=model=4B;method=1f1b)", "grid")
+		s.writeError(w, http.StatusBadRequest, ErrMissingParameter, map[string]any{"parameter": "grid"},
+			"missing required query parameter %q (sweep.ParseGrid syntax, e.g. grid=model=4B;method=1f1b)", "grid")
 		return
 	}
 	g, err := sweep.ParseGrid(spec)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, ErrInvalidGrid, nil, "%v", err)
 		return
 	}
-	if reason := s.checkGrid(g); reason != "" {
-		s.writeError(w, http.StatusBadRequest, "%s", reason)
+	if v := s.checkGrid(g); v != nil {
+		s.writeError(w, http.StatusBadRequest, v.code, v.details, "%s", v.msg)
 		return
 	}
 	s.respond(w, r, "sweep", g)
@@ -372,17 +458,19 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	cfgName := q.Get("config")
 	methodName := q.Get("method")
 	if cfgName == "" || methodName == "" {
-		s.writeError(w, http.StatusBadRequest, "config and method query parameters are required")
+		s.writeError(w, http.StatusBadRequest, ErrMissingParameter, nil, "config and method query parameters are required")
 		return
 	}
 	cfg, ok := costmodel.ConfigByName(cfgName)
 	if !ok {
-		s.writeError(w, http.StatusBadRequest, "unknown config %q (want 4B, 10B, 21B, 7B, 16B or 30B)", cfgName)
+		s.writeError(w, http.StatusBadRequest, ErrInvalidParameter, map[string]any{"parameter": "config"},
+			"unknown config %q (want 4B, 10B, 21B, 7B, 16B or 30B)", cfgName)
 		return
 	}
 	m, ok := sim.MethodByName(methodName)
 	if !ok {
-		s.writeError(w, http.StatusBadRequest, "unknown method %q (want one of %v)", methodName, sim.AllMethods)
+		s.writeError(w, http.StatusBadRequest, ErrInvalidParameter, map[string]any{"parameter": "method"},
+			"unknown method %q (want one of %v)", methodName, sim.AllMethods)
 		return
 	}
 	for _, p := range []struct {
@@ -400,14 +488,15 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		}
 		v, err := strconv.Atoi(raw)
 		if err != nil || v <= 0 {
-			s.writeError(w, http.StatusBadRequest, "bad %s %q (want a positive integer)", p.name, raw)
+			s.writeError(w, http.StatusBadRequest, ErrInvalidParameter, map[string]any{"parameter": p.name},
+				"bad %s %q (want a positive integer)", p.name, raw)
 			return
 		}
 		p.apply(v)
 	}
 	g := &sweep.Grid{Name: "schedule", Configs: []costmodel.Config{cfg}, Methods: []sim.Method{m}}
-	if reason := s.checkGrid(g); reason != "" {
-		s.writeError(w, http.StatusBadRequest, "%s", reason)
+	if v := s.checkGrid(g); v != nil {
+		s.writeError(w, http.StatusBadRequest, v.code, v.details, "%s", v.msg)
 		return
 	}
 	s.respond(w, r, "schedule", g)
@@ -417,7 +506,8 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	gridFn, ok := experiments.Grid(name)
 	if !ok {
-		s.writeError(w, http.StatusNotFound, "unknown experiment %q (grid-backed experiments: %s)",
+		s.writeError(w, http.StatusNotFound, ErrUnknownExperiment, map[string]any{"name": name},
+			"unknown experiment %q (grid-backed experiments: %s)",
 			name, strings.Join(experiments.Names(), ", "))
 		return
 	}
@@ -438,16 +528,16 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, 4<<20)
 	var req cluster.ShardRequest
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, "bad shard body: %v", err)
+		s.writeError(w, http.StatusBadRequest, ErrInvalidBody, nil, "bad shard body: %v", err)
 		return
 	}
 	g, err := req.ToGrid()
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, ErrInvalidGrid, nil, "%v", err)
 		return
 	}
-	if reason := s.checkGrid(g); reason != "" {
-		s.writeError(w, http.StatusBadRequest, "%s", reason)
+	if v := s.checkGrid(g); v != nil {
+		s.writeError(w, http.StatusBadRequest, v.code, v.details, "%s", v.msg)
 		return
 	}
 	s.respond(w, r, "shard", g)
@@ -464,11 +554,20 @@ type optimizeRequest struct {
 	Strategy string `json:"strategy,omitempty"`
 }
 
-// optimizeAccepted is the 202 body: where to poll.
-type optimizeAccepted struct {
-	JobID string     `json:"job_id"`
-	State jobs.State `json:"state"`
-	Poll  string     `json:"poll"`
+// jobView is the ONE canonical job representation: every job-bearing
+// response — GET /api/v1/jobs, GET /api/v1/jobs/{id}, DELETE, the optimize
+// 202 body and each SSE data frame — serializes exactly this shape, the
+// jobs.Snapshot fields plus the v1 poll/events URLs. Clients parse one
+// schema no matter where a job surfaces.
+type jobView struct {
+	jobs.Snapshot
+	Poll   string `json:"poll"`
+	Events string `json:"events"`
+}
+
+func viewJob(snap jobs.Snapshot) jobView {
+	base := "/api/v1/jobs/" + snap.ID
+	return jobView{Snapshot: snap, Poll: base, Events: base + "/events"}
 }
 
 // checkTuneSpec applies the serving-layer size guards to a tuning space,
@@ -476,22 +575,28 @@ type optimizeAccepted struct {
 // the *defaulted* spec — the candidates a search will actually evaluate —
 // so an omitted axis cannot smuggle the base model's large device or
 // microbatch count past a tighter server cap.
-func (s *Server) checkTuneSpec(spec *tune.Spec) string {
+func (s *Server) checkTuneSpec(spec *tune.Spec) *sizeViolation {
 	d := spec.Defaulted()
 	if size := d.SpaceSize(); size > s.opt.MaxCells {
-		return fmt.Sprintf("search space has %d candidates, limit %d", size, s.opt.MaxCells)
+		return &sizeViolation{ErrTooManyCells,
+			fmt.Sprintf("search space has %d candidates, limit %d", size, s.opt.MaxCells),
+			map[string]any{"candidates": size, "limit": s.opt.MaxCells}}
 	}
 	for _, m := range d.Micros {
 		if m > s.opt.MaxMicro {
-			return fmt.Sprintf("candidate asks for %d microbatches, limit %d", m, s.opt.MaxMicro)
+			return &sizeViolation{ErrTooManyMicro,
+				fmt.Sprintf("candidate asks for %d microbatches, limit %d", m, s.opt.MaxMicro),
+				map[string]any{"micro": m, "limit": s.opt.MaxMicro}}
 		}
 	}
 	for _, dev := range d.Devices {
 		if dev > s.opt.MaxDevices {
-			return fmt.Sprintf("candidate asks for %d devices, limit %d", dev, s.opt.MaxDevices)
+			return &sizeViolation{ErrTooManyDevices,
+				fmt.Sprintf("candidate asks for %d devices, limit %d", dev, s.opt.MaxDevices),
+				map[string]any{"devices": dev, "limit": s.opt.MaxDevices}}
 		}
 	}
-	return ""
+	return nil
 }
 
 // handleOptimize submits a tuner search as an async job and answers 202
@@ -504,7 +609,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		// GET guards: no valid spec is anywhere near 64 KiB.
 		body := http.MaxBytesReader(w, r.Body, 64<<10)
 		if err := json.NewDecoder(body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
-			s.writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+			s.writeError(w, http.StatusBadRequest, ErrInvalidBody, nil, "bad JSON body: %v", err)
 			return
 		}
 	}
@@ -521,23 +626,25 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	var spec *tune.Spec
 	switch {
 	case req.Spec != "" && req.Scenario != "":
-		s.writeError(w, http.StatusBadRequest, "spec and scenario are mutually exclusive")
+		s.writeError(w, http.StatusBadRequest, ErrInvalidParameter, nil, "spec and scenario are mutually exclusive")
 		return
 	case req.Spec != "":
 		var err error
 		if spec, err = tune.ParseSpec(req.Spec); err != nil {
-			s.writeError(w, http.StatusBadRequest, "%v", err)
+			s.writeError(w, http.StatusBadRequest, ErrInvalidSpec, nil, "%v", err)
 			return
 		}
 	case req.Scenario != "":
 		var ok bool
 		if spec, ok = experiments.TuneSpec(req.Scenario); !ok {
-			s.writeError(w, http.StatusBadRequest, "unknown scenario %q (want one of %s)",
+			s.writeError(w, http.StatusBadRequest, ErrInvalidParameter, map[string]any{"parameter": "scenario"},
+				"unknown scenario %q (want one of %s)",
 				req.Scenario, strings.Join(experiments.TuneNames(), ", "))
 			return
 		}
 	default:
-		s.writeError(w, http.StatusBadRequest, "provide spec=... (tune.ParseSpec syntax) or scenario=... (named scenarios: %s)",
+		s.writeError(w, http.StatusBadRequest, ErrMissingParameter, nil,
+			"provide spec=... (tune.ParseSpec syntax) or scenario=... (named scenarios: %s)",
 			strings.Join(experiments.TuneNames(), ", "))
 		return
 	}
@@ -546,16 +653,17 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if req.Strategy != "" {
 		var ok bool
 		if strategy, ok = tune.StrategyByName(req.Strategy); !ok {
-			s.writeError(w, http.StatusBadRequest, "unknown strategy %q (want one of %v)", req.Strategy, tune.Strategies())
+			s.writeError(w, http.StatusBadRequest, ErrInvalidParameter, map[string]any{"parameter": "strategy"},
+				"unknown strategy %q (want one of %v)", req.Strategy, tune.Strategies())
 			return
 		}
 	}
 	if err := spec.Validate(); err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, ErrInvalidSpec, nil, "%v", err)
 		return
 	}
-	if reason := s.checkTuneSpec(spec); reason != "" {
-		s.writeError(w, http.StatusBadRequest, "%s", reason)
+	if v := s.checkTuneSpec(spec); v != nil {
+		s.writeError(w, http.StatusBadRequest, v.code, v.details, "%s", v.msg)
 		return
 	}
 
@@ -571,43 +679,57 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		tune.JobFunc(spec, strategy, topt))
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
-		s.writeError(w, http.StatusTooManyRequests, "job queue full, retry later")
+		// writeError fills in the Retry-After floor for 429s.
+		s.writeError(w, http.StatusTooManyRequests, ErrQueueFull,
+			map[string]any{"queued": s.jobs.Stats().Queued}, "job queue full, retry later")
 		return
 	case errors.Is(err, jobs.ErrClosed):
-		s.writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		s.writeError(w, http.StatusServiceUnavailable, ErrShuttingDown, nil, "server shutting down")
 		return
 	case err != nil:
-		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		s.writeError(w, http.StatusInternalServerError, ErrInternal, nil, "%v", err)
 		return
 	}
 
+	// The snapshot may already show the job past StateQueued (a free worker
+	// picks up instantly); the 202 body reports whatever is true now, in the
+	// same canonical schema every other job response uses.
+	snap, _ := s.jobs.Get(id)
+	view := viewJob(snap)
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("Location", "/api/jobs/"+id)
+	w.Header().Set("Location", view.Poll)
 	w.WriteHeader(http.StatusAccepted)
-	json.NewEncoder(w).Encode(optimizeAccepted{JobID: id, State: jobs.StateQueued, Poll: "/api/jobs/" + id})
+	json.NewEncoder(w).Encode(view)
 }
 
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	snaps := s.jobs.List()
+	views := make([]jobView, len(snaps))
+	for i, snap := range snaps {
+		views[i] = viewJob(snap)
+	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(s.jobs.List())
+	json.NewEncoder(w).Encode(views)
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	snap, ok := s.jobs.Get(r.PathValue("id"))
 	if !ok {
-		s.writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		s.writeError(w, http.StatusNotFound, ErrJobNotFound, map[string]any{"id": r.PathValue("id")},
+			"unknown job %q", r.PathValue("id"))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(snap)
+	json.NewEncoder(w).Encode(viewJob(snap))
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	snap, ok := s.jobs.Cancel(r.PathValue("id"))
 	if !ok {
-		s.writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		s.writeError(w, http.StatusNotFound, ErrJobNotFound, map[string]any{"id": r.PathValue("id")},
+			"unknown job %q", r.PathValue("id"))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(snap)
+	json.NewEncoder(w).Encode(viewJob(snap))
 }

@@ -52,21 +52,23 @@ func get(t *testing.T, ts *httptest.Server, path string) (int, []byte, http.Head
 	return resp.StatusCode, body, resp.Header
 }
 
-// wantJSONError asserts a 4xx response carries the {"error": ...} body with
-// the expected fragment.
+// wantJSONError asserts a failing response carries the uniform envelope
+// {"error":{"code":...,"message":...}} with the expected message fragment
+// and a non-empty machine code.
 func wantJSONError(t *testing.T, status int, body []byte, wantStatus int, fragment string) {
 	t.Helper()
 	if status != wantStatus {
 		t.Fatalf("status = %d, want %d (body %s)", status, wantStatus, body)
 	}
-	var e struct {
-		Error string `json:"error"`
-	}
+	var e ErrorEnvelope
 	if err := json.Unmarshal(body, &e); err != nil {
 		t.Fatalf("error body is not JSON: %v (%s)", err, body)
 	}
-	if e.Error == "" || !strings.Contains(e.Error, fragment) {
-		t.Errorf("error = %q, want it to contain %q", e.Error, fragment)
+	if e.Error.Code == "" {
+		t.Errorf("error body missing machine code: %s", body)
+	}
+	if e.Error.Message == "" || !strings.Contains(e.Error.Message, fragment) {
+		t.Errorf("error message = %q, want it to contain %q", e.Error.Message, fragment)
 	}
 }
 
@@ -436,17 +438,15 @@ func submitOptimize(t *testing.T, ts *httptest.Server, query string, body string
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("optimize status = %d (%s)", resp.StatusCode, raw)
 	}
-	var acc struct {
-		JobID string `json:"job_id"`
-		Poll  string `json:"poll"`
-	}
-	if err := json.Unmarshal(raw, &acc); err != nil || acc.JobID == "" {
+	// The 202 body is the canonical job schema, same as a poll would return.
+	var acc jobView
+	if err := json.Unmarshal(raw, &acc); err != nil || acc.ID == "" {
 		t.Fatalf("bad 202 body: %v (%s)", err, raw)
 	}
-	if want := "/api/jobs/" + acc.JobID; acc.Poll != want || resp.Header.Get("Location") != want {
+	if want := "/api/v1/jobs/" + acc.ID; acc.Poll != want || resp.Header.Get("Location") != want {
 		t.Errorf("poll = %q, Location = %q, want %q", acc.Poll, resp.Header.Get("Location"), want)
 	}
-	return acc.JobID
+	return acc.ID
 }
 
 // decodeTuneResult re-decodes a snapshot's result (an any holding

@@ -17,19 +17,20 @@ import (
 
 // handleJobEvents streams job snapshots as SSE frames. Event names mirror
 // job states (queued/running/done/failed/cancelled); each frame's data is
-// the same JSON snapshot GET /api/jobs/{id} returns.
+// the canonical job schema (jobView) — byte-compatible with what
+// GET /api/v1/jobs/{id} returns.
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	ch, stop, ok := s.jobs.Watch(id)
 	if !ok {
-		s.writeError(w, http.StatusNotFound, "unknown job %q", id)
+		s.writeError(w, http.StatusNotFound, ErrJobNotFound, map[string]any{"id": id}, "unknown job %q", id)
 		return
 	}
 	defer stop()
 
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		s.writeError(w, http.StatusInternalServerError, "streaming unsupported by connection")
+		s.writeError(w, http.StatusInternalServerError, ErrInternal, nil, "streaming unsupported by connection")
 		return
 	}
 
@@ -79,7 +80,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 // writeSSE emits one frame. JSON marshals to a single line, so one data:
 // field suffices.
 func writeSSE(w http.ResponseWriter, id int, snap jobs.Snapshot) error {
-	data, err := json.Marshal(snap)
+	data, err := json.Marshal(viewJob(snap))
 	if err != nil {
 		return err
 	}

@@ -20,21 +20,36 @@
 //	-shutdown-timeout D  graceful drain budget on SIGINT/SIGTERM (default 10s)
 //
 // Distributed mode (see internal/cluster): a coordinator shards grids
-// across worker vpserve instances and merges the records back in
-// deterministic order, byte-identical to a single-node response. Workers
-// are plain vpserve processes — `-role worker` only documents intent:
+// across worker vpserve instances with cache-affine consistent-hash
+// placement and merges the records back in deterministic order,
+// byte-identical to a single-node response. Membership is dynamic:
+// `-workers` is only the seed list (it may be empty), workers register and
+// heartbeat through POST /api/v1/cluster/join (`-join` automates it), and
+// members silent past `-member-ttl` are expired off the placement ring.
 //
-//	vpserve -addr :8081 -role worker
-//	vpserve -addr :8082 -role worker
-//	vpserve -addr :8080 -role coordinator -workers 127.0.0.1:8081,127.0.0.1:8082
+//	vpserve -addr :8081 -role worker -join 127.0.0.1:8080
+//	vpserve -addr :8082 -role worker -join 127.0.0.1:8080
+//	vpserve -addr :8080 -role coordinator -state-dir /var/lib/vpserve
 //
 //	-role ROLE        single (default), coordinator or worker
-//	-workers LIST     comma-separated worker base URLs (coordinator only)
+//	-workers LIST     comma-separated seed worker base URLs, deduplicated
+//	                  and validated at startup (coordinator only; optional —
+//	                  workers can also join at runtime)
+//	-state-dir DIR    durable job store: optimize jobs, their progress and
+//	                  results survive a restart (serving modes)
+//	-join URL         coordinator to register with and heartbeat
+//	                  (worker only)
+//	-advertise URL    base URL to register under (default
+//	                  http://127.0.0.1:<bound port>; requires -join)
+//	-heartbeat-every D  join re-registration interval (default 10s;
+//	                  requires -join)
+//	-member-ttl D     expire members silent for this long (default 30s;
+//	                  0 disables; coordinator only)
 //	-hedge-after D    duplicate a shard request still unanswered after D
 //	                  to another worker (default 2s; 0 disables;
 //	                  coordinator only)
-//	-probe-every D    worker /healthz probe interval (default 5s; 0 disables;
-//	                  coordinator only)
+//	-probe-every D    member /healthz probe interval — also drives expiry
+//	                  (default 5s; 0 disables; coordinator only)
 //
 // Self-test mode starts an ephemeral server and drives the built-in load
 // harness (internal/load) against it, reporting req/s, latency percentiles
@@ -97,6 +112,7 @@ import (
 	"time"
 
 	"vocabpipe/internal/cluster"
+	"vocabpipe/internal/jobs"
 	"vocabpipe/internal/load"
 	"vocabpipe/internal/server"
 )
@@ -118,9 +134,14 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	jobQueue := fs.Int("job-queue", 64, "pending tuner jobs before submissions get 429")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "graceful drain budget on SIGINT/SIGTERM")
 	role := fs.String("role", "single", "deployment `role`: single, coordinator or worker")
-	workers := fs.String("workers", "", "comma-separated worker base `URLs` (requires -role coordinator)")
+	workers := fs.String("workers", "", "comma-separated seed worker base `URLs` (requires -role coordinator; optional — workers can join at runtime)")
 	hedgeAfter := fs.Duration("hedge-after", 2*time.Second, "duplicate an unanswered shard request to another worker after this long (0 disables hedging)")
-	probeEvery := fs.Duration("probe-every", 5*time.Second, "worker /healthz probe interval (0 disables)")
+	probeEvery := fs.Duration("probe-every", 5*time.Second, "member /healthz probe interval, which also drives membership expiry (0 disables)")
+	memberTTL := fs.Duration("member-ttl", 30*time.Second, "expire cluster members silent for this long (0 disables; requires -role coordinator)")
+	stateDir := fs.String("state-dir", "", "`directory` for the durable job store; optimize jobs survive restarts (serving modes only)")
+	join := fs.String("join", "", "coordinator base `URL` to register with and heartbeat (requires -role worker)")
+	advertise := fs.String("advertise", "", "base `URL` to register under with -join (default http://127.0.0.1:<bound port>)")
+	heartbeatEvery := fs.Duration("heartbeat-every", 10*time.Second, "join re-registration interval (0 registers once; requires -join)")
 	selftest := fs.Bool("selftest", false, "start an ephemeral server, drive the load harness against it, report and exit")
 	stGrid := fs.String("selftest-grid", "model=4B;method=baseline,vocab-1;vocab=32k;micro=16",
 		"grid `SPEC` the self-test sweeps")
@@ -195,15 +216,29 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 			return 2
 		}
 	case "coordinator":
+		// Seeds are validated and canonicalized HERE, not when the first
+		// sweep arrives: a typo'd worker URL is an operator error that must
+		// fail the boot, and two spellings of the same worker ("host:8081"
+		// vs "http://host:8081/") must not get double placement weight.
+		seen := map[string]bool{}
 		for _, w := range strings.Split(*workers, ",") {
-			if w = strings.TrimSpace(w); w != "" {
-				workerURLs = append(workerURLs, w)
+			w = strings.TrimSpace(w)
+			if w == "" {
+				continue
 			}
+			u, err := cluster.NormalizeURL(w)
+			if err != nil {
+				fmt.Fprintf(stderr, "vpserve: -workers entry %q: %v\n", w, err)
+				return 2
+			}
+			if seen[u] {
+				continue
+			}
+			seen[u] = true
+			workerURLs = append(workerURLs, u)
 		}
-		if len(workerURLs) == 0 {
-			fmt.Fprintf(stderr, "vpserve: -role coordinator needs at least one -workers URL\n")
-			return 2
-		}
+		// An empty seed list is fine: membership is dynamic, workers join
+		// through POST /api/v1/cluster/join (or their -join flag).
 		if *selftest {
 			fmt.Fprintf(stderr, "vpserve: -selftest runs single-node; start workers separately to test coordinator mode\n")
 			return 2
@@ -212,17 +247,52 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fmt.Fprintf(stderr, "vpserve: unknown -role %q (want single, coordinator or worker)\n", *role)
 		return 2
 	}
-	for _, name := range []string{"hedge-after", "probe-every"} {
+	for _, name := range []string{"hedge-after", "probe-every", "member-ttl"} {
 		if explicit[name] && *role != "coordinator" {
 			fmt.Fprintf(stderr, "vpserve: -%s requires -role coordinator\n", name)
 			return 2
 		}
+	}
+	if *join != "" && *role != "worker" {
+		fmt.Fprintf(stderr, "vpserve: -join requires -role worker\n")
+		return 2
+	}
+	for _, name := range []string{"advertise", "heartbeat-every"} {
+		if explicit[name] && *join == "" {
+			fmt.Fprintf(stderr, "vpserve: -%s requires -join\n", name)
+			return 2
+		}
+	}
+	if *join != "" {
+		u, err := cluster.NormalizeURL(*join)
+		if err != nil {
+			fmt.Fprintf(stderr, "vpserve: -join: %v\n", err)
+			return 2
+		}
+		*join = u
+	}
+	if *advertise != "" {
+		u, err := cluster.NormalizeURL(*advertise)
+		if err != nil {
+			fmt.Fprintf(stderr, "vpserve: -advertise: %v\n", err)
+			return 2
+		}
+		*advertise = u
+	}
+	if *stateDir != "" && (*selftest || *loadtest != "") {
+		fmt.Fprintf(stderr, "vpserve: -state-dir only applies to serving modes\n")
+		return 2
 	}
 	if explicit["hedge-after"] && *hedgeAfter == 0 {
 		// The flag's conventional zero means "off"; the library treats zero
 		// as "unset, use the default", so translate rather than silently
 		// reinstating 2s on an operator who asked for no hedging.
 		*hedgeAfter = -1
+	}
+	if explicit["member-ttl"] && *memberTTL == 0 {
+		// Same translation: zero at the flag means "never expire", while a
+		// zero Options.MemberTTL means "use the 30s default".
+		*memberTTL = -1
 	}
 
 	if *loadtest != "" {
@@ -248,7 +318,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		return runLoadtest(stdout, stderr, *loadtest, *ltConc, *ltDur)
 	}
 
-	srv := server.New(server.Options{
+	opts := server.Options{
 		CacheSize:   *cacheSize,
 		Parallel:    *parallel,
 		MaxCells:    *maxCells,
@@ -258,32 +328,66 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		AdmitQueue:  *admitQueue,
 		Cluster: cluster.Options{
 			Workers:    workerURLs,
+			Dynamic:    *role == "coordinator",
+			MemberTTL:  *memberTTL,
 			HedgeAfter: *hedgeAfter,
 		},
-	})
+	}
+	if *stateDir != "" {
+		store, err := jobs.OpenFileStore(*stateDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "vpserve: -state-dir: %v\n", err)
+			return 1
+		}
+		// Closed by defer, i.e. AFTER serve returns: the queue's shutdown
+		// persistence (running durable jobs written back as queued) must
+		// land in the WAL before the file handle goes away.
+		defer store.Close()
+		opts.JobStore = store
+	}
+	srv := server.New(opts)
 	if *selftest {
 		return runSelftest(srv, stdout, stderr, *stGrid, *stConc, *stDur, *stMinRPS)
 	}
-	return serve(srv, stderr, *addr, *role, *probeEvery, *shutdownTimeout, ready)
+	return serve(srv, stderr, serveConfig{
+		addr:            *addr,
+		role:            *role,
+		probeEvery:      *probeEvery,
+		shutdownTimeout: *shutdownTimeout,
+		joinURL:         *join,
+		advertise:       *advertise,
+		heartbeatEvery:  *heartbeatEvery,
+	}, ready)
+}
+
+// serveConfig bundles the serve-mode knobs run hands to serve.
+type serveConfig struct {
+	addr, role      string
+	probeEvery      time.Duration
+	shutdownTimeout time.Duration
+	joinURL         string // coordinator to register with ("" = don't)
+	advertise       string // URL to register under ("" = derive from the listener)
+	heartbeatEvery  time.Duration
 }
 
 // serve runs the HTTP server until SIGINT/SIGTERM, then drains gracefully.
-// A coordinator also probes its workers' /healthz on a ticker so a revived
-// worker's circuit closes without waiting for live traffic to find it.
-func serve(srv *server.Server, stderr io.Writer, addr, role string, probeEvery, shutdownTimeout time.Duration, ready chan<- string) int {
+// A coordinator also probes its members' /healthz on a ticker — the probe
+// pass doubles as the membership-expiry sweep — and a worker started with
+// -join heartbeats its registration to the coordinator.
+func serve(srv *server.Server, stderr io.Writer, cfg serveConfig, ready chan<- string) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		fmt.Fprintf(stderr, "vpserve: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(stderr, "vpserve: listening on %s (role %s)\n", ln.Addr(), role)
-	if d := srv.Cluster(); d != nil && probeEvery > 0 {
+	fmt.Fprintf(stderr, "vpserve: listening on %s (role %s)\n", ln.Addr(), cfg.role)
+	if d := srv.Cluster(); d != nil && cfg.probeEvery > 0 {
 		go func() {
 			d.Probe(ctx)
-			tick := time.NewTicker(probeEvery)
+			tick := time.NewTicker(cfg.probeEvery)
 			defer tick.Stop()
 			for {
 				select {
@@ -294,6 +398,21 @@ func serve(srv *server.Server, stderr io.Writer, addr, role string, probeEvery, 
 				}
 			}
 		}()
+	}
+	if cfg.joinURL != "" {
+		adv := cfg.advertise
+		if adv == "" {
+			// The listen address can't be advertised verbatim: ":8080" binds
+			// the wildcard, and "[::]:8080" is not reachable as a base URL.
+			// Loopback is the right default for the single-host clusters the
+			// examples and tests run; cross-host deployments set -advertise.
+			if ta, ok := ln.Addr().(*net.TCPAddr); ok {
+				adv = fmt.Sprintf("http://127.0.0.1:%d", ta.Port)
+			}
+		}
+		if adv != "" {
+			go heartbeat(ctx, stderr, cfg.joinURL, adv, cfg.heartbeatEvery)
+		}
 	}
 	if ready != nil {
 		ready <- ln.Addr().String()
@@ -309,8 +428,8 @@ func serve(srv *server.Server, stderr io.Writer, addr, role string, probeEvery, 
 		return 1
 	case <-ctx.Done():
 	}
-	fmt.Fprintf(stderr, "vpserve: shutting down (draining up to %s)\n", shutdownTimeout)
-	sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	fmt.Fprintf(stderr, "vpserve: shutting down (draining up to %s)\n", cfg.shutdownTimeout)
+	sctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(stderr, "vpserve: shutdown: %v\n", err)
@@ -324,6 +443,63 @@ func serve(srv *server.Server, stderr io.Writer, addr, role string, probeEvery, 
 	}
 	fmt.Fprintln(stderr, "vpserve: bye")
 	return 0
+}
+
+// heartbeat registers this worker with the coordinator and keeps
+// re-registering on a ticker. The re-registration IS the liveness signal:
+// each POST refreshes the member's last-seen timestamp, keeping it ahead of
+// the coordinator's -member-ttl expiry. Transitions (registered ↔ failing)
+// are logged once, not per tick, so a long coordinator outage is one line.
+func heartbeat(ctx context.Context, stderr io.Writer, joinURL, advertise string, every time.Duration) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	last := "" // "", "up" or "down"
+	register := func() {
+		state, detail := "down", ""
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			joinURL+"/api/v1/cluster/join",
+			strings.NewReader(fmt.Sprintf(`{"url":%q}`, advertise)))
+		if err != nil {
+			detail = err.Error()
+		} else {
+			req.Header.Set("Content-Type", "application/json")
+			if resp, err := client.Do(req); err != nil {
+				detail = err.Error()
+			} else {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					state = "up"
+				} else {
+					detail = fmt.Sprintf("coordinator returned %d", resp.StatusCode)
+				}
+			}
+		}
+		if ctx.Err() != nil {
+			return // shutting down; a failed final POST is not news
+		}
+		if state != last {
+			if state == "up" {
+				fmt.Fprintf(stderr, "vpserve: registered with coordinator %s as %s\n", joinURL, advertise)
+			} else {
+				fmt.Fprintf(stderr, "vpserve: cluster registration failing: %s\n", detail)
+			}
+			last = state
+		}
+	}
+	register()
+	if every <= 0 {
+		return
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			register()
+		}
+	}
 }
 
 // runLoadtest drives the load harness against an external URL and prints

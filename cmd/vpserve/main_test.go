@@ -260,11 +260,22 @@ func TestClusterFlagValidation(t *testing.T) {
 	}{
 		{"workers without coordinator role", []string{"-workers", "h:1"}, "requires -role coordinator"},
 		{"worker role with workers", []string{"-role", "worker", "-workers", "h:1"}, "requires -role coordinator"},
-		{"coordinator without workers", []string{"-role", "coordinator"}, "at least one -workers URL"},
 		{"unknown role", []string{"-role", "boss"}, "unknown -role"},
 		{"hedge outside coordinator", []string{"-hedge-after", "1s"}, "requires -role coordinator"},
 		{"probe outside coordinator", []string{"-probe-every", "1s"}, "requires -role coordinator"},
+		{"member-ttl outside coordinator", []string{"-member-ttl", "1s"}, "requires -role coordinator"},
 		{"selftest as coordinator", []string{"-selftest", "-role", "coordinator", "-workers", "h:1"}, "runs single-node"},
+		// Satellite: seed URLs are validated at startup, not at first dispatch.
+		{"workers URL with a path", []string{"-role", "coordinator", "-workers", "http://h:1/api"}, `-workers entry "http://h:1/api"`},
+		{"workers URL without a host", []string{"-role", "coordinator", "-workers", "http://"}, "-workers entry"},
+		{"workers URL with a bad scheme", []string{"-role", "coordinator", "-workers", "ftp://h:1"}, "-workers entry"},
+		{"join outside worker role", []string{"-join", "h:1"}, "requires -role worker"},
+		{"join on a coordinator", []string{"-role", "coordinator", "-join", "h:1"}, "requires -role worker"},
+		{"bad join URL", []string{"-role", "worker", "-join", "http://h:1/api"}, "-join:"},
+		{"advertise without join", []string{"-role", "worker", "-advertise", "h:2"}, "requires -join"},
+		{"heartbeat without join", []string{"-role", "worker", "-heartbeat-every", "1s"}, "requires -join"},
+		{"bad advertise URL", []string{"-role", "worker", "-join", "h:1", "-advertise", "ftp://h:2"}, "-advertise:"},
+		{"state-dir in selftest mode", []string{"-selftest", "-state-dir", "/tmp/x"}, "serving modes"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -272,6 +283,148 @@ func TestClusterFlagValidation(t *testing.T) {
 				t.Errorf("code=%d stderr=%q, want exit 2 mentioning %q", code, stderr, tt.fragment)
 			}
 		})
+	}
+}
+
+// TestCoordinatorDynamicSeeds pins two halves of the v2 membership
+// contract at the flag level: a coordinator needs no seeds at all (workers
+// join at runtime), and duplicate spellings of one seed collapse to a
+// single member instead of getting double placement weight.
+func TestCoordinatorDynamicSeeds(t *testing.T) {
+	startServe := func(args ...string) (addr string, done chan int, stderr *bytes.Buffer) {
+		t.Helper()
+		ready := make(chan string, 1)
+		stderr = &bytes.Buffer{}
+		done = make(chan int, 1)
+		go func() { done <- run(args, io.Discard, stderr, ready) }()
+		select {
+		case addr = <-ready:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("server never became ready (stderr %q)", stderr.String())
+		}
+		return addr, done, stderr
+	}
+	healthz := func(addr string) (h struct {
+		Role    string `json:"role"`
+		Workers []struct {
+			URL string `json:"url"`
+		} `json:"workers"`
+	}) {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	workerAddr, workerDone, _ := startServe("-addr", "127.0.0.1:0", "-role", "worker")
+	// Three spellings of the same worker → one member.
+	seeds := workerAddr + " , http://" + workerAddr + ",http://" + workerAddr + "/"
+	coordAddr, coordDone, _ := startServe("-addr", "127.0.0.1:0",
+		"-role", "coordinator", "-workers", seeds)
+	if h := healthz(coordAddr); h.Role != "coordinator" || len(h.Workers) != 1 {
+		t.Errorf("deduped coordinator healthz = %+v, want 1 member", h)
+	}
+	// No seeds at all is a valid coordinator now — membership is dynamic.
+	bareAddr, bareDone, _ := startServe("-addr", "127.0.0.1:0", "-role", "coordinator")
+	if h := healthz(bareAddr); h.Role != "coordinator" || len(h.Workers) != 0 {
+		t.Errorf("seedless coordinator healthz = %+v, want empty member list", h)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for _, done := range []chan int{workerDone, coordDone, bareDone} {
+		select {
+		case code := <-done:
+			if code != 0 {
+				t.Fatalf("exit %d", code)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("server did not shut down after SIGTERM")
+		}
+	}
+}
+
+// TestWorkerJoinHeartbeat boots a seedless coordinator and a worker started
+// with -join, and proves the worker registers itself, serves sharded
+// traffic byte-identically, and logs the registration once.
+func TestWorkerJoinHeartbeat(t *testing.T) {
+	startServe := func(args ...string) (addr string, done chan int, stderr *bytes.Buffer) {
+		t.Helper()
+		ready := make(chan string, 1)
+		stderr = &bytes.Buffer{}
+		done = make(chan int, 1)
+		go func() { done <- run(args, io.Discard, stderr, ready) }()
+		select {
+		case addr = <-ready:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("server never became ready (stderr %q)", stderr.String())
+		}
+		return addr, done, stderr
+	}
+	fetch := func(base, path string) []byte {
+		t.Helper()
+		resp, err := http.Get("http://" + base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d (%s)", path, resp.StatusCode, body)
+		}
+		return body
+	}
+
+	coordAddr, coordDone, _ := startServe("-addr", "127.0.0.1:0", "-role", "coordinator")
+	workerAddr, workerDone, workerErr := startServe("-addr", "127.0.0.1:0",
+		"-role", "worker", "-join", coordAddr, "-heartbeat-every", "25ms")
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var h struct {
+			Workers []struct {
+				URL string `json:"url"`
+			} `json:"workers"`
+		}
+		if err := json.Unmarshal(fetch(coordAddr, "/healthz"), &h); err != nil {
+			t.Fatal(err)
+		}
+		if len(h.Workers) == 1 && h.Workers[0].URL == "http://"+workerAddr {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never joined: healthz workers = %+v", h.Workers)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	const path = "/api/sweep?grid=model%3D4B%3Bmethod%3Dbaseline%2Cvocab-1%3Bvocab%3D32k%3Bmicro%3D16"
+	if sharded, direct := fetch(coordAddr, path), fetch(workerAddr, path); string(sharded) != string(direct) {
+		t.Error("coordinator response through a joined worker differs from the worker's own")
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for _, done := range []chan int{workerDone, coordDone} {
+		select {
+		case code := <-done:
+			if code != 0 {
+				t.Fatalf("exit %d", code)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("server did not shut down after SIGTERM")
+		}
+	}
+	if logs := workerErr.String(); strings.Count(logs, "registered with coordinator") != 1 {
+		t.Errorf("want exactly one registration log line, got: %q", logs)
 	}
 }
 

@@ -1,22 +1,33 @@
-// Cluster: distributed mode in one process. This example boots two worker
-// vpserve instances and a coordinator on loopback ports, runs the same
-// sweep through the coordinator (sharded across the workers) and through a
-// single-node server, and proves the two responses are byte-identical —
-// the determinism guarantee distributed mode is built around. It then
-// takes a worker down and sweeps again to show the retry path degrading
-// gracefully instead of failing the request.
+// Cluster: distributed mode in one process. This example boots a
+// coordinator with a single seed worker, proves the sharded response is
+// byte-identical to a single-node server, then walks the three Cluster v2
+// behaviors end to end:
+//
+//  1. a second worker JOINS AT RUNTIME through POST /api/v1/cluster/join
+//     and immediately serves shards — no coordinator restart;
+//  2. a worker dies and the retry path degrades gracefully instead of
+//     failing the request;
+//  3. the coordinator itself "crashes" mid-job (its durable store's file
+//     handle dies first, exactly like kill -9) and a successor over the
+//     same -state-dir directory RESUMES the optimize job to done.
 //
 //	go run ./examples/cluster
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
 	neturl "net/url"
+	"os"
+	"strings"
+	"time"
 
 	"vocabpipe/internal/cluster"
+	"vocabpipe/internal/jobs"
 	"vocabpipe/internal/server"
 )
 
@@ -41,29 +52,41 @@ func sweepPath(spec string) string {
 }
 
 func main() {
-	// Two workers: plain vpserve instances — any server can serve shards.
-	var workerURLs []string
-	var workerStops []func()
-	for i := 0; i < 2; i++ {
+	// Workers are plain vpserve instances — any server can serve shards.
+	newWorker := func() (string, func()) {
 		ws := server.New(server.Options{})
 		baseURL, stop, err := server.StartLocal(ws)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer stop()
-		workerURLs = append(workerURLs, baseURL)
-		workerStops = append(workerStops, stop)
-		fmt.Printf("worker %d listening on %s\n", i, baseURL)
+		return baseURL, stop
 	}
+	seedURL, stopSeed := newWorker()
+	defer stopSeed()
+	fmt.Printf("seed worker listening on %s\n", seedURL)
 
-	// The coordinator: the same server with a worker pool configured.
-	coord := server.New(server.Options{Cluster: cluster.Options{Workers: workerURLs}})
+	// The coordinator: a durable job store plus a dynamic member pool
+	// seeded with one worker — `vpserve -role coordinator -workers <seed>
+	// -state-dir <dir>` in library form.
+	stateDir, err := os.MkdirTemp("", "vpserve-cluster-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(stateDir)
+	store, err := jobs.OpenFileStore(stateDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	copts := server.Options{
+		Cluster:  cluster.Options{Workers: []string{seedURL}, Dynamic: true},
+		JobStore: store,
+	}
+	coord := server.New(copts)
 	coordURL, stopCoord, err := server.StartLocal(coord)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer stopCoord()
-	fmt.Printf("coordinator listening on %s with %d workers\n\n", coordURL, len(workerURLs))
+	fmt.Printf("coordinator listening on %s (1 seed member, state in %s)\n\n", coordURL, stateDir)
 
 	// A single-node reference server computes the oracle answer.
 	single := server.New(server.Options{})
@@ -84,31 +107,115 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("sweep %q: %d bytes via the coordinator\n", grid, len(sharded))
-	fmt.Printf("byte-identical to the single-node response: %v\n", string(sharded) == string(local))
+	fmt.Printf("byte-identical to the single-node response: %v\n\n", string(sharded) == string(local))
+
+	// 2. Join at runtime: a fresh worker registers through the public API
+	// and the very next sweep can place shards on it — consistent hashing
+	// moves only the ring segment adjacent to the newcomer, so the seed's
+	// warm cache entries keep getting hit.
+	joinedURL, stopJoined := newWorker()
+	resp, err := http.Post(coordURL+"/api/v1/cluster/join", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"url":%q}`, joinedURL)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var joined struct {
+		URL     string `json:"url"`
+		Added   bool   `json:"added"`
+		Members int    `json:"members"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&joined); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("worker %s joined at runtime: added=%v, members=%d\n", joined.URL, joined.Added, joined.Members)
+	grid2 := "model=21B;method=vocab-1,vocab-2;vocab=128k;micro=64"
+	sharded2, err := fetch(coordURL, sweepPath(grid2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	local2, err := fetch(singleURL, sweepPath(grid2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sweep %q across the grown pool still byte-identical: %v\n\n",
+		grid2, string(sharded2) == string(local2))
+
+	// 3. Worker death: the joined worker goes away; retries move its shards
+	// back to the seed and the answer stays exact.
+	fmt.Println("taking the joined worker down ...")
+	stopJoined()
+	grid3 := "model=30B;method=vhalf-vocab-1;vocab=64k,128k;micro=32"
+	sharded3, err := fetch(coordURL, sweepPath(grid3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	local3, err := fetch(singleURL, sweepPath(grid3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after worker death, sweep still byte-identical: %v\n", string(sharded3) == string(local3))
 	st := coord.Cluster().Stats()
 	fmt.Printf("dispatch: %d shards, %d served remotely, %d retries, %d fallbacks\n\n",
 		st.Shards, st.Remote, st.Retries, st.Fallbacks)
 
-	// 2. Failure: take worker 0 down, sweep a fresh grid (the first one is
-	// cached on the coordinator) — its shards fail over to worker 1 and the
-	// answer is still exact.
-	fmt.Println("taking worker 0 down ...")
-	workerStops[0]()
-	grid2 := "model=21B;method=vocab-1,vocab-2;vocab=128k;micro=64"
-	shardedAfter, err := fetch(coordURL, sweepPath(grid2))
+	// 4. Coordinator crash + resume: submit an optimize job, then kill the
+	// coordinator the unkind way — the WAL handle dies first (as in kill
+	// -9, nothing after this instant persists), then the process state goes
+	// away. The successor reopens the same directory and finishes the job.
+	resp, err = http.Post(coordURL+"/api/optimize?scenario=4b-quick&strategy=beam", "application/json", nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	localAfter, err := fetch(singleURL, sweepPath(grid2))
+	var acc struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("submitted optimize job %s; killing the coordinator before it finishes ...\n", acc.ID)
+	store.Close() // the kill moment: no later write lands
+	stopCoord()
+	coord.Close(context.Background())
+
+	store2, err := jobs.OpenFileStore(stateDir)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("after worker death, sweep %q still byte-identical: %v\n",
-		grid2, string(shardedAfter) == string(localAfter))
-	st = coord.Cluster().Stats()
-	fmt.Printf("dispatch now: %d shards, %d retries, %d fallbacks\n", st.Shards, st.Retries, st.Fallbacks)
-	for _, h := range coord.Cluster().Health() {
-		fmt.Printf("worker %s: circuit_open=%v requests=%d failures=%d\n",
-			h.URL, h.CircuitOpen, h.Requests, h.Failures)
+	copts.JobStore = store2
+	successor := server.New(copts)
+	succURL, stopSucc, err := server.StartLocal(successor)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopSucc()
+	defer successor.Close(context.Background())
+	defer store2.Close()
+	fmt.Printf("successor coordinator on %s resuming from %s\n", succURL, stateDir)
+
+	for deadline := time.Now().Add(60 * time.Second); ; {
+		body, err := fetch(succURL, "/api/jobs/"+acc.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var snap struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &snap); err != nil {
+			log.Fatal(err)
+		}
+		if snap.State == "done" {
+			fmt.Printf("job %s resumed by the successor and finished: state=%s\n", acc.ID, snap.State)
+			break
+		}
+		if snap.State == "failed" || snap.State == "cancelled" {
+			log.Fatalf("job %s ended %s after restart: %s", acc.ID, snap.State, snap.Error)
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("job %s stuck in state %s", acc.ID, snap.State)
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }

@@ -3,7 +3,20 @@
 // expansion order, dispatches each shard to a worker vpserve instance over
 // the existing HTTP API (POST /api/shard), and merges the per-shard records
 // back into expansion order — so the coordinator's JSON stays byte-identical
-// to a single-node run no matter how many workers computed it.
+// to a single-node run no matter how many workers computed it, or how the
+// membership changed while it ran.
+//
+// Membership is dynamic (membership.go): Options.Workers is only the seed
+// list. Workers join (and heartbeat) at runtime through Dispatcher.Join,
+// the prober expires members silent past Options.MemberTTL, and expired
+// members leave the placement ring entirely — selection never proposes
+// them again until they rejoin.
+//
+// Placement is cache-affine (ring.go): each shard's sub-grid key — the
+// very identity the worker's result cache stores it under — hashes onto a
+// consistent ring over the active members, so repeated and overlapping
+// sweeps land each shard on the member whose cache is already warm, and a
+// membership change remaps only the shards adjacent to the change.
 //
 // Fault model:
 //
@@ -52,9 +65,22 @@ import (
 
 // Options tunes a Dispatcher.
 type Options struct {
-	// Workers are the worker base URLs ("http://host:port"; a bare
-	// "host:port" gets the scheme prepended). Required.
+	// Workers are the SEED worker base URLs ("http://host:port"; a bare
+	// "host:port" gets the scheme prepended). Seeds are ordinary members in
+	// every way except death: an expired seed parks in a dormant set the
+	// prober keeps watching, so a revived seed rejoins without calling the
+	// join API. Required unless Dynamic is set.
 	Workers []string
+	// Dynamic permits a dispatcher with an empty seed list: the pool is
+	// populated at runtime through Join (the coordinator's join API). With
+	// no members every shard evaluates by local fallback.
+	Dynamic bool
+	// MemberTTL expires a member whose last sign of life — join/heartbeat,
+	// successful probe or successful request — is older than this, checked
+	// on every Probe pass (default 30s; negative disables expiry). An
+	// expired member leaves the placement ring entirely: shard selection
+	// never proposes it again until it rejoins.
+	MemberTTL time.Duration
 	// ShardsPerWorker scales shard granularity: a grid splits into
 	// min(cells, workers × ShardsPerWorker) shards (default 4). Finer shards
 	// cost more round trips but make retries cheaper and stragglers smaller.
@@ -97,20 +123,31 @@ type Stats struct {
 	Hedges    int64 `json:"hedges"`     // duplicate requests sent to stragglers
 	HedgeWins int64 `json:"hedge_wins"` // hedged duplicates that answered first
 	Fallbacks int64 `json:"fallbacks"`  // shards evaluated in-process
+	// Members is the current active pool size; Joins and Expired count
+	// membership changes (a seed's construction-time entry is not a join).
+	Members int   `json:"members"`
+	Joins   int64 `json:"joins"`
+	Expired int64 `json:"expired"`
 }
 
-// Dispatcher is the coordinator side of the cluster: it owns the worker
-// pool, the per-worker circuit state and the shard fan-out. Construct with
-// New; a Dispatcher is safe for concurrent use.
+// Dispatcher is the coordinator side of the cluster: it owns the member
+// registry, the per-worker circuit state and the shard fan-out. Construct
+// with New; a Dispatcher is safe for concurrent use.
 type Dispatcher struct {
-	opt     Options
-	workers []*workerState
-	client  *http.Client
-	rr      atomic.Uint64 // round-robin cursor for worker picking
+	opt    Options
+	client *http.Client
 	// sem bounds concurrent shard dispatches across every entry point —
 	// grid fan-out and per-cell tuner evaluations share the same budget.
 	sem chan struct{}
 	now func() time.Time
+
+	// mu guards the membership registry and the placement ring (see
+	// membership.go and ring.go). members is the active pool; dormant holds
+	// expired seeds the prober keeps watching.
+	mu      sync.RWMutex
+	members map[string]*workerState
+	dormant map[string]*workerState
+	ring    *hashRing
 
 	shards    atomic.Int64
 	remote    atomic.Int64
@@ -118,20 +155,28 @@ type Dispatcher struct {
 	hedges    atomic.Int64
 	hedgeWins atomic.Int64
 	fallbacks atomic.Int64
+	joins     atomic.Int64
+	expired   atomic.Int64
 }
 
-// New builds a Dispatcher. Worker URLs are normalized ("host:port" gains
-// "http://"); an empty worker list panics — a coordinator without workers
-// is a construction bug, not a runtime condition.
+// New builds a Dispatcher. Seed URLs are normalized and deduplicated (one
+// address must never hold two circuit breakers); an invalid URL panics —
+// callers validate user input with NormalizeURL first. An empty seed list
+// panics unless Options.Dynamic says members will join at runtime.
 func New(opt Options) *Dispatcher {
-	if len(opt.Workers) == 0 {
-		panic("cluster: New needs at least one worker URL")
+	if len(opt.Workers) == 0 && !opt.Dynamic {
+		panic("cluster: New needs at least one worker URL (or Options.Dynamic)")
 	}
 	if opt.ShardsPerWorker <= 0 {
 		opt.ShardsPerWorker = 4
 	}
 	if opt.MaxInFlight <= 0 {
+		// Scaled to the seed pool but floored so a join-only coordinator
+		// (zero seeds) still has dispatch slots when members arrive.
 		opt.MaxInFlight = 2 * len(opt.Workers)
+		if opt.MaxInFlight < 8 {
+			opt.MaxInFlight = 8
+		}
 	}
 	if opt.HedgeAfter == 0 {
 		opt.HedgeAfter = 2 * time.Second
@@ -145,17 +190,35 @@ func New(opt Options) *Dispatcher {
 	if opt.Cooldown <= 0 {
 		opt.Cooldown = 5 * time.Second
 	}
+	if opt.MemberTTL == 0 {
+		opt.MemberTTL = 30 * time.Second
+	}
 	client := opt.Client
 	if client == nil {
 		client = &http.Client{}
 	}
-	d := &Dispatcher{opt: opt, client: client, sem: make(chan struct{}, opt.MaxInFlight), now: time.Now}
-	for _, w := range opt.Workers {
-		if !strings.Contains(w, "://") {
-			w = "http://" + w
-		}
-		d.workers = append(d.workers, &workerState{url: strings.TrimRight(w, "/")})
+	d := &Dispatcher{
+		opt:     opt,
+		client:  client,
+		sem:     make(chan struct{}, opt.MaxInFlight),
+		now:     time.Now,
+		members: make(map[string]*workerState),
+		dormant: make(map[string]*workerState),
 	}
+	now := d.now()
+	for _, raw := range opt.Workers {
+		u, err := NormalizeURL(raw)
+		if err != nil {
+			panic(err.Error())
+		}
+		if _, ok := d.members[u]; ok {
+			continue // duplicate seed spelling
+		}
+		w := &workerState{url: u, seed: true}
+		w.touch(now)
+		d.members[u] = w
+	}
+	d.rebuildLocked() // no concurrency yet; the lock is not needed
 	return d
 }
 
@@ -168,6 +231,9 @@ func (d *Dispatcher) Stats() Stats {
 		Hedges:    d.hedges.Load(),
 		HedgeWins: d.hedgeWins.Load(),
 		Fallbacks: d.fallbacks.Load(),
+		Members:   d.memberCount(),
+		Joins:     d.joins.Load(),
+		Expired:   d.expired.Load(),
 	}
 }
 
@@ -177,10 +243,11 @@ func (d *Dispatcher) Stats() Stats {
 // closures) and empty grids are evaluated locally.
 func (d *Dispatcher) Records(ctx context.Context, g *sweep.Grid) ([]report.Record, error) {
 	cells := g.Expand()
-	if len(cells) == 0 || !sweep.Shardable(g) {
+	members := d.memberCount()
+	if len(cells) == 0 || members == 0 || !sweep.Shardable(g) {
 		return d.localRecords(ctx, g)
 	}
-	ranges := sweep.SplitCells(len(cells), len(d.workers)*d.opt.ShardsPerWorker)
+	ranges := sweep.SplitCells(len(cells), members*d.opt.ShardsPerWorker)
 
 	// One failed shard cancels the rest: the merged response is all or
 	// nothing, so finishing sibling shards for a doomed request only wastes
@@ -280,8 +347,12 @@ func (d *Dispatcher) localRecords(ctx context.Context, g *sweep.Grid) ([]report.
 	return res.Records(), nil
 }
 
-// runShard resolves one shard: try workers (each at most once, hedging
-// stragglers) until one answers, then fall back to local evaluation.
+// runShard resolves one shard: try members in ring order (each at most
+// once, hedging stragglers) until one answers, then fall back to local
+// evaluation. The placement key is the shard sub-grid's canonical Key() —
+// exactly the identity the worker's result cache stores the shard under —
+// so a repeated or overlapping sweep routes each shard back to the member
+// whose cache is already warm.
 func (d *Dispatcher) runShard(ctx context.Context, g *sweep.Grid, cells []sweep.Cell, r sweep.Range) ([]report.Record, error) {
 	// Bounded fan-out lives here so every dispatch path — grid shards and
 	// EvalCell's single-cell tuner evaluations alike — shares one budget.
@@ -292,22 +363,23 @@ func (d *Dispatcher) runShard(ctx context.Context, g *sweep.Grid, cells []sweep.
 		return nil, ctx.Err()
 	}
 	d.shards.Add(1)
+	key := sweep.Subgrid(g, cells, r).Key()
 	body, err := json.Marshal(NewShardRequest(g, cells, r))
 	if err != nil {
 		return nil, fmt.Errorf("cluster: encoding shard: %w", err)
 	}
-	tried := make(map[*workerState]bool, len(d.workers))
+	tried := make(map[*workerState]bool)
 	var lastErr error
-	for attempt := 0; len(tried) < len(d.workers); attempt++ {
-		w := d.pick(tried)
+	for attempt := 0; ; attempt++ {
+		w := d.next(key, tried)
 		if w == nil {
-			break // every untried worker has an open circuit
+			break // no untried member admits a request
 		}
 		tried[w] = true
 		if attempt > 0 {
 			d.retries.Add(1)
 		}
-		recs, err := d.attempt(ctx, w, tried, body, r.Len())
+		recs, err := d.attempt(ctx, w, key, tried, body, r.Len())
 		if err == nil {
 			d.remote.Add(1)
 			return recs, nil
@@ -328,10 +400,10 @@ func (d *Dispatcher) runShard(ctx context.Context, g *sweep.Grid, cells []sweep.
 }
 
 // attempt posts the shard to primary; if HedgeAfter elapses without an
-// answer, a duplicate goes to one more untried worker and the first success
-// wins (the loser's request is cancelled). Workers the hedge consumes are
-// added to tried.
-func (d *Dispatcher) attempt(ctx context.Context, primary *workerState, tried map[*workerState]bool, body []byte, wantLen int) ([]report.Record, error) {
+// answer, a duplicate goes to the next untried member in ring order and
+// the first success wins (the loser's request is cancelled). Workers the
+// hedge consumes are added to tried.
+func (d *Dispatcher) attempt(ctx context.Context, primary *workerState, key string, tried map[*workerState]bool, body []byte, wantLen int) ([]report.Record, error) {
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type outcome struct {
@@ -382,7 +454,7 @@ func (d *Dispatcher) attempt(ctx context.Context, primary *workerState, tried ma
 			lastErr = o.err
 		case <-hedgeC:
 			hedgeC = nil
-			if h := d.pick(tried); h != nil {
+			if h := d.next(key, tried); h != nil {
 				tried[h] = true
 				d.hedges.Add(1)
 				go post(h, true)
@@ -441,37 +513,35 @@ func (d *Dispatcher) post(ctx context.Context, w *workerState, body []byte, want
 	return recs, err
 }
 
-// pick chooses the next worker: among workers not yet tried whose circuit
-// admits a request (closed, or open-with-expired-cooldown handing out its
-// single half-open trial), least in-flight wins, round-robin breaking ties
-// so load spreads even when everything is idle. Candidates are surveyed
-// with load() first and only the winner is admitted, so losing candidates'
-// half-open trials are not consumed by a survey they did not win.
-func (d *Dispatcher) pick(tried map[*workerState]bool) *workerState {
+// next chooses the next worker for a shard: the first member in the key's
+// ring order — owner, then successors — that has not been tried and whose
+// circuit admits a request (closed, or open-with-expired-cooldown handing
+// out its single half-open trial). Affinity deliberately outranks load
+// here: routing a shard to its warm owner beats spreading it thin, and
+// hedging already rescues an owner that turns out to be slow. The
+// placement is re-read on every call, so a member that joined or expired
+// mid-shard is respected by the very next retry — and an expired member,
+// being off the ring, is never proposed at all.
+func (d *Dispatcher) next(key string, tried map[*workerState]bool) *workerState {
 	now := d.now()
-	start := int(d.rr.Add(1)-1) % len(d.workers)
-	for i := 0; i < len(d.workers); i++ {
-		var best *workerState
-		bestLoad := 0
-		for j := 0; j < len(d.workers); j++ {
-			w := d.workers[(start+j)%len(d.workers)]
+	for {
+		var candidate *workerState
+		for _, w := range d.placement(key) {
 			if tried[w] || !w.peekAdmit(now) {
 				continue
 			}
-			if load := w.load(); best == nil || load < bestLoad {
-				best, bestLoad = w, load
-			}
+			candidate = w
+			break
 		}
-		if best == nil {
+		if candidate == nil {
 			return nil
 		}
 		// Between the survey and here another goroutine may have consumed
-		// best's half-open trial; re-check under the worker's own lock and
-		// re-survey on loss (bounded by the worker count).
-		if best.admit(now, d.opt.Cooldown) {
-			return best
+		// the candidate's half-open trial; re-check under the worker's own
+		// lock and re-survey on loss (bounded by the member count).
+		if candidate.admit(now, d.opt.Cooldown) {
+			return candidate
 		}
-		tried[best] = true
+		tried[candidate] = true
 	}
-	return nil
 }

@@ -13,13 +13,17 @@ package clustertest
 
 import (
 	"context"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"vocabpipe/internal/cluster"
+	"vocabpipe/internal/jobs"
 	"vocabpipe/internal/server"
 )
 
@@ -36,7 +40,12 @@ type Options struct {
 	Cluster cluster.Options
 	// WorkerMiddleware, when non-nil, wraps worker i's handler — e.g. to
 	// delay shard responses (forcing a hedge) or to signal request arrival.
+	// Workers added later by JoinWorker get the next indices.
 	WorkerMiddleware func(i int, next http.Handler) http.Handler
+	// StateDir, when set, backs the coordinator's job queue with a durable
+	// file store in that directory — the precondition for
+	// KillCoordinator/StartCoordinator restart tests.
+	StateDir string
 }
 
 // Node is one booted worker.
@@ -73,6 +82,10 @@ type Cluster struct {
 	// Front.URL exactly as a client would a real coordinator.
 	Front   *httptest.Server
 	Workers []*Node
+
+	opt    Options // as resolved by Start: seed URLs filled in
+	store  *jobs.FileStore
+	killed bool // coordinator currently down (between Kill and Start)
 }
 
 // URL is the coordinator's base URL.
@@ -80,6 +93,8 @@ func (c *Cluster) URL() string { return c.Front.URL }
 
 // Start boots n workers and one coordinator pointed at all of them,
 // registering cleanup on t. Zero-value Options give production defaults.
+// With n == 0 and Options.Cluster.Dynamic set, the coordinator starts with
+// an empty member pool and waits for JoinWorker.
 func Start(t testing.TB, n int, opt Options) *Cluster {
 	t.Helper()
 	c := &Cluster{}
@@ -96,18 +111,107 @@ func Start(t testing.TB, n int, opt Options) *Cluster {
 	}
 	opt.Cluster.Workers = urls
 	opt.Coordinator.Cluster = opt.Cluster
-	c.Coordinator = server.New(opt.Coordinator)
+	c.opt = opt
+	if opt.StateDir != "" {
+		st, err := jobs.OpenFileStore(opt.StateDir)
+		if err != nil {
+			t.Fatalf("clustertest: opening job store: %v", err)
+		}
+		c.store = st
+		c.opt.Coordinator.JobStore = st
+	}
+	c.Coordinator = server.New(c.opt.Coordinator)
 	c.Front = httptest.NewServer(c.Coordinator.Handler())
 
 	t.Cleanup(func() {
-		c.Front.Close()
-		closeServer(t, c.Coordinator)
+		if !c.killed {
+			c.Front.Close()
+			closeServer(t, c.Coordinator)
+		}
 		for _, w := range c.Workers {
 			w.Kill() // idempotent: already-killed workers are a no-op
 			closeServer(t, w.Server)
 		}
+		if c.store != nil {
+			// After the coordinator drained, so shutdown persistence landed.
+			c.store.Close()
+		}
 	})
 	return c
+}
+
+// JoinWorker boots one more worker and registers it with the coordinator
+// through the public join API — the in-process equivalent of starting a
+// fresh `vpserve -role worker -join`. The node is cleaned up with the rest
+// of the pool.
+func (c *Cluster) JoinWorker(t testing.TB) *Node {
+	t.Helper()
+	ws := server.New(c.opt.Worker)
+	var h http.Handler = ws.Handler()
+	if c.opt.WorkerMiddleware != nil {
+		h = c.opt.WorkerMiddleware(len(c.Workers), h)
+	}
+	node := &Node{Server: ws, TS: httptest.NewServer(h)}
+	c.Workers = append(c.Workers, node) // Start's cleanup ranges over c.Workers live
+
+	resp, err := http.Post(c.URL()+"/api/v1/cluster/join", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"url":%q}`, node.TS.URL)))
+	if err != nil {
+		t.Fatalf("clustertest: join: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("clustertest: join returned %d (%s)", resp.StatusCode, body)
+	}
+	return node
+}
+
+// KillCoordinator is the SIGKILL-equivalent coordinator crash: the WAL
+// handle dies first, so anything the dying process still tries to persist
+// is dropped (jobs.ErrStoreClosed) — exactly the durability a real kill -9
+// leaves behind — then the HTTP front goes away. The zombie's goroutines
+// are reaped afterwards so the test process stays clean; by then their
+// store writes can no longer rewrite history.
+func (c *Cluster) KillCoordinator(t testing.TB) {
+	t.Helper()
+	if c.store == nil {
+		t.Fatal("clustertest: KillCoordinator requires Options.StateDir")
+	}
+	if c.killed {
+		t.Fatal("clustertest: coordinator already killed")
+	}
+	c.killed = true
+	c.store.Close()
+	c.Front.CloseClientConnections()
+	c.Front.Close()
+	closeServer(t, c.Coordinator)
+}
+
+// StartCoordinator boots a successor coordinator over the same state
+// directory and seed list, as a restarted `vpserve -state-dir` would.
+func (c *Cluster) StartCoordinator(t testing.TB) {
+	t.Helper()
+	if !c.killed {
+		t.Fatal("clustertest: StartCoordinator without KillCoordinator")
+	}
+	st, err := jobs.OpenFileStore(c.opt.StateDir)
+	if err != nil {
+		t.Fatalf("clustertest: reopening job store: %v", err)
+	}
+	c.store = st
+	c.opt.Coordinator.JobStore = st
+	c.Coordinator = server.New(c.opt.Coordinator)
+	c.Front = httptest.NewServer(c.Coordinator.Handler())
+	c.killed = false
+}
+
+// RestartCoordinator is KillCoordinator immediately followed by
+// StartCoordinator.
+func (c *Cluster) RestartCoordinator(t testing.TB) {
+	t.Helper()
+	c.KillCoordinator(t)
+	c.StartCoordinator(t)
 }
 
 func closeServer(t testing.TB, s *server.Server) {

@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -178,11 +179,18 @@ func TestClusterWorkerKilledMidSweep(t *testing.T) {
 // assertion is the deterministic regression catch: if cancellation stopped
 // propagating, the first request's sweep would complete and the follow-up
 // would observe a hit (or coalesce as deduped).
+//
+// Shard requests park at the worker until either the cancellation reaches
+// them (r.Context() dies) or the test releases the gate after cancelling.
+// Without the gate the test races the abort: a small shard can compute and
+// cache before the cancel propagates, which is correct behavior but used to
+// fail the nothing-cached assertion on slow machines.
 func TestClusterCancellationPropagation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full table5 grid in -short mode")
 	}
 	shardStarted := make(chan struct{}, 64)
+	released := make(chan struct{})
 	c := clustertest.Start(t, 1, clustertest.Options{
 		Cluster: cluster.Options{HedgeAfter: -1},
 		WorkerMiddleware: func(i int, next http.Handler) http.Handler {
@@ -191,6 +199,10 @@ func TestClusterCancellationPropagation(t *testing.T) {
 					select {
 					case shardStarted <- struct{}{}:
 					default:
+					}
+					select {
+					case <-released:
+					case <-r.Context().Done():
 					}
 				}
 				next.ServeHTTP(w, r)
@@ -216,6 +228,10 @@ func TestClusterCancellationPropagation(t *testing.T) {
 	if err := <-errc; err == nil {
 		t.Fatal("cancelled request returned a response")
 	}
+	// Open the gate only after the cancel: shard requests parked above now
+	// run with dead contexts and must abort. The follow-up request's shards
+	// pass straight through the closed channel.
+	close(released)
 
 	// Give the abort a moment to unwind, then confirm the aborted sweep was
 	// cached nowhere.
@@ -313,6 +329,212 @@ func TestClusterTuneJob(t *testing.T) {
 	// The candidates really were simulated by the workers.
 	if h := coordinatorHealth(t, c); h.Dispatch.Remote < int64(res.Evaluated) {
 		t.Errorf("dispatch remote = %d, want >= %d (one shard per candidate)", h.Dispatch.Remote, res.Evaluated)
+	}
+}
+
+// TestClusterCoordinatorRestartResume is the durability acceptance test:
+// a coordinator with a file-backed job store is killed (SIGKILL-equivalent
+// — no drain, the WAL handle dies first) while one optimize job is mid-run
+// and another sits queued behind it. The successor over the same state
+// directory must keep serving the job that had already finished, re-run the
+// in-flight one, run the queued one, and land both on the same best
+// configuration as a purely local search.
+func TestClusterCoordinatorRestartResume(t *testing.T) {
+	var hold atomic.Bool
+	gateHit := make(chan struct{}, 1)
+	c := clustertest.Start(t, 2, clustertest.Options{
+		StateDir:    t.TempDir(),
+		Coordinator: server.Options{JobWorkers: 1}, // B must queue behind A
+		// DisableFallback keeps the held job truly in flight: without it the
+		// coordinator would eventually give up on the gated workers and
+		// finish the evals locally before the kill lands.
+		Cluster: cluster.Options{HedgeAfter: -1, DisableFallback: true},
+		WorkerMiddleware: func(i int, next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.URL.Path == "/api/v1/shard" && hold.Load() {
+					io.Copy(io.Discard, r.Body)
+					select {
+					case gateHit <- struct{}{}:
+					default:
+					}
+					<-r.Context().Done() // hang until the coordinator dies
+					return
+				}
+				next.ServeHTTP(w, r)
+			})
+		},
+	})
+
+	submit := func() string {
+		t.Helper()
+		resp, err := http.Post(c.URL()+"/api/optimize?scenario=4b-quick&strategy=beam", "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("optimize status = %d (%s)", resp.StatusCode, raw)
+		}
+		var acc struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(raw, &acc); err != nil || acc.ID == "" {
+			t.Fatalf("bad 202 body: %v (%s)", err, raw)
+		}
+		return acc.ID
+	}
+	snapshot := func(id string) (jobs.Snapshot, []byte) {
+		t.Helper()
+		status, body, _ := get(t, c.URL(), "/api/jobs/"+id)
+		if status != http.StatusOK {
+			t.Fatalf("GET job %s: %d (%s)", id, status, body)
+		}
+		var snap jobs.Snapshot
+		if err := json.Unmarshal(body, &snap); err != nil {
+			t.Fatal(err)
+		}
+		return snap, body
+	}
+	waitTerminal := func(id string) jobs.Snapshot {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			snap, _ := snapshot(id)
+			if snap.State.Terminal() {
+				return snap
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in state %s", id, snap.State)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Job C finishes before the crash — the history the successor must serve.
+	jobC := submit()
+	if snap := waitTerminal(jobC); snap.State != jobs.StateDone {
+		t.Fatalf("job %s = %s (error %q)", jobC, snap.State, snap.Error)
+	}
+	_, bodyCBefore := snapshot(jobC)
+
+	// Job A runs into the gate; job B queues behind it.
+	hold.Store(true)
+	jobA := submit()
+	<-gateHit
+	jobB := submit()
+	if snap, _ := snapshot(jobB); snap.State != jobs.StateQueued {
+		t.Fatalf("job %s = %s, want queued behind the held job", jobB, snap.State)
+	}
+
+	c.KillCoordinator(t)
+	hold.Store(false)
+	c.StartCoordinator(t)
+
+	// The finished job survived byte for byte.
+	if _, bodyCAfter := snapshot(jobC); string(bodyCAfter) != string(bodyCBefore) {
+		t.Errorf("finished job changed across restart:\n before %s\n after  %s", bodyCBefore, bodyCAfter)
+	}
+	// The in-flight and queued jobs both resume to done under their old IDs.
+	for _, id := range []string{jobA, jobB} {
+		if snap := waitTerminal(id); snap.State != jobs.StateDone {
+			t.Fatalf("resumed job %s = %s (error %q)", id, snap.State, snap.Error)
+		}
+	}
+
+	// Resumed results match a purely local search, numbers included.
+	spec, ok := experiments.TuneSpec("4b-quick")
+	if !ok {
+		t.Fatal("scenario 4b-quick missing from the registry")
+	}
+	local, err := tune.Search(context.Background(), spec, tune.StrategyBeam, tune.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{jobA, jobB} {
+		snap, _ := snapshot(id)
+		resRaw, _ := json.Marshal(snap.Result)
+		var res tune.Result
+		if err := json.Unmarshal(resRaw, &res); err != nil {
+			t.Fatalf("job %s result is not a tune.Result: %v", id, err)
+		}
+		if res.Best == nil || res.Best.Label != local.Best.Label || res.Best.Score != local.Best.Score {
+			t.Errorf("resumed job %s best = %+v, local best = %+v", id, res.Best, local.Best)
+		}
+	}
+}
+
+// TestClusterJoinMidSweep: a worker that joins while a sweep's shards are
+// in flight may receive re-placed shards, and the merged response must
+// still be byte-identical to the committed golden. The seed worker gates
+// every shard request until the join has landed, so the placement change
+// deterministically happens mid-sweep.
+func TestClusterJoinMidSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table5 grid in -short mode")
+	}
+	firstShard := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	c := clustertest.Start(t, 1, clustertest.Options{
+		Cluster: cluster.Options{HedgeAfter: -1},
+		WorkerMiddleware: func(i int, next http.Handler) http.Handler {
+			if i != 0 {
+				return next // joined workers serve immediately
+			}
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.URL.Path == "/api/v1/shard" {
+					// Every shard request parks here until the first one's
+					// Once completes — which waits for the join, so the
+					// membership change is genuinely mid-sweep.
+					once.Do(func() { close(firstShard); <-release })
+				}
+				next.ServeHTTP(w, r)
+			})
+		},
+	})
+
+	type result struct {
+		status int
+		body   []byte
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(c.URL() + "/api/experiments/table5")
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		done <- result{status: resp.StatusCode, body: body, err: err}
+	}()
+
+	<-firstShard
+	c.JoinWorker(t)
+	close(release)
+
+	select {
+	case res := <-done:
+		if res.err != nil {
+			t.Fatalf("sweep failed across a mid-flight join: %v", res.err)
+		}
+		if res.status != http.StatusOK {
+			t.Fatalf("status = %d", res.status)
+		}
+		if string(res.body) != string(table5Golden(t)) {
+			t.Error("response after mid-sweep join differs from the committed golden")
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("sharded request never completed after the join")
+	}
+	h := coordinatorHealth(t, c)
+	if len(h.Workers) != 2 {
+		t.Errorf("healthz shows %d members after the join, want 2", len(h.Workers))
+	}
+	if h.Dispatch.Fallbacks != 0 {
+		t.Errorf("dispatch stats %+v, want no local fallbacks", *h.Dispatch)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 )
@@ -25,7 +26,8 @@ const (
 
 // workerState is one worker's URL plus its mutable health bookkeeping.
 type workerState struct {
-	url string
+	url  string
+	seed bool // from Options.Workers: parked dormant on expiry, not dropped
 
 	mu        sync.Mutex
 	inflight  int
@@ -33,6 +35,20 @@ type workerState struct {
 	openUntil time.Time // circuit open while now < openUntil
 	requests  int64
 	failures  int64
+	lastSeen  time.Time // last join/heartbeat, successful probe, or success
+}
+
+// touch refreshes the liveness timestamp that expireSilent reads.
+func (w *workerState) touch(now time.Time) {
+	w.mu.Lock()
+	w.lastSeen = now
+	w.mu.Unlock()
+}
+
+func (w *workerState) seen() time.Time {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastSeen
 }
 
 // peekAdmit reports whether admit would currently succeed, without
@@ -99,6 +115,7 @@ func (w *workerState) endRequest(o requestOutcome, threshold int, cooldown time.
 	case outcomeSuccess:
 		w.fails = 0
 		w.openUntil = time.Time{}
+		w.lastSeen = now
 	case outcomeFailure:
 		w.failures++
 		w.fails++
@@ -119,49 +136,100 @@ type WorkerHealth struct {
 	InFlight         int   `json:"in_flight"`
 	Requests         int64 `json:"requests"`
 	Failures         int64 `json:"failures"`
+	// Seed: the member came from the -workers seed list.
+	Seed bool `json:"seed,omitempty"`
+	// Dormant: an expired seed, off the placement ring but still probed so
+	// it rejoins automatically if it comes back.
+	Dormant bool `json:"dormant,omitempty"`
+	// LastSeenAgeS is the age in seconds of the member's last sign of life
+	// (join/heartbeat, successful probe, or successful request).
+	LastSeenAgeS float64 `json:"last_seen_age_s"`
 }
 
-// Health snapshots every worker in pool order.
+// Health snapshots every member — active first, then dormant seeds — each
+// group sorted by URL so the listing is stable across calls.
 func (d *Dispatcher) Health() []WorkerHealth {
 	now := d.now()
-	out := make([]WorkerHealth, len(d.workers))
-	for i, w := range d.workers {
-		w.mu.Lock()
-		out[i] = WorkerHealth{
-			URL:              w.url,
-			CircuitOpen:      !w.openUntil.IsZero() && now.Before(w.openUntil),
-			ConsecutiveFails: w.fails,
-			InFlight:         w.inflight,
-			Requests:         w.requests,
-			Failures:         w.failures,
-		}
-		w.mu.Unlock()
+	active, dormant := d.snapshotMembers()
+	sortByURL(active)
+	sortByURL(dormant)
+	out := make([]WorkerHealth, 0, len(active)+len(dormant))
+	for _, w := range active {
+		out = append(out, snapshotHealth(w, now, false))
+	}
+	for _, w := range dormant {
+		out = append(out, snapshotHealth(w, now, true))
 	}
 	return out
 }
 
-// Probe GETs every worker's /healthz concurrently and feeds the outcomes
-// into the circuit state: a live worker's circuit closes immediately
-// (instead of waiting out the cooldown), a dead one accrues a failure.
-// The coordinator runs this periodically; tests call it directly.
+func sortByURL(ws []*workerState) {
+	sort.Slice(ws, func(i, j int) bool { return ws[i].url < ws[j].url })
+}
+
+func snapshotHealth(w *workerState, now time.Time, dormant bool) WorkerHealth {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	age := 0.0
+	if !w.lastSeen.IsZero() {
+		age = now.Sub(w.lastSeen).Seconds()
+	}
+	return WorkerHealth{
+		URL:              w.url,
+		CircuitOpen:      !w.openUntil.IsZero() && now.Before(w.openUntil),
+		ConsecutiveFails: w.fails,
+		InFlight:         w.inflight,
+		Requests:         w.requests,
+		Failures:         w.failures,
+		Seed:             w.seed,
+		Dormant:          dormant,
+		LastSeenAgeS:     age,
+	}
+}
+
+// Probe GETs every member's /healthz concurrently — dormant seeds included
+// — and feeds the outcomes into the circuit state: a live worker's circuit
+// closes immediately (instead of waiting out the cooldown), a dead one
+// accrues a failure. A dormant seed that answers is reactivated into the
+// pool, and once the outcomes have landed, members silent past MemberTTL
+// are expired off the ring. The coordinator runs this periodically; tests
+// call it directly.
 func (d *Dispatcher) Probe(ctx context.Context) {
+	active, dormant := d.snapshotMembers()
 	var wg sync.WaitGroup
-	for _, w := range d.workers {
+	for _, w := range active {
 		wg.Add(1)
 		go func(w *workerState) {
 			defer wg.Done()
-			err := d.probeOne(ctx, w)
-			switch {
-			case err == nil:
-				w.endRequest(outcomeSuccess, d.opt.FailureThreshold, d.opt.Cooldown, d.now())
-			case ctx.Err() != nil:
-				w.endRequest(outcomeNeutral, d.opt.FailureThreshold, d.opt.Cooldown, d.now())
-			default:
-				w.endRequest(outcomeFailure, d.opt.FailureThreshold, d.opt.Cooldown, d.now())
-			}
+			d.probeMember(ctx, w, false)
+		}(w)
+	}
+	for _, w := range dormant {
+		wg.Add(1)
+		go func(w *workerState) {
+			defer wg.Done()
+			d.probeMember(ctx, w, true)
 		}(w)
 	}
 	wg.Wait()
+	d.expireSilent(d.now())
+}
+
+func (d *Dispatcher) probeMember(ctx context.Context, w *workerState, dormant bool) {
+	err := d.probeOne(ctx, w)
+	switch {
+	case err == nil:
+		w.endRequest(outcomeSuccess, d.opt.FailureThreshold, d.opt.Cooldown, d.now())
+		if dormant {
+			// A seed that answered its healthz is back: Join reactivates it
+			// (no-op if a heartbeat already raced us to it).
+			d.Join(w.url)
+		}
+	case ctx.Err() != nil:
+		w.endRequest(outcomeNeutral, d.opt.FailureThreshold, d.opt.Cooldown, d.now())
+	default:
+		w.endRequest(outcomeFailure, d.opt.FailureThreshold, d.opt.Cooldown, d.now())
+	}
 }
 
 func (d *Dispatcher) probeOne(ctx context.Context, w *workerState) error {

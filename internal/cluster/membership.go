@@ -1,0 +1,157 @@
+// Dynamic membership: the worker pool as a mutable registry instead of a
+// frozen flag. Seed members come from Options.Workers at construction;
+// runtime members join through Dispatcher.Join (the coordinator's
+// POST /api/v1/cluster/join handler calls it, both for first contact and
+// for heartbeat re-registration), and the prober expires members that have
+// been silent past Options.MemberTTL — an expired member leaves the
+// placement ring entirely, so shard selection never proposes it again.
+//
+// Seeds are special only in how they die: an expired seed is parked in a
+// dormant set the prober keeps probing, so a seed worker that comes back at
+// the same address rejoins automatically even though it never calls the
+// join API. Dynamic members are dropped outright — they own their liveness
+// via the heartbeat and rejoin the same way they first appeared.
+package cluster
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// NormalizeURL canonicalizes a worker base URL: a bare "host:port" gains
+// "http://", trailing slashes are stripped, and anything that does not
+// parse to a scheme plus host — or that smuggles a path, query or fragment
+// into what must be a base URL — is rejected. Both the -workers flag
+// validation and the join API funnel through this, so one worker cannot
+// appear under two spellings and collect two circuit breakers.
+func NormalizeURL(raw string) (string, error) {
+	s := strings.TrimSpace(raw)
+	if s == "" {
+		return "", fmt.Errorf("cluster: empty worker URL")
+	}
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	u, err := url.Parse(s)
+	if err != nil {
+		return "", fmt.Errorf("cluster: bad worker URL %q: %v", raw, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("cluster: worker URL %q: unsupported scheme %q (want http or https)", raw, u.Scheme)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("cluster: worker URL %q has no host", raw)
+	}
+	if strings.TrimRight(u.Path, "/") != "" || u.RawQuery != "" || u.Fragment != "" {
+		return "", fmt.Errorf("cluster: worker URL %q must be a base URL (scheme://host[:port], no path or query)", raw)
+	}
+	return u.Scheme + "://" + u.Host, nil
+}
+
+// Join registers (or re-registers) a member. The returned added flag is
+// true when the member entered the active pool — first contact, or a
+// dormant seed coming back — and false for a heartbeat from a member
+// already active, which merely refreshes its liveness timestamp. The
+// normalized URL is returned so callers echo the canonical spelling.
+//
+// A heartbeat deliberately does not touch circuit state: "my process is
+// up" (the join) and "your requests to me succeed" (the circuit) are
+// different facts, and the prober plus live traffic own the second one.
+func (d *Dispatcher) Join(rawURL string) (string, bool, error) {
+	u, err := NormalizeURL(rawURL)
+	if err != nil {
+		return "", false, err
+	}
+	now := d.now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if w, ok := d.members[u]; ok {
+		w.touch(now)
+		return u, false, nil
+	}
+	w, ok := d.dormant[u]
+	if ok {
+		delete(d.dormant, u)
+	} else {
+		w = &workerState{url: u}
+	}
+	w.touch(now)
+	d.members[u] = w
+	d.rebuildLocked()
+	d.joins.Add(1)
+	return u, true, nil
+}
+
+// expireSilent drops every active member whose last sign of life — join or
+// heartbeat, successful probe, successful request — is older than the TTL.
+// Expired seeds park in the dormant set (the prober keeps watching them);
+// expired dynamic members are forgotten. Called by Probe after the probe
+// outcomes have landed, so a member that just answered its healthz is
+// fresh by construction.
+func (d *Dispatcher) expireSilent(now time.Time) {
+	ttl := d.opt.MemberTTL
+	if ttl <= 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	changed := false
+	for u, w := range d.members {
+		if now.Sub(w.seen()) <= ttl {
+			continue
+		}
+		delete(d.members, u)
+		if w.seed {
+			d.dormant[u] = w
+		}
+		d.expired.Add(1)
+		changed = true
+	}
+	if changed {
+		d.rebuildLocked()
+	}
+}
+
+// rebuildLocked reconstructs the placement ring from the active member
+// set. Caller holds d.mu.
+func (d *Dispatcher) rebuildLocked() {
+	members := make([]*workerState, 0, len(d.members))
+	for _, w := range d.members {
+		members = append(members, w)
+	}
+	d.ring = buildRing(members)
+}
+
+// placement snapshots the preference order for a shard key: the ring owner
+// first, then its successors. Computed fresh per attempt, so a member that
+// joined or expired mid-shard is respected by the very next retry.
+func (d *Dispatcher) placement(key string) []*workerState {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.ring.sequence(key)
+}
+
+// memberCount is the active pool size.
+func (d *Dispatcher) memberCount() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.members)
+}
+
+// snapshotMembers returns the active members and dormant seeds as two
+// slices (health reporting and the prober iterate them outside the lock).
+func (d *Dispatcher) snapshotMembers() (active, dormant []*workerState) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	active = make([]*workerState, 0, len(d.members))
+	for _, w := range d.members {
+		active = append(active, w)
+	}
+	dormant = make([]*workerState, 0, len(d.dormant))
+	for _, w := range d.dormant {
+		dormant = append(dormant, w)
+	}
+	return active, dormant
+}

@@ -1,0 +1,250 @@
+package cluster
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNormalizeURL(t *testing.T) {
+	ok := []struct{ in, want string }{
+		{"127.0.0.1:8080", "http://127.0.0.1:8080"},
+		{"http://h:1/", "http://h:1"},
+		{"  https://h2  ", "https://h2"},
+		{"http://h:1///", "http://h:1"},
+	}
+	for _, tt := range ok {
+		got, err := NormalizeURL(tt.in)
+		if err != nil || got != tt.want {
+			t.Errorf("NormalizeURL(%q) = %q, %v; want %q", tt.in, got, err, tt.want)
+		}
+	}
+	bad := []string{
+		"", "   ", "http://", "ftp://h:1", "http://h/api", "h?q=1", "http://h#frag",
+		"http://h:1/path", "cache_object:foo",
+	}
+	for _, in := range bad {
+		if got, err := NormalizeURL(in); err == nil {
+			t.Errorf("NormalizeURL(%q) = %q, want error", in, got)
+		}
+	}
+}
+
+func TestJoinAndHeartbeat(t *testing.T) {
+	d := New(Options{Dynamic: true})
+	if n := d.memberCount(); n != 0 {
+		t.Fatalf("dynamic dispatcher starts with %d members, want 0", n)
+	}
+	u, added, err := d.Join("127.0.0.1:9001")
+	if err != nil || !added || u != "http://127.0.0.1:9001" {
+		t.Fatalf("first Join = (%q, %v, %v), want added under normalized URL", u, added, err)
+	}
+	// A heartbeat (and any alternate spelling of the same address) is a
+	// refresh, not a second member.
+	for _, hb := range []string{"http://127.0.0.1:9001", "127.0.0.1:9001", "http://127.0.0.1:9001/"} {
+		if _, added, err := d.Join(hb); err != nil || added {
+			t.Fatalf("re-Join(%q) = (added=%v, %v), want heartbeat no-op", hb, added, err)
+		}
+	}
+	if _, _, err := d.Join("http://h/api"); err == nil {
+		t.Fatal("Join accepted a non-base URL")
+	}
+	st := d.Stats()
+	if st.Members != 1 || st.Joins != 1 {
+		t.Fatalf("stats = %+v, want 1 member from 1 join", st)
+	}
+}
+
+// TestExpireSeedVsDynamic: expiry drops a dynamic member outright but parks
+// a seed in the dormant set, and a heartbeat resurrects either kind.
+func TestExpireSeedVsDynamic(t *testing.T) {
+	d := New(Options{Workers: []string{"http://seed:1"}, MemberTTL: time.Second})
+	base := time.Unix(1000, 0)
+	d.now = func() time.Time { return base }
+	d.members["http://seed:1"].touch(base)
+	if _, added, _ := d.Join("http://dyn:2"); !added {
+		t.Fatal("dynamic member did not join")
+	}
+
+	d.expireSilent(base.Add(500 * time.Millisecond)) // inside TTL: nothing happens
+	if n := d.memberCount(); n != 2 {
+		t.Fatalf("premature expiry: %d members, want 2", n)
+	}
+
+	d.expireSilent(base.Add(2 * time.Second))
+	if n := d.memberCount(); n != 0 {
+		t.Fatalf("%d members after expiry, want 0", n)
+	}
+	active, dormant := d.snapshotMembers()
+	if len(active) != 0 || len(dormant) != 1 || dormant[0].url != "http://seed:1" {
+		t.Fatalf("after expiry active=%v dormant=%v; want only the seed dormant", active, dormant)
+	}
+	if st := d.Stats(); st.Expired != 2 {
+		t.Fatalf("stats = %+v, want 2 expirations", st)
+	}
+	// The ring is empty: no key has any placement.
+	if seq := d.placement("any-key"); len(seq) != 0 {
+		t.Fatalf("placement on empty ring = %v, want none", seq)
+	}
+
+	// Both can come back: the dormant seed reactivates (same state object —
+	// its circuit history survives), the dynamic member re-registers fresh.
+	was := d.dormant["http://seed:1"]
+	for _, u := range []string{"http://seed:1", "http://dyn:2"} {
+		if _, added, err := d.Join(u); err != nil || !added {
+			t.Fatalf("rejoin %q = (added=%v, %v)", u, added, err)
+		}
+	}
+	if d.members["http://seed:1"] != was {
+		t.Error("rejoined seed did not reuse its dormant state")
+	}
+	if n := d.memberCount(); n != 2 {
+		t.Fatalf("%d members after rejoin, want 2", n)
+	}
+}
+
+func TestRingSequenceDeterministic(t *testing.T) {
+	members := []*workerState{{url: "http://a:1"}, {url: "http://b:2"}, {url: "http://c:3"}}
+	r := buildRing(members)
+	for _, key := range []string{"k1", "k2", "a-much-longer-shard-key"} {
+		first := r.sequence(key)
+		if len(first) != len(members) {
+			t.Fatalf("sequence(%q) has %d members, want %d", key, len(first), len(members))
+		}
+		seen := map[string]bool{}
+		for _, w := range first {
+			if seen[w.url] {
+				t.Fatalf("sequence(%q) repeats %s", key, w.url)
+			}
+			seen[w.url] = true
+		}
+		if again := r.sequence(key); !reflect.DeepEqual(first, again) {
+			t.Fatalf("sequence(%q) not deterministic", key)
+		}
+	}
+	if buildRing(nil).sequence("k") != nil {
+		t.Error("empty ring must place nothing")
+	}
+}
+
+// TestRingMinimalRemap proves the consistent-hashing property the placement
+// exists for: adding a member only moves keys ONTO the new member — no key
+// shuffles between two survivors — so a join invalidates only the warm
+// cache entries it takes over, and a leave only the leaver's.
+func TestRingMinimalRemap(t *testing.T) {
+	members := []*workerState{{url: "http://a:1"}, {url: "http://b:2"}, {url: "http://c:3"}}
+	before := buildRing(members)
+	added := &workerState{url: "http://d:4"}
+	after := buildRing(append(append([]*workerState{}, members...), added))
+	moved := 0
+	const keys = 1000
+	for i := 0; i < keys; i++ {
+		key := "shard-key-" + strings.Repeat("x", i%7) + string(rune('a'+i%26)) + "-" + time.Duration(i).String()
+		was := before.sequence(key)[0]
+		now := after.sequence(key)[0]
+		if was == now {
+			continue
+		}
+		moved++
+		if now != added {
+			t.Fatalf("key %q moved from %s to %s, not to the new member", key, was.url, now.url)
+		}
+	}
+	// Expect roughly 1/4 of keys on the new member; far outside that means
+	// the virtual-node dispersion is broken.
+	if moved < keys/8 || moved > keys/2 {
+		t.Errorf("%d/%d keys moved to the new member, want roughly %d", moved, keys, keys/4)
+	}
+}
+
+// TestAffinityAcrossRepeatedSweeps: with a healthy pool and hedging off, a
+// repeated sweep sends every shard to exactly the worker that served it the
+// first time — the warm-cache property the consistent ring buys.
+func TestAffinityAcrossRepeatedSweeps(t *testing.T) {
+	g := testGrid(t)
+	w1 := newStubWorker(t, nil)
+	w2 := newStubWorker(t, nil)
+	d := New(Options{Workers: []string{w1.ts.URL, w2.ts.URL}, ShardsPerWorker: 2, HedgeAfter: -1})
+	if _, err := d.Records(context.Background(), g); err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := w1.requests.Load(), w2.requests.Load()
+	for i := 0; i < 3; i++ {
+		if _, err := d.Records(context.Background(), g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got1, got2 := w1.requests.Load(), w2.requests.Load(); got1 != 4*c1 || got2 != 4*c2 {
+		t.Errorf("request counts after 4 identical sweeps = (%d, %d), want exactly (%d, %d) — placement drifted",
+			got1, got2, 4*c1, 4*c2)
+	}
+}
+
+// TestDeadMemberLeavesRing is the regression for the v1 defect where a
+// permanently dead worker still received a fresh dial attempt from every
+// shard: once the prober expires it, the member is off the placement ring
+// — selection never proposes it — so a sweep over the 2 survivors runs
+// with zero retries and zero dials at the dead address.
+func TestDeadMemberLeavesRing(t *testing.T) {
+	g := testGrid(t)
+	w1 := newStubWorker(t, nil)
+	w2 := newStubWorker(t, nil)
+	dead := newStubWorker(t, nil)
+	dead.ts.Close()
+	d := New(Options{
+		Workers:         []string{w1.ts.URL, w2.ts.URL, dead.ts.URL},
+		ShardsPerWorker: 1,
+		HedgeAfter:      -1,
+		MemberTTL:       50 * time.Millisecond,
+	})
+	base := time.Now()
+	d.now = func() time.Time { return base }
+	d.Probe(context.Background()) // live members refresh; dead accrues a failure
+	if n := d.memberCount(); n != 3 {
+		t.Fatalf("dead member expired too early: %d members", n)
+	}
+	d.now = func() time.Time { return base.Add(time.Second) }
+	d.Probe(context.Background()) // dead is now silent past TTL → expired
+	if n := d.memberCount(); n != 2 {
+		t.Fatalf("%d members after expiry, want 2", n)
+	}
+
+	// Every shard's placement proposes only the survivors.
+	cells := g.Expand()
+	for _, r := range []int{0, len(cells) - 1} {
+		key := "probe-key-" + time.Duration(r).String()
+		for _, w := range d.placement(key) {
+			if w.url == dead.ts.URL {
+				t.Fatalf("placement still proposes the dead member")
+			}
+		}
+	}
+
+	dialsBefore := dead.requests.Load() // 0: the server is closed, but keep it honest
+	got, err := d.Records(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, localRecords(g)) {
+		t.Error("records differ from local sweep")
+	}
+	st := d.Stats()
+	if st.Retries != 0 || st.Fallbacks != 0 {
+		t.Errorf("stats = %+v, want zero retries and zero fallbacks with the dead member off the ring", st)
+	}
+	if dead.requests.Load() != dialsBefore {
+		t.Error("dead member was dialed during the sweep")
+	}
+	// The dead seed is dormant, still visible to operators via Health.
+	var dormantSeen bool
+	for _, h := range d.Health() {
+		if h.URL == dead.ts.URL {
+			dormantSeen = h.Dormant && h.Seed
+		}
+	}
+	if !dormantSeen {
+		t.Errorf("dead seed not reported dormant in health: %+v", d.Health())
+	}
+}

@@ -14,7 +14,11 @@
 //   - progress: jobs publish Progress snapshots; Get returns a consistent
 //     point-in-time Snapshot at any moment of the lifecycle;
 //   - bounded history: finished jobs are retained for polling but the oldest
-//     are pruned past a cap, so a long-lived server cannot leak jobs.
+//     are pruned past a cap, so a long-lived server cannot leak jobs;
+//   - durability (optional): jobs submitted through SubmitDurable write
+//     through to Options.Store on every lifecycle transition, and a new
+//     queue replays the store — queued jobs resume, jobs that died mid-run
+//     re-run, finished results are still servable (see store.go).
 //
 // Lifecycle: queued → running → done | failed | cancelled. A panic in a job
 // function is captured as a failure; it never kills a worker.
@@ -22,6 +26,7 @@ package jobs
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -80,11 +85,20 @@ var (
 	ErrClosed = errors.New("jobs: queue closed")
 )
 
+// Rehydrator rebuilds a durable job's Func from its persisted payload
+// after a restart — the closure itself cannot cross a process boundary, so
+// durable submissions carry a (kind, payload) pair and the new process
+// registers a Rehydrator per kind (Options.Rehydrate).
+type Rehydrator func(payload json.RawMessage) (Func, error)
+
 // job is the internal record; mu guards everything mutable.
 type job struct {
 	id        string
 	name      string
 	fn        Func
+	durable   bool
+	kind      string
+	payload   json.RawMessage
 	mu        sync.Mutex
 	state     State
 	progress  Progress
@@ -169,6 +183,9 @@ type Queue struct {
 	baseCtx context.Context
 	stopAll context.CancelFunc
 
+	store     Store
+	rehydrate map[string]Rehydrator
+
 	now func() time.Time // injectable clock for tests
 }
 
@@ -181,6 +198,13 @@ type Options struct {
 	// KeepFinished bounds how many terminal jobs are retained for polling
 	// (default 256); the oldest are pruned first.
 	KeepFinished int
+	// Store, when non-nil, persists durable jobs (SubmitDurable) and is
+	// replayed at construction. Plain Submit jobs stay memory-only.
+	Store Store
+	// Rehydrate maps a durable job kind to the function that rebuilds its
+	// Func from the persisted payload. A replayed non-terminal job whose
+	// kind has no rehydrator settles as failed instead of resuming.
+	Rehydrate map[string]Rehydrator
 }
 
 // New starts a queue with the given options.
@@ -196,14 +220,17 @@ func New(opt Options) *Queue {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	q := &Queue{
-		jobs:     make(map[string]*job),
-		capacity: opt.Capacity,
-		keep:     opt.KeepFinished,
-		baseCtx:  ctx,
-		stopAll:  cancel,
-		now:      time.Now,
+		jobs:      make(map[string]*job),
+		capacity:  opt.Capacity,
+		keep:      opt.KeepFinished,
+		baseCtx:   ctx,
+		stopAll:   cancel,
+		store:     opt.Store,
+		rehydrate: opt.Rehydrate,
+		now:       time.Now,
 	}
 	q.cond = sync.NewCond(&q.mu)
+	q.restore()
 	for i := 0; i < opt.Workers; i++ {
 		q.wg.Add(1)
 		go q.worker()
@@ -211,9 +238,156 @@ func New(opt Options) *Queue {
 	return q
 }
 
+// restore replays the store into the queue before the workers start:
+// terminal jobs become servable history, queued jobs re-enter the pending
+// queue in their original order, and jobs that were running when the
+// previous process died are re-queued to run again from scratch — job
+// functions are deterministic searches, so a re-run converges on the same
+// result the lost run would have produced.
+func (q *Queue) restore() {
+	if q.store == nil {
+		return
+	}
+	recs, err := q.store.Load()
+	if err != nil {
+		// The WAL was readable moments ago when the store opened (or it
+		// would not exist); treat an unreadable replay as an empty history
+		// rather than refusing to serve — new durable writes still land.
+		return
+	}
+	for _, rec := range recs {
+		j := &job{
+			id:       rec.ID,
+			name:     rec.Name,
+			durable:  true,
+			kind:     rec.Kind,
+			payload:  rec.Payload,
+			state:    rec.State,
+			progress: rec.Progress,
+			created:  rec.CreatedAt,
+		}
+		if n := jobIDNum(rec.ID); n > q.nextID {
+			q.nextID = n
+		}
+		if rec.Error != "" {
+			j.err = errors.New(rec.Error)
+		}
+		if rec.StartedAt != nil {
+			j.started = *rec.StartedAt
+		}
+		if rec.FinishedAt != nil {
+			j.finished = *rec.FinishedAt
+		}
+		if len(rec.Result) > 0 {
+			// Kept as raw JSON: it serializes byte-identically to what the
+			// previous process would have served.
+			j.result = json.RawMessage(rec.Result)
+		}
+		if !rec.State.Terminal() {
+			fn, ferr := q.rehydrateFunc(rec)
+			if ferr != nil {
+				j.state = StateFailed
+				j.err = ferr
+				j.finished = q.now()
+				q.persistLocked(j, StateFailed)
+			} else {
+				j.fn = fn
+				j.state = StateQueued
+				j.err = nil
+				j.started = time.Time{}
+				j.finished = time.Time{}
+				if rec.State != StateQueued {
+					// It was mid-run at the crash; record the reset so a
+					// second crash before the re-run still replays cleanly.
+					q.persistLocked(j, StateQueued)
+				}
+				q.pending = append(q.pending, j)
+			}
+		}
+		q.jobs[j.id] = j
+		q.order = append(q.order, j.id)
+	}
+}
+
+// rehydrateFunc resolves a replayed job's kind to a fresh Func.
+func (q *Queue) rehydrateFunc(rec Record) (Func, error) {
+	r := q.rehydrate[rec.Kind]
+	if r == nil {
+		return nil, fmt.Errorf("jobs: no rehydrator for job kind %q", rec.Kind)
+	}
+	fn, err := r(rec.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: rehydrating %s job %s: %w", rec.Kind, rec.ID, err)
+	}
+	return fn, nil
+}
+
+// persistLocked writes a durable job through to the store with the given
+// persisted state — usually the job's own state, but a shutdown-cancelled
+// durable job persists as queued: the process is going away, the work is
+// not. Write errors are deliberately dropped: a closed store is how the
+// harness models a killed process, and a dying process's writes not
+// landing is exactly the semantics the replay is built for. Caller holds
+// j.mu (or has exclusive access to j).
+func (q *Queue) persistLocked(j *job, state State) {
+	if q.store == nil || !j.durable {
+		return
+	}
+	rec := Record{
+		ID:        j.id,
+		Name:      j.name,
+		Kind:      j.kind,
+		Payload:   j.payload,
+		State:     state,
+		Progress:  j.progress,
+		CreatedAt: j.created,
+	}
+	if state != StateQueued {
+		// A record persisted as queued is a resume intent — whatever error
+		// or timestamps the in-memory job accumulated on its way down do
+		// not belong in it.
+		if j.err != nil {
+			rec.Error = j.err.Error()
+		}
+		if !j.started.IsZero() {
+			t := j.started
+			rec.StartedAt = &t
+		}
+		if !j.finished.IsZero() {
+			t := j.finished
+			rec.FinishedAt = &t
+		}
+	}
+	if state == StateDone && j.result != nil {
+		if raw, err := json.Marshal(j.result); err == nil {
+			rec.Result = raw
+		} else {
+			rec.Error = fmt.Sprintf("jobs: result not serializable: %v", err)
+		}
+	}
+	q.store.Put(rec)
+}
+
 // Submit enqueues fn and returns the new job's id. It never blocks: a full
-// queue fails with ErrQueueFull, a closed queue with ErrClosed.
+// queue fails with ErrQueueFull, a closed queue with ErrClosed. The job is
+// memory-only; use SubmitDurable for jobs that must survive a restart.
 func (q *Queue) Submit(name string, fn Func) (string, error) {
+	return q.submit(&job{name: name, fn: fn})
+}
+
+// SubmitDurable enqueues a job that writes through to Options.Store on
+// every lifecycle transition. kind selects the Rehydrator a restarted
+// queue uses to rebuild fn, and payload (anything JSON-serializable) is
+// what that Rehydrator receives. With a nil Store this is just Submit.
+func (q *Queue) SubmitDurable(name, kind string, payload any, fn Func) (string, error) {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return "", fmt.Errorf("jobs: encoding %s payload: %w", kind, err)
+	}
+	return q.submit(&job{name: name, fn: fn, durable: true, kind: kind, payload: raw})
+}
+
+func (q *Queue) submit(j *job) (string, error) {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
@@ -224,16 +398,13 @@ func (q *Queue) Submit(name string, fn Func) (string, error) {
 		return "", ErrQueueFull
 	}
 	q.nextID++
-	j := &job{
-		id:      fmt.Sprintf("j%d", q.nextID),
-		name:    name,
-		fn:      fn,
-		state:   StateQueued,
-		created: q.now(),
-	}
+	j.id = fmt.Sprintf("j%d", q.nextID)
+	j.state = StateQueued
+	j.created = q.now()
 	q.pending = append(q.pending, j)
 	q.jobs[j.id] = j
 	q.order = append(q.order, j.id)
+	q.persistLocked(j, StateQueued)
 	q.pruneLocked()
 	q.mu.Unlock()
 	q.submitted.Add(1)
@@ -330,6 +501,12 @@ func (q *Queue) pruneLocked() {
 		j := q.jobs[id]
 		if j != nil && finished > q.keep && j.snapshot().State.Terminal() {
 			delete(q.jobs, id)
+			if j.durable && q.store != nil {
+				// Retention is one policy, not two: a job pruned from
+				// memory is pruned from the store, or a restart would
+				// resurrect history the running server already forgot.
+				q.store.Delete(id)
+			}
 			q.pruned.Add(1)
 			finished--
 			continue
@@ -388,6 +565,7 @@ func (q *Queue) Cancel(id string) (Snapshot, bool) {
 		j.err = context.Canceled
 		j.finished = q.now()
 		q.cancelled.Add(1)
+		q.persistLocked(j, StateCancelled)
 		j.notifyLocked()
 		j.mu.Unlock()
 		// Free the capacity slot immediately: a cancelled job must not
@@ -471,6 +649,7 @@ func (q *Queue) runOne(j *job) {
 	}
 	fn := j.fn
 	q.running.Add(1)
+	q.persistLocked(j, StateRunning)
 	j.notifyLocked()
 	j.mu.Unlock()
 	defer cancel()
@@ -478,6 +657,7 @@ func (q *Queue) runOne(j *job) {
 	report := func(p Progress) {
 		j.mu.Lock()
 		j.progress = p
+		q.persistLocked(j, StateRunning)
 		j.notifyLocked()
 		j.mu.Unlock()
 	}
@@ -504,14 +684,24 @@ func (q *Queue) runOne(j *job) {
 		j.state = StateDone
 		j.result = result
 		q.done.Add(1)
+		q.persistLocked(j, StateDone)
 	case (j.cancelReq || q.baseCtx.Err() != nil) && errors.Is(err, context.Canceled):
 		j.state = StateCancelled
 		j.err = err
 		q.cancelled.Add(1)
+		if j.cancelReq {
+			q.persistLocked(j, StateCancelled)
+		} else {
+			// Shutdown, not a user cancel: the process is going away but
+			// the work is not — persist as queued so the successor opening
+			// the same store resumes it instead of serving "cancelled".
+			q.persistLocked(j, StateQueued)
+		}
 	default:
 		j.state = StateFailed
 		j.err = err
 		q.failed.Add(1)
+		q.persistLocked(j, StateFailed)
 	}
 	q.running.Add(-1)
 	j.notifyLocked()

@@ -1,0 +1,280 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1000, 0).UTC()
+	put := func(id string, state State) {
+		t.Helper()
+		if err := s.Put(Record{ID: id, Name: "n-" + id, Kind: "k", State: state,
+			Payload: json.RawMessage(`{"x":1}`), CreatedAt: now}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("j2", StateQueued)
+	put("j1", StateRunning)
+	put("j1", StateDone) // last write wins
+	if err := s.Delete("j3"); err != nil {
+		t.Fatal(err) // deleting a never-put ID is fine
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Record{ID: "j9"}); !errors.Is(err, ErrStoreClosed) {
+		t.Fatalf("Put after Close = %v, want ErrStoreClosed", err)
+	}
+
+	s2, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	recs, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].ID != "j1" || recs[1].ID != "j2" {
+		t.Fatalf("replayed %+v, want j1 (done) then j2 (queued)", recs)
+	}
+	if recs[0].State != StateDone || string(recs[0].Payload) != `{"x":1}` {
+		t.Errorf("j1 = %+v, want last-wins done state with payload intact", recs[0])
+	}
+	// Reopening compacted the log: the live set is 2 records, so the file
+	// holds exactly 2 lines regardless of the 4 ops that produced them.
+	raw, err := os.ReadFile(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(raw), "\n"); lines != 2 {
+		t.Errorf("compacted WAL has %d lines, want 2:\n%s", lines, raw)
+	}
+}
+
+func TestFileStoreTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(Record{ID: "j1", State: StateDone})
+	s.Close()
+	// Simulate a crash mid-append: a half-written JSON line at the tail.
+	f, err := os.OpenFile(filepath.Join(dir, walName), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"op":"put","rec":{"id":"j2","st`)
+	f.Close()
+
+	s2, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatalf("torn tail must not fail open: %v", err)
+	}
+	defer s2.Close()
+	recs, _ := s2.Load()
+	if len(recs) != 1 || recs[0].ID != "j1" {
+		t.Fatalf("replayed %+v, want only the intact j1", recs)
+	}
+}
+
+// TestQueueRestore: a queue over a replayed store serves finished results,
+// resumes queued jobs, and re-runs jobs that were mid-run at the crash.
+func TestQueueRestore(t *testing.T) {
+	store := NewMemStore()
+	ran := make(chan string, 8)
+	rehydrate := map[string]Rehydrator{
+		"echo": func(payload json.RawMessage) (Func, error) {
+			return func(ctx context.Context, report func(Progress)) (any, error) {
+				var v map[string]int
+				json.Unmarshal(payload, &v)
+				ran <- string(payload)
+				return v, nil
+			}, nil
+		},
+	}
+	// Seed the store as a dead coordinator would have left it: one finished
+	// job, one queued, one caught mid-run, one of an unknown kind.
+	now := time.Unix(2000, 0).UTC()
+	store.Put(Record{ID: "j1", Name: "finished", Kind: "echo", State: StateDone,
+		Result: json.RawMessage(`{"best":42}`), CreatedAt: now})
+	store.Put(Record{ID: "j2", Name: "queued", Kind: "echo", State: StateQueued,
+		Payload: json.RawMessage(`{"a":1}`), CreatedAt: now})
+	store.Put(Record{ID: "j3", Name: "mid-run", Kind: "echo", State: StateRunning,
+		Payload: json.RawMessage(`{"b":2}`), CreatedAt: now})
+	store.Put(Record{ID: "j4", Name: "orphan", Kind: "mystery", State: StateQueued,
+		CreatedAt: now})
+
+	q := New(Options{Workers: 1, Store: store, Rehydrate: rehydrate})
+	defer q.Close(context.Background())
+
+	// The finished job still serves its exact result bytes.
+	s1, ok := q.Get("j1")
+	if !ok || s1.State != StateDone {
+		t.Fatalf("restored finished job = %+v", s1)
+	}
+	if raw, _ := json.Marshal(s1.Result); string(raw) != `{"best":42}` {
+		t.Errorf("restored result = %s, want the persisted bytes verbatim", raw)
+	}
+	// Queued and mid-run jobs both run to done.
+	waitState(t, q, "j2", StateDone)
+	waitState(t, q, "j3", StateDone)
+	reran := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		reran[<-ran] = true
+	}
+	if !reran[`{"a":1}`] || !reran[`{"b":2}`] {
+		t.Errorf("resumed payloads = %v, want both the queued and the mid-run job", reran)
+	}
+	// The unknown kind settles as failed, with the reason in the error.
+	s4, _ := q.Get("j4")
+	if s4.State != StateFailed || !strings.Contains(s4.Error, "no rehydrator") {
+		t.Errorf("orphan job = %+v, want failed with a rehydrator error", s4)
+	}
+	// New submissions continue the ID sequence instead of colliding.
+	id, err := q.Submit("fresh", func(ctx context.Context, report func(Progress)) (any, error) {
+		return nil, nil
+	})
+	if err != nil || id != "j5" {
+		t.Fatalf("post-restore Submit = (%q, %v), want j5", id, err)
+	}
+}
+
+// TestDurableLifecyclePersists: every transition of a durable job lands in
+// the store, a user cancel persists as cancelled, and a shutdown persists
+// a running durable job as queued — the resume intent.
+func TestDurableLifecyclePersists(t *testing.T) {
+	store := NewMemStore()
+	q := New(Options{Workers: 1, Store: store})
+
+	// Done path.
+	id, err := q.SubmitDurable("search", "echo", map[string]int{"n": 1},
+		func(ctx context.Context, report func(Progress)) (any, error) {
+			report(Progress{Done: 1, Total: 2, Note: "half"})
+			return "answer", nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, id, StateDone)
+	recs, _ := store.Load()
+	if len(recs) != 1 || recs[0].State != StateDone || string(recs[0].Result) != `"answer"` {
+		t.Fatalf("store after done = %+v", recs)
+	}
+	if recs[0].Progress.Note != "half" {
+		t.Errorf("progress not persisted: %+v", recs[0].Progress)
+	}
+
+	// A memory-only job must never touch the store.
+	mid, _ := q.Submit("ephemeral", func(ctx context.Context, report func(Progress)) (any, error) {
+		return nil, nil
+	})
+	waitState(t, q, mid, StateDone)
+	if recs, _ := store.Load(); len(recs) != 1 {
+		t.Fatalf("plain Submit leaked into the store: %+v", recs)
+	}
+
+	// User cancel of a running durable job persists cancelled.
+	block := make(chan struct{})
+	cid, _ := q.SubmitDurable("cancel-me", "echo", nil,
+		func(ctx context.Context, report func(Progress)) (any, error) {
+			close(block)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		})
+	<-block
+	q.Cancel(cid)
+	waitState(t, q, cid, StateCancelled)
+	found := false
+	recs, _ = store.Load()
+	for _, r := range recs {
+		if r.ID == cid {
+			found = true
+			if r.State != StateCancelled {
+				t.Errorf("user-cancelled job persisted as %q, want cancelled", r.State)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("cancelled job missing from store: %+v", recs)
+	}
+
+	// Shutdown while a durable job runs: memory says cancelled (this
+	// process's truth), the store says queued (the successor's orders).
+	block2 := make(chan struct{})
+	sid, _ := q.SubmitDurable("survive-me", "echo", map[string]int{"n": 2},
+		func(ctx context.Context, report func(Progress)) (any, error) {
+			close(block2)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		})
+	<-block2
+	if err := q.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := q.Get(sid); s.State != StateCancelled {
+		t.Fatalf("in-memory state after shutdown = %q, want cancelled", s.State)
+	}
+	recs, _ = store.Load()
+	for _, r := range recs {
+		if r.ID == sid {
+			if r.State != StateQueued {
+				t.Errorf("shutdown-cancelled durable job persisted as %q, want queued", r.State)
+			}
+			if r.Error != "" || r.FinishedAt != nil {
+				t.Errorf("resume-intent record carries terminal residue: %+v", r)
+			}
+			return
+		}
+	}
+	t.Fatalf("job %s missing from store after shutdown: %+v", sid, recs)
+}
+
+// TestPruneDeletesFromStore: the retention cap applies to the store too.
+func TestPruneDeletesFromStore(t *testing.T) {
+	store := NewMemStore()
+	q := New(Options{Workers: 1, KeepFinished: 2, Store: store})
+	defer q.Close(context.Background())
+	noop := func(ctx context.Context, report func(Progress)) (any, error) { return nil, nil }
+	var last string
+	for i := 0; i < 5; i++ {
+		id, err := q.SubmitDurable("n", "echo", nil, noop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = id
+		waitState(t, q, id, StateDone)
+	}
+	// One more submission triggers pruning of the overflow.
+	if _, err := q.SubmitDurable("n", "echo", nil, noop); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, last, StateDone)
+	recs, _ := store.Load()
+	memory := q.List()
+	if len(recs) > len(memory) {
+		t.Fatalf("store holds %d records but memory %d — a restart would resurrect pruned jobs", len(recs), len(memory))
+	}
+	inMem := map[string]bool{}
+	for _, s := range memory {
+		inMem[s.ID] = true
+	}
+	for _, r := range recs {
+		if !inMem[r.ID] {
+			t.Errorf("store record %s has no in-memory job", r.ID)
+		}
+	}
+}

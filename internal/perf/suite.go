@@ -48,6 +48,11 @@ import (
 //     grid across two loopback worker servers and merges the records (the
 //     workers' own shard caches are warm after the first op, so this
 //     isolates dispatch + transport + merge overhead), measured as req/s;
+//   - cluster/sweep-affine: the cache-affinity dividend — repeated sweeps of
+//     the same grid through consistent-hash placement, with cache_hit_pct
+//     reporting the aggregate hit rate the workers' shard caches saw; a
+//     placement that stopped routing repeats to the same member shows up
+//     here as a hit-rate collapse before it shows up as latency;
 //   - tune/beam-vs-exhaustive: the auto-tuner's beam search plus its
 //     exhaustive oracle on the quick scenario, measured as search cells/sec
 //     with the beam's result quality (quality_pct) attached.
@@ -74,6 +79,7 @@ func Suite() []Case {
 		openLoopCase(),
 		metricsCase(),
 		clusterCase(),
+		affinityCase(),
 		tuneCase(),
 	)
 	return cases
@@ -191,6 +197,85 @@ func clusterCase() Case {
 			}
 			if st := disp.Stats(); st.Fallbacks > 0 {
 				panic(fmt.Sprintf("perf: cluster case fell back to local evaluation: %+v", st))
+			}
+			for _, stop := range stops {
+				stop()
+			}
+			for _, ws := range workers {
+				ws.Close(context.Background())
+			}
+		},
+	}
+}
+
+// affinityCase measures what consistent-hash placement buys: repeated
+// sweeps of one grid across two workers, with the aggregate worker-side
+// shard-cache hit rate attached as cache_hit_pct. Placement is by the shard
+// sub-grid's canonical key — the same identity the workers' result caches
+// use — so after the cold first op every shard should land on the member
+// that already holds it. The uplift vs cold (0%) is the measured win;
+// a placement regression that scatters repeats across members collapses
+// this number even when req/s barely moves.
+func affinityCase() Case {
+	g, err := sweep.ParseGrid("model=4B,10B;method=1f1b;vocab=32k,64k;micro=32")
+	if err != nil {
+		panic(fmt.Sprintf("perf: affinity case grid: %v", err))
+	}
+	cells := len(g.Expand())
+	var (
+		once    sync.Once
+		workers []*server.Server
+		stops   []func()
+		disp    *cluster.Dispatcher
+	)
+	return Case{
+		Name:  "cluster/sweep-affine",
+		Cells: cells,
+		Run: func(n int) {
+			once.Do(func() {
+				var urls []string
+				for i := 0; i < 2; i++ {
+					// CacheSize 64 = 4 entries per internal LRU shard: roomy
+					// enough that every sweep shard stays resident even if the
+					// ring lands all of them on one member (a tiny capacity
+					// here puts two keys in one capacity-1 LRU slot and the
+					// measured hit rate collapses to eviction noise).
+					ws := server.New(server.Options{CacheSize: 64, Parallel: 1})
+					baseURL, stop, err := server.StartLocal(ws)
+					if err != nil {
+						panic(fmt.Sprintf("perf: affinity case: %v", err))
+					}
+					workers = append(workers, ws)
+					stops = append(stops, stop)
+					urls = append(urls, baseURL)
+				}
+				disp = cluster.New(cluster.Options{Workers: urls, ShardsPerWorker: 2, LocalParallel: 1})
+			})
+			for i := 0; i < n; i++ {
+				recs, err := disp.Records(context.Background(), g)
+				if err != nil {
+					panic(fmt.Sprintf("perf: affinity case: %v", err))
+				}
+				if len(recs) != cells {
+					panic(fmt.Sprintf("perf: affinity case: %d records for %d cells", len(recs), cells))
+				}
+			}
+		},
+		Finish: func(bc *report.BenchCase) {
+			if bc.NsPerOp > 0 {
+				bc.ReqPerSec = 1e9 / bc.NsPerOp
+			}
+			var hits, lookups int64
+			for _, ws := range workers {
+				st := ws.CacheStats()
+				hits += st.Hits + st.Deduped
+				lookups += st.Hits + st.Misses + st.Deduped
+			}
+			if lookups > 0 {
+				bc.CacheHitPct = 100 * float64(hits) / float64(lookups)
+			}
+			if st := disp.Stats(); st.Fallbacks > 0 {
+				panic(fmt.Sprintf("perf: affinity case fell back to local evaluation: %+v", st))
 			}
 			for _, stop := range stops {
 				stop()

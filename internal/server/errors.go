@@ -32,6 +32,9 @@ const (
 	ErrUnknownExperiment ErrCode = "unknown_experiment"
 	// ErrJobNotFound: no job with that id.
 	ErrJobNotFound ErrCode = "job_not_found"
+	// ErrNotCoordinator: POST /api/v1/cluster/join on a server that has no
+	// cluster dispatcher (409) — only a coordinator tracks membership.
+	ErrNotCoordinator ErrCode = "not_coordinator"
 	// ErrQueueFull: the async tuner-job queue is at capacity (429).
 	ErrQueueFull ErrCode = "queue_full"
 	// ErrShedOverload: admission control shed the request — every in-flight

@@ -115,9 +115,23 @@ func (s *Server) initMetrics() {
 		"Finished jobs dropped past the retention cap.",
 		func() float64 { return float64(s.jobs.Stats().Pruned) })
 
-	// Cluster dispatch (coordinator mode only): shard fan-out totals plus
-	// per-worker circuit state labeled by worker URL.
+	// Cluster dispatch (coordinator mode only): membership, shard fan-out
+	// totals, and per-worker circuit state labeled by worker URL.
 	if d := s.cluster; d != nil {
+		r.GaugeFunc("vpserve_cluster_members",
+			"Active members on the placement ring right now.",
+			func() float64 { return float64(d.Stats().Members) })
+		r.CounterSamples("vpserve_cluster_membership_changes_total",
+			"Membership transitions: join (a worker registered or a dormant "+
+				"seed came back) and expire (a silent member left the ring).",
+			[]string{"kind"},
+			func() []metrics.Sample {
+				st := d.Stats()
+				return []metrics.Sample{
+					{Labels: []string{"join"}, Value: float64(st.Joins)},
+					{Labels: []string{"expire"}, Value: float64(st.Expired)},
+				}
+			})
 		r.CounterFunc("vpserve_cluster_shards_total",
 			"Shard requests resolved by any path.",
 			func() float64 { return float64(d.Stats().Shards) })

@@ -18,6 +18,8 @@
 //	POST /api/v1/shard                evaluate one shard of a grid (the worker
 //	                                  side of distributed mode; see
 //	                                  internal/cluster for the wire format)
+//	POST /api/v1/cluster/join         register (or heartbeat) a worker in the
+//	                                  coordinator's member pool
 //	POST /api/v1/optimize             submit an auto-tuner search (internal/tune)
 //	                                  as an async job; 202 + the job resource
 //	GET /api/v1/jobs                  list known jobs
@@ -37,13 +39,17 @@
 // observability and queue management must keep answering precisely when the
 // server is saturated.
 //
-// Distributed mode: when Options.Cluster names worker URLs, the server is a
-// coordinator — shardable grids on the synchronous endpoints (and tuner
-// candidate evaluations) fan out across the workers through
-// internal/cluster and merge back in deterministic cell order, so the
-// response stays byte-identical to a single-node run. Every server answers
-// POST /api/shard (shard evaluation is always local — a worker never
-// re-shards), so any vpserve instance can serve as a worker.
+// Distributed mode: when Options.Cluster names seed workers (or allows
+// dynamic join-only membership), the server is a coordinator — shardable
+// grids on the synchronous endpoints (and tuner candidate evaluations) fan
+// out across the member pool through internal/cluster and merge back in
+// deterministic cell order, so the response stays byte-identical to a
+// single-node run. Membership is dynamic: workers register and heartbeat
+// via POST /api/v1/cluster/join, silent members are expired by the prober,
+// and shard placement is cache-affine consistent hashing. Every server
+// answers POST /api/shard (shard evaluation is always local — a worker
+// never re-shards), so any vpserve instance can serve as a worker. With
+// Options.JobStore set, optimize jobs are durable across restarts.
 //
 // Errors are the uniform envelope {"error":{"code":..., "message":...,
 // "details":{...}}} with a stable machine-readable code (see errors.go);
@@ -116,10 +122,17 @@ type Options struct {
 	// 429 + Retry-After.
 	MaxInFlight int
 	AdmitQueue  int
-	// Cluster configures coordinator mode: when Cluster.Workers is
-	// non-empty, shardable grids are dispatched across those worker vpserve
-	// instances instead of being evaluated in-process.
+	// Cluster configures coordinator mode: when Cluster.Workers names seed
+	// workers or Cluster.Dynamic allows join-only membership, shardable
+	// grids are dispatched across the worker pool instead of being
+	// evaluated in-process.
 	Cluster cluster.Options
+	// JobStore, when non-nil, makes optimize jobs durable: submissions,
+	// progress and results write through to it, and a new server over the
+	// same store resumes queued jobs, re-runs ones that died mid-run and
+	// still serves finished results. The caller owns the store's lifecycle
+	// (close it AFTER Server.Close so the shutdown persistence lands).
+	JobStore jobs.Store
 	// SSEHeartbeat is the idle keep-alive interval on the job event stream
 	// (GET /api/jobs/{id}/events): a comment line flushed so intermediaries
 	// do not reap a quiet connection (default 15s).
@@ -182,11 +195,10 @@ func New(opt Options) *Server {
 	s := &Server{
 		opt:   opt,
 		cache: cache.New[[]report.Record](opt.CacheSize),
-		jobs:  jobs.New(jobs.Options{Workers: opt.JobWorkers, Capacity: opt.JobCapacity}),
 		admit: newAdmitter(opt.MaxInFlight, opt.AdmitQueue),
 		start: time.Now(),
 	}
-	if len(opt.Cluster.Workers) > 0 {
+	if len(opt.Cluster.Workers) > 0 || opt.Cluster.Dynamic {
 		// The cluster's local fallback uses the same per-grid parallelism
 		// the server's own sweeps would.
 		if opt.Cluster.LocalParallel == 0 {
@@ -194,6 +206,17 @@ func New(opt Options) *Server {
 		}
 		s.cluster = cluster.New(opt.Cluster)
 	}
+	// The queue comes AFTER the dispatcher: replaying the store may resume
+	// optimize jobs immediately, and their rehydrated search functions must
+	// see the coordinator's EvalCell seam, not a nil cluster.
+	s.jobs = jobs.New(jobs.Options{
+		Workers:  opt.JobWorkers,
+		Capacity: opt.JobCapacity,
+		Store:    opt.JobStore,
+		Rehydrate: map[string]jobs.Rehydrator{
+			optimizeJobKind: s.rehydrateOptimize,
+		},
+	})
 	s.initMetrics()
 	return s
 }
@@ -232,6 +255,7 @@ func (s *Server) Handler() http.Handler {
 		{"GET /schedule", s.handleSchedule},
 		{"GET /experiments/{name}", s.handleExperiment},
 		{"POST /shard", s.handleShard},
+		{"POST /cluster/join", s.handleClusterJoin},
 		{"POST /optimize", s.handleOptimize},
 		{"GET /jobs", s.handleJobList},
 		{"GET /jobs/{id}", s.handleJobGet},
@@ -514,6 +538,56 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	s.respond(w, r, "experiment", gridFn())
 }
 
+// joinRequest is the POST /api/v1/cluster/join input; the url query
+// parameter overrides the body (same precedence as optimize).
+type joinRequest struct {
+	URL string `json:"url"`
+}
+
+// joinResponse confirms a join or heartbeat: the canonical member URL, and
+// whether this call added it to the pool (false = it was already active
+// and the call was a liveness refresh).
+type joinResponse struct {
+	URL     string `json:"url"`
+	Added   bool   `json:"added"`
+	Members int    `json:"members"`
+}
+
+// handleClusterJoin registers (or heartbeats) a worker in the coordinator's
+// member pool. Workers call it on startup and every -heartbeat-every; a
+// member that stops calling it is expired off the placement ring once it
+// has also been silent to the prober past the member TTL.
+func (s *Server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		s.writeError(w, http.StatusConflict, ErrNotCoordinator, nil,
+			"this server is not a coordinator (start it with -role coordinator to accept joins)")
+		return
+	}
+	var req joinRequest
+	if r.Body != nil {
+		body := http.MaxBytesReader(w, r.Body, 4<<10)
+		if err := json.NewDecoder(body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+			s.writeError(w, http.StatusBadRequest, ErrInvalidBody, nil, "bad JSON body: %v", err)
+			return
+		}
+	}
+	if v := r.URL.Query().Get("url"); v != "" {
+		req.URL = v
+	}
+	if req.URL == "" {
+		s.writeError(w, http.StatusBadRequest, ErrMissingParameter, map[string]any{"parameter": "url"},
+			`missing worker url (JSON body {"url":"http://host:port"} or ?url=)`)
+		return
+	}
+	u, added, err := s.cluster.Join(req.URL)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, ErrInvalidParameter, map[string]any{"parameter": "url"}, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(joinResponse{URL: u, Added: added, Members: s.cluster.Stats().Members})
+}
+
 // handleShard is the worker side of distributed mode: evaluate one
 // materialized slice of a grid's expansion order and return its records.
 // It reuses the full respond pipeline — result cache (identical shards from
@@ -552,6 +626,65 @@ type optimizeRequest struct {
 	Scenario string `json:"scenario,omitempty"`
 	// Strategy is exhaustive, beam (default) or anneal.
 	Strategy string `json:"strategy,omitempty"`
+}
+
+// optimizeJobKind keys optimize submissions in the durable job store.
+const optimizeJobKind = "optimize"
+
+// optimizePayload is the durable form of an optimize submission — the
+// validated request fields, enough for a restarted server to rebuild the
+// search. The raw spec string (not the parsed structure) is persisted:
+// re-parsing it is exactly how the original submission built the search,
+// so the re-run is the same search.
+type optimizePayload struct {
+	Spec     string `json:"spec,omitempty"`
+	Scenario string `json:"scenario,omitempty"`
+	Strategy string `json:"strategy,omitempty"`
+}
+
+// tuneOptions is the search configuration every optimize job runs with —
+// fresh and rehydrated submissions alike: in coordinator mode candidate
+// evaluations farm out through the cluster's EvalCell seam.
+func (s *Server) tuneOptions() tune.Options {
+	topt := tune.Options{Parallel: s.opt.Parallel}
+	if s.cluster != nil {
+		topt.Eval = s.cluster.EvalCell
+	}
+	return topt
+}
+
+// rehydrateOptimize rebuilds an optimize job's search function from its
+// persisted payload after a restart. The payload was validated at submit
+// time, so failures here mean the durable state predates a breaking change
+// (or was tampered with) — the job settles as failed with the reason.
+func (s *Server) rehydrateOptimize(payload json.RawMessage) (jobs.Func, error) {
+	var p optimizePayload
+	if err := json.Unmarshal(payload, &p); err != nil {
+		return nil, fmt.Errorf("bad optimize payload: %w", err)
+	}
+	var spec *tune.Spec
+	switch {
+	case p.Spec != "":
+		var err error
+		if spec, err = tune.ParseSpec(p.Spec); err != nil {
+			return nil, err
+		}
+	case p.Scenario != "":
+		var ok bool
+		if spec, ok = experiments.TuneSpec(p.Scenario); !ok {
+			return nil, fmt.Errorf("unknown scenario %q", p.Scenario)
+		}
+	default:
+		return nil, errors.New("optimize payload names neither spec nor scenario")
+	}
+	strategy := tune.StrategyBeam
+	if p.Strategy != "" {
+		var ok bool
+		if strategy, ok = tune.StrategyByName(p.Strategy); !ok {
+			return nil, fmt.Errorf("unknown strategy %q", p.Strategy)
+		}
+	}
+	return tune.JobFunc(spec, strategy, s.tuneOptions()), nil
 }
 
 // jobView is the ONE canonical job representation: every job-bearing
@@ -670,13 +803,13 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	// The job runs detached from the submitting request on purpose: the
 	// whole point of the queue is that the client disconnects and polls.
 	// A coordinator farms the search's candidate simulations out to its
-	// worker pool cell by cell (retry/hedging/fallback included).
-	topt := tune.Options{Parallel: s.opt.Parallel}
-	if s.cluster != nil {
-		topt.Eval = s.cluster.EvalCell
-	}
-	id, err := s.jobs.Submit("optimize/"+spec.Name+"/"+string(strategy),
-		tune.JobFunc(spec, strategy, topt))
+	// worker pool cell by cell (retry/hedging/fallback included). Durable
+	// submission: with a JobStore configured, this job — and its result —
+	// survives a coordinator restart.
+	id, err := s.jobs.SubmitDurable("optimize/"+spec.Name+"/"+string(strategy),
+		optimizeJobKind,
+		optimizePayload{Spec: req.Spec, Scenario: req.Scenario, Strategy: string(strategy)},
+		tune.JobFunc(spec, strategy, s.tuneOptions()))
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		// writeError fills in the Retry-After floor for 429s.

@@ -18,6 +18,11 @@
 //	-job-workers N    concurrent auto-tuner searches (default 2)
 //	-job-queue N      pending tuner jobs before 429 (default 64)
 //	-shutdown-timeout D  graceful drain budget on SIGINT/SIGTERM (default 10s)
+//	-trace-ring N     completed request traces kept for the debug/trace API
+//	                  (default 256; 0 disables tracing)
+//	-slow-request D   log API requests slower than D with route and trace ID
+//	                  (default 1s; 0 disables)
+//	-debug            mount net/http/pprof under /debug/pprof/
 //
 // Distributed mode (see internal/cluster): a coordinator shards grids
 // across worker vpserve instances with cache-affine consistent-hash
@@ -92,8 +97,12 @@
 // Retry-After.
 //
 // Observability: every serving vpserve exposes Prometheus metrics at
-// GET /metrics and streams job progress over SSE at
-// GET /api/jobs/{id}/events (see the README's Observability section).
+// GET /metrics, streams job progress over SSE at GET /api/jobs/{id}/events,
+// serves a zero-dependency live dashboard at GET /dashboard, and traces
+// every API request — the response's X-Trace-Id header keys a Chrome-trace
+// export at GET /api/v1/debug/traces/{id}, which on a coordinator merges
+// the workers' spans into one cross-process timeline (see the README's
+// Observability section).
 package main
 
 import (
@@ -161,6 +170,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	ltThresholds := fs.String("loadtest-thresholds", "", "comma-separated SLO `gates` (p99<50ms,error_rate<0.1%,...); any breach exits 4")
 	maxInFlight := fs.Int("max-inflight", 0, "admitted compute requests in flight before queueing (default 64)")
 	admitQueue := fs.Int("admit-queue", 0, "accept-queue depth before shedding 429s (default 4×max-inflight; negative: shed immediately)")
+	debug := fs.Bool("debug", false, "mount the net/http/pprof profiling endpoints under /debug/pprof/ (serving modes)")
+	slowRequest := fs.Duration("slow-request", time.Second, "log API requests slower than this, with route and trace ID (0 disables)")
+	traceRing := fs.Int("trace-ring", 256, "completed request traces kept for GET /api/v1/debug/traces (0 disables tracing)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -296,7 +308,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	}
 
 	if *loadtest != "" {
-		for _, name := range []string{"max-inflight", "admit-queue"} {
+		for _, name := range []string{"max-inflight", "admit-queue", "debug", "slow-request", "trace-ring"} {
 			if explicit[name] {
 				fmt.Fprintf(stderr, "vpserve: -%s tunes the server; it does not apply to -loadtest\n", name)
 				return 2
@@ -318,14 +330,23 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		return runLoadtest(stdout, stderr, *loadtest, *ltConc, *ltDur)
 	}
 
+	// The flag's conventional zero means "no tracing"; a zero
+	// Options.TraceCapacity means "use the 256 default", so translate.
+	traceCap := *traceRing
+	if traceCap <= 0 {
+		traceCap = -1
+	}
 	opts := server.Options{
-		CacheSize:   *cacheSize,
-		Parallel:    *parallel,
-		MaxCells:    *maxCells,
-		JobWorkers:  *jobWorkers,
-		JobCapacity: *jobQueue,
-		MaxInFlight: *maxInFlight,
-		AdmitQueue:  *admitQueue,
+		CacheSize:     *cacheSize,
+		Parallel:      *parallel,
+		MaxCells:      *maxCells,
+		JobWorkers:    *jobWorkers,
+		JobCapacity:   *jobQueue,
+		MaxInFlight:   *maxInFlight,
+		AdmitQueue:    *admitQueue,
+		Debug:         *debug,
+		SlowRequest:   *slowRequest,
+		TraceCapacity: traceCap,
 		Cluster: cluster.Options{
 			Workers:    workerURLs,
 			Dynamic:    *role == "coordinator",

@@ -185,6 +185,15 @@ func TestOpenLoopFlagValidation(t *testing.T) {
 		{"admission knob in loadtest mode",
 			[]string{"-loadtest", "http://x", "-max-inflight", "4"},
 			"does not apply to -loadtest"},
+		{"debug knob in loadtest mode",
+			[]string{"-loadtest", "http://x", "-debug"},
+			"does not apply to -loadtest"},
+		{"trace knob in loadtest mode",
+			[]string{"-loadtest", "http://x", "-trace-ring", "16"},
+			"does not apply to -loadtest"},
+		{"slow-request knob in loadtest mode",
+			[]string{"-loadtest", "http://x", "-slow-request", "100ms"},
+			"does not apply to -loadtest"},
 		{"open-loop flag without -loadtest",
 			[]string{"-loadtest-scenario", "soak"},
 			"only applies to -loadtest"},

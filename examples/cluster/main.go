@@ -5,13 +5,15 @@
 //
 //  1. a second worker JOINS AT RUNTIME through POST /api/v1/cluster/join
 //     and immediately serves shards — no coordinator restart;
+//
 //  2. a worker dies and the retry path degrades gracefully instead of
 //     failing the request;
+//
 //  3. the coordinator itself "crashes" mid-job (its durable store's file
 //     handle dies first, exactly like kill -9) and a successor over the
 //     same -state-dir directory RESUMES the optimize job to done.
 //
-//	go run ./examples/cluster
+//     go run ./examples/cluster
 package main
 
 import (

@@ -1,9 +1,11 @@
 // Metrics: the observability spine end to end. This example boots an
 // ephemeral vpserve, generates a little traffic (a computed sweep, a cache
 // hit, a rejected request), submits an auto-tuner job and follows its
-// Server-Sent Events stream to completion, then scrapes /metrics and prints
-// the interesting families — the same Prometheus text a real scraper would
-// ingest.
+// Server-Sent Events stream to completion, scrapes /metrics and prints the
+// interesting families — the same Prometheus text a real scraper would
+// ingest — and finally fetches the computed sweep's trace (keyed by the
+// X-Trace-Id response header) and prints it as an indented span tree with
+// per-span durations.
 //
 //	go run ./examples/metrics
 package main
@@ -16,9 +18,11 @@ import (
 	"log"
 	"net/http"
 	neturl "net/url"
+	"sort"
 	"strings"
 
 	"vocabpipe/internal/server"
+	"vocabpipe/internal/trace"
 )
 
 func main() {
@@ -32,6 +36,7 @@ func main() {
 	// Traffic: the first sweep computes (cache miss), the second replays
 	// from cache, the third is a 400 — three different (route, code) series.
 	sweepURL := baseURL + "/api/v1/sweep?grid=" + neturl.QueryEscape("model=4B;method=baseline;vocab=32k;micro=16")
+	var missTraceID string
 	for _, u := range []string{sweepURL, sweepURL, baseURL + "/api/v1/sweep"} {
 		resp, err := http.Get(u)
 		if err != nil {
@@ -39,6 +44,11 @@ func main() {
 		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
+		if missTraceID == "" {
+			// The first request — the computed miss — is the trace worth
+			// looking at below.
+			missTraceID = resp.Header.Get("X-Trace-Id")
+		}
 		path := strings.TrimPrefix(u, baseURL)
 		if i := strings.IndexByte(path, '?'); i >= 0 {
 			path = path[:i]
@@ -102,8 +112,60 @@ func main() {
 			strings.HasPrefix(line, "vpserve_jobs_submitted_total"),
 			strings.HasPrefix(line, "vpserve_jobs_done_total"),
 			strings.HasPrefix(line, "vpserve_http_request_duration_seconds_count"),
-			strings.HasPrefix(line, "vpserve_sse_streams_active"):
+			strings.HasPrefix(line, "vpserve_sse_streams_active"),
+			strings.HasPrefix(line, "vpserve_traces_recorded_total"),
+			strings.HasPrefix(line, "vpserve_build_info"):
 			fmt.Println("  " + line)
 		}
 	}
+
+	// Every API response names its trace in X-Trace-Id; the debug endpoint
+	// exports the whole span tree as Chrome trace_event JSON (load the same
+	// URL in ui.perfetto.dev for the graphical version).
+	fmt.Printf("\ntrace %s (the computed sweep):\n", missTraceID)
+	export, err := http.Get(baseURL + "/api/v1/debug/traces/" + missTraceID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spans, err := trace.ReadChromeTrace(export.Body)
+	export.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	printSpanTree(spans)
+}
+
+// printSpanTree renders a trace export as an indented tree, children under
+// their parent_id, with per-span durations and the attributes that explain
+// the request's path through the server.
+func printSpanTree(spans []trace.Event) {
+	children := map[string][]trace.Event{}
+	for _, s := range spans {
+		children[s.Args["parent_id"]] = append(children[s.Args["parent_id"]], s)
+	}
+	for _, kids := range children {
+		sort.SliceStable(kids, func(i, j int) bool { return kids[i].Ts < kids[j].Ts })
+	}
+	var walk func(parentID string, depth int)
+	walk = func(parentID string, depth int) {
+		for _, s := range children[parentID] {
+			var attrs []string
+			for k, v := range s.Args {
+				switch k {
+				case "trace_id", "span_id", "parent_id", "service":
+					continue
+				}
+				attrs = append(attrs, k+"="+v)
+			}
+			sort.Strings(attrs)
+			detail := ""
+			if len(attrs) > 0 {
+				detail = "  [" + strings.Join(attrs, " ") + "]"
+			}
+			fmt.Printf("  %s%-*s %8.2fms%s\n", strings.Repeat("  ", depth),
+				32-2*depth, s.Name, s.Dur/1e3, detail)
+			walk(s.Args["span_id"], depth+1)
+		}
+	}
+	walk("", 0)
 }

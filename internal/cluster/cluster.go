@@ -58,6 +58,7 @@ import (
 	"time"
 
 	"vocabpipe/internal/costmodel"
+	"vocabpipe/internal/obs"
 	"vocabpipe/internal/report"
 	"vocabpipe/internal/sim"
 	"vocabpipe/internal/sweep"
@@ -249,6 +250,11 @@ func (d *Dispatcher) Records(ctx context.Context, g *sweep.Grid) ([]report.Recor
 	}
 	ranges := sweep.SplitCells(len(cells), members*d.opt.ShardsPerWorker)
 
+	ctx, dsp := obs.StartSpan(ctx, "cluster.dispatch")
+	dsp.SetAttr("cells", fmt.Sprint(len(cells)))
+	dsp.SetAttr("shards", fmt.Sprint(len(ranges)))
+	defer dsp.End()
+
 	// One failed shard cancels the rest: the merged response is all or
 	// nothing, so finishing sibling shards for a doomed request only wastes
 	// worker time.
@@ -354,6 +360,12 @@ func (d *Dispatcher) localRecords(ctx context.Context, g *sweep.Grid) ([]report.
 // so a repeated or overlapping sweep routes each shard back to the member
 // whose cache is already warm.
 func (d *Dispatcher) runShard(ctx context.Context, g *sweep.Grid, cells []sweep.Cell, r sweep.Range) ([]report.Record, error) {
+	// The shard span opens BEFORE the semaphore so fan-out queueing — the
+	// first place a saturated coordinator stalls — is visible in the trace.
+	ctx, ssp := obs.StartSpan(ctx, "shard")
+	ssp.SetAttr("range", fmt.Sprintf("[%d,%d)", r.Start, r.End))
+	defer ssp.End()
+
 	// Bounded fan-out lives here so every dispatch path — grid shards and
 	// EvalCell's single-cell tuner evaluations alike — shares one budget.
 	select {
@@ -382,6 +394,7 @@ func (d *Dispatcher) runShard(ctx context.Context, g *sweep.Grid, cells []sweep.
 		recs, err := d.attempt(ctx, w, key, tried, body, r.Len())
 		if err == nil {
 			d.remote.Add(1)
+			ssp.SetAttr("outcome", "remote")
 			return recs, nil
 		}
 		if ctx.Err() != nil {
@@ -396,6 +409,7 @@ func (d *Dispatcher) runShard(ctx context.Context, g *sweep.Grid, cells []sweep.
 		return nil, fmt.Errorf("cluster: shard [%d,%d) of %q failed on every worker: %w", r.Start, r.End, g.Name, lastErr)
 	}
 	d.fallbacks.Add(1)
+	ssp.SetAttr("outcome", "fallback")
 	return d.localRecords(ctx, sweep.Subgrid(g, cells, r))
 }
 
@@ -413,7 +427,19 @@ func (d *Dispatcher) attempt(ctx context.Context, primary *workerState, key stri
 	}
 	ch := make(chan outcome, 2)
 	post := func(w *workerState, hedged bool) {
-		recs, err := d.post(actx, w, body, wantLen)
+		// One span per wire attempt, worker-attributed; its context is what
+		// d.post stamps into the traceparent header, so the worker's own
+		// spans parent under exactly this attempt.
+		pctx, sp := obs.StartSpan(actx, "attempt")
+		sp.SetAttr("worker", w.url)
+		if hedged {
+			sp.SetAttr("hedged", "true")
+		}
+		recs, err := d.post(pctx, w, body, wantLen)
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
 		ch <- outcome{recs: recs, err: err, hedged: hedged}
 	}
 	go post(primary, false)
@@ -484,6 +510,7 @@ func (d *Dispatcher) post(ctx context.Context, w *workerState, body []byte, want
 			return nil, err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		obs.Inject(ctx, req.Header)
 		resp, err := d.client.Do(req)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: worker %s: %w", w.url, err)

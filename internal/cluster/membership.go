@@ -16,6 +16,7 @@ package cluster
 import (
 	"fmt"
 	"net/url"
+	"sort"
 	"strings"
 	"time"
 )
@@ -131,6 +132,19 @@ func (d *Dispatcher) placement(key string) []*workerState {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return d.ring.sequence(key)
+}
+
+// Members returns the active member base URLs in sorted (stable) order —
+// the pool a coordinator fans debug-trace collection out to.
+func (d *Dispatcher) Members() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.members))
+	for u := range d.members {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // memberCount is the active pool size.

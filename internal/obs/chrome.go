@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"time"
+
+	"vocabpipe/internal/trace"
+)
+
+// ChromeEvents renders the trace as Chrome trace_event complete events —
+// the exact struct internal/trace writes for simulated timelines, so a
+// service trace opens in the same chrome://tracing / Perfetto viewer (and
+// round-trips through trace.ReadChromeTrace in tests). Timestamps are
+// absolute microseconds since the Unix epoch; Tid is the span's lane, so
+// sequential phases nest on one row and concurrent shard fan-out spreads
+// across rows; Pid is 0 (the exporting process — a coordinator merging
+// worker traces re-stamps their events with per-worker Pids).
+func (td *TraceData) ChromeEvents() []trace.Event {
+	cat := td.Service
+	if cat == "" {
+		cat = "span"
+	}
+	events := make([]trace.Event, 0, len(td.Spans))
+	for i := range td.Spans {
+		s := &td.Spans[i]
+		args := map[string]string{
+			"trace_id": td.ID.String(),
+			"span_id":  s.SpanID.String(),
+			"service":  td.Service,
+		}
+		if !s.ParentID.IsZero() {
+			args["parent_id"] = s.ParentID.String()
+		}
+		if s.Unfinished {
+			args["unfinished"] = "true"
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		events = append(events, trace.Event{
+			Name: s.Name,
+			Cat:  cat,
+			Ph:   "X",
+			Ts:   epochMicros(s.Start),
+			Dur:  durMicros(s.End.Sub(s.Start)),
+			Pid:  0,
+			Tid:  s.Lane,
+			Args: args,
+		})
+	}
+	return events
+}
+
+// epochMicros converts an absolute time to fractional microseconds since
+// the Unix epoch without going through float64(UnixNano()): a 2026-era
+// nanosecond count (~1.8e18) exceeds float64's 2^53 exact-integer range, so
+// dividing after the conversion smears whole-microsecond timestamps by
+// fractions of a microsecond. Splitting into an exact µs integer (well
+// under 2^53) plus a sub-µs remainder keeps µs-aligned clocks exact.
+func epochMicros(t time.Time) float64 {
+	return float64(t.UnixMicro()) + float64(t.Nanosecond()%1e3)/1e3
+}
+
+// durMicros converts a duration to fractional microseconds, exact for
+// whole-µs durations.
+func durMicros(d time.Duration) float64 {
+	return float64(d/time.Microsecond) + float64(d%time.Microsecond)/1e3
+}

@@ -1,0 +1,464 @@
+// Package obs is vocabpipe's dependency-free request tracer: W3C-style
+// trace/span identity, spans threaded through context.Context across the
+// serving layers (middleware → admission → cache/singleflight → cluster
+// dispatch → worker), and completed traces parked in a bounded lock-free
+// ring buffer for export in the same Chrome trace_event JSON the simulator
+// already emits (internal/trace) — a service trace and a simulated pipeline
+// timeline open in the same viewer.
+//
+// Design constraints, in order:
+//
+//   - Zero dependencies. Identity is 16/8 random bytes, propagation is one
+//     HTTP header (traceparent), storage is a fixed slice of atomic
+//     pointers. Nothing here imports outside the stdlib and internal/trace.
+//   - The untraced path costs nothing. Every Span method is a no-op on a
+//     nil receiver, and ChildSpan/StartSpan on a span-less context return
+//     nil — so instrumented call sites never branch on "is tracing on".
+//   - Traces complete, they are not collected. A trace is buffered while
+//     its root span is open and becomes immutable TraceData the moment the
+//     root ends; spans still open at that point are flushed with
+//     unfinished=true rather than lost (a detached singleflight compute
+//     that outlives its caller is the expected producer of these).
+//
+// Concurrency: span creation and mutation inside ONE trace serialize on
+// that trace's mutex (spans are born concurrently under dispatch fan-out);
+// the ring of completed traces is lock-free, so readers (the debug API,
+// metrics collectors) never contend with request hot paths.
+package obs
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID is the 16-byte trace identity (32 hex digits on the wire).
+type TraceID [16]byte
+
+// IsZero reports the invalid all-zero ID (forbidden by the traceparent spec).
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the canonical lowercase-hex form.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// ParseTraceID decodes the 32-hex-digit form (as minted by String).
+func ParseTraceID(s string) (TraceID, error) {
+	var id TraceID
+	if len(s) != 32 {
+		return id, fmt.Errorf("obs: trace id %q: want 32 hex digits", s)
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return id, fmt.Errorf("obs: trace id %q: %v", s, err)
+	}
+	if id.IsZero() {
+		return id, fmt.Errorf("obs: trace id %q is all zero", s)
+	}
+	return id, nil
+}
+
+// SpanID is the 8-byte span identity (16 hex digits on the wire).
+type SpanID [8]byte
+
+// IsZero reports the invalid all-zero ID.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the canonical lowercase-hex form.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// SpanContext is the cross-process identity a traceparent header carries:
+// which trace, and which span in it is the remote parent.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+}
+
+// Valid reports whether both IDs are present and nonzero.
+func (sc SpanContext) Valid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// Attr is one key/value annotation on a span. A slice (not a map) on
+// purpose: spans carry a handful of attributes, and insertion order is
+// stable for deterministic export.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// SpanData is the immutable record of one finished span inside TraceData.
+type SpanData struct {
+	Name     string
+	SpanID   SpanID
+	ParentID SpanID // zero for a local root with no remote parent
+	Start    time.Time
+	End      time.Time
+	// Lane is the export row (Chrome Tid): sequential children share their
+	// parent's lane so they nest visually; concurrent siblings get rows of
+	// their own.
+	Lane int
+	// Unfinished marks a span still open when the root ended — flushed with
+	// the root's end time rather than dropped.
+	Unfinished bool
+	Attrs      []Attr
+}
+
+// TraceData is one completed trace: the root span plus everything started
+// under it, sorted by start time (ties broken by span ID) for deterministic
+// export.
+type TraceData struct {
+	ID      TraceID
+	Service string
+	Start   time.Time
+	End     time.Time
+	Spans   []SpanData
+}
+
+// Root returns the earliest span — the request (or job) the trace is about.
+func (td *TraceData) Root() *SpanData {
+	if len(td.Spans) == 0 {
+		return nil
+	}
+	return &td.Spans[0]
+}
+
+// Options tunes a Tracer.
+type Options struct {
+	// Capacity is the completed-trace ring size (default 256). The ring
+	// overwrites oldest-first; it is a flight recorder, not a database.
+	Capacity int
+	// MaxSpans caps spans per trace (default 512) — a runaway fan-out
+	// guard. Past it, ChildSpan returns nil and the drop is counted.
+	MaxSpans int
+	// Service labels every trace this tracer completes (the Chrome-event
+	// category), e.g. "vpserve".
+	Service string
+	// Now is the clock (default time.Now). Tests inject a fixed-step fake
+	// so exported timestamps and durations are deterministic.
+	Now func() time.Time
+	// Rand sources ID entropy (default math/rand/v2.Uint64). Must be safe
+	// for concurrent use; tests inject a counter for reproducible IDs.
+	Rand func() uint64
+}
+
+// Stats snapshots the tracer's counters for /metrics.
+type Stats struct {
+	// Recorded counts traces completed into the ring since construction.
+	Recorded uint64
+	// DroppedSpans counts spans refused because their trace was already
+	// complete or at MaxSpans.
+	DroppedSpans uint64
+	// RingEntries/RingCapacity describe the flight recorder's occupancy.
+	RingEntries  int
+	RingCapacity int
+}
+
+// Tracer mints trace identity and owns the completed-trace ring. A nil
+// *Tracer is valid and inert (StartRoot returns nil).
+type Tracer struct {
+	opt Options
+
+	ring         *ring
+	recorded     atomic.Uint64
+	droppedSpans atomic.Uint64
+}
+
+// NewTracer builds a Tracer with defaults applied.
+func NewTracer(opt Options) *Tracer {
+	if opt.Capacity <= 0 {
+		opt.Capacity = 256
+	}
+	if opt.MaxSpans <= 0 {
+		opt.MaxSpans = 512
+	}
+	if opt.Now == nil {
+		opt.Now = time.Now
+	}
+	if opt.Rand == nil {
+		opt.Rand = rand.Uint64
+	}
+	return &Tracer{opt: opt, ring: newRing(opt.Capacity)}
+}
+
+// Stats snapshots the counters.
+func (t *Tracer) Stats() Stats {
+	if t == nil {
+		return Stats{}
+	}
+	return Stats{
+		Recorded:     t.recorded.Load(),
+		DroppedSpans: t.droppedSpans.Load(),
+		RingEntries:  t.ring.len(),
+		RingCapacity: len(t.ring.slots),
+	}
+}
+
+// Trace looks a completed trace up by ID (newest recording wins if an ID
+// was ever reused).
+func (t *Tracer) Trace(id TraceID) (*TraceData, bool) {
+	if t == nil {
+		return nil, false
+	}
+	return t.ring.get(id)
+}
+
+// Recent returns up to n completed traces, newest first.
+func (t *Tracer) Recent(n int) []*TraceData {
+	if t == nil {
+		return nil
+	}
+	return t.ring.recent(n)
+}
+
+// StartRoot opens a new trace and returns its root span. A valid remote
+// SpanContext (from an incoming traceparent header) adopts the caller's
+// trace ID and parents the root under the remote span, which is exactly how
+// a worker's spans nest under the coordinator's shard attempt. The trace
+// completes — and becomes visible to Trace/Recent — when the root ends.
+func (t *Tracer) StartRoot(name string, remote SpanContext) *Span {
+	if t == nil {
+		return nil
+	}
+	now := t.opt.Now()
+	at := &activeTrace{tracer: t, start: now, open: make(map[*Span]struct{})}
+	var parent SpanID
+	if remote.Valid() {
+		at.id = remote.TraceID
+		parent = remote.SpanID
+	} else {
+		at.id = t.newTraceID()
+	}
+	sp := &Span{trace: at, data: SpanData{
+		Name: name, SpanID: t.newSpanID(), ParentID: parent, Start: now,
+	}}
+	at.root = sp
+	at.open[sp] = struct{}{}
+	at.lanes = [][]*Span{{sp}}
+	return sp
+}
+
+func (t *Tracer) newTraceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		binary.BigEndian.PutUint64(id[:8], t.opt.Rand())
+		binary.BigEndian.PutUint64(id[8:], t.opt.Rand())
+	}
+	return id
+}
+
+func (t *Tracer) newSpanID() SpanID {
+	var id SpanID
+	for id.IsZero() {
+		binary.BigEndian.PutUint64(id[:], t.opt.Rand())
+	}
+	return id
+}
+
+// activeTrace buffers one in-flight trace. All mutation serializes on mu;
+// id/tracer/start are immutable after StartRoot.
+type activeTrace struct {
+	tracer *Tracer
+	id     TraceID
+	start  time.Time
+
+	mu    sync.Mutex
+	done  bool
+	spans []SpanData         // finished spans, in end order
+	open  map[*Span]struct{} // started, not yet ended
+	lanes [][]*Span          // per-lane stacks of open spans
+	root  *Span
+}
+
+// laneFor picks the export row for a child: its parent's lane when the
+// parent is that lane's innermost open span (sequential work nests), else
+// the first free lane (concurrent siblings spread out).
+func (at *activeTrace) laneFor(parent *Span) int {
+	for i, stack := range at.lanes {
+		if n := len(stack); n > 0 && stack[n-1] == parent {
+			return i
+		}
+	}
+	for i, stack := range at.lanes {
+		if len(stack) == 0 {
+			return i
+		}
+	}
+	at.lanes = append(at.lanes, nil)
+	return len(at.lanes) - 1
+}
+
+func (at *activeTrace) startChild(name string, parent *Span) *Span {
+	t := at.tracer
+	now := t.opt.Now()
+	at.mu.Lock()
+	defer at.mu.Unlock()
+	if at.done || len(at.spans)+len(at.open) >= t.opt.MaxSpans {
+		t.droppedSpans.Add(1)
+		return nil
+	}
+	sp := &Span{trace: at, data: SpanData{
+		Name: name, SpanID: t.newSpanID(), ParentID: parent.data.SpanID, Start: now,
+	}}
+	sp.data.Lane = at.laneFor(parent)
+	at.lanes[sp.data.Lane] = append(at.lanes[sp.data.Lane], sp)
+	at.open[sp] = struct{}{}
+	return sp
+}
+
+// Span is one timed operation inside a trace. The zero of usefulness — a
+// nil *Span — is every method's valid receiver, so untraced paths need no
+// branches.
+type Span struct {
+	trace *activeTrace
+	data  SpanData // guarded by trace.mu except the immutable identity fields
+}
+
+// TraceID returns the owning trace's ID (zero for a nil span).
+func (sp *Span) TraceID() TraceID {
+	if sp == nil {
+		return TraceID{}
+	}
+	return sp.trace.id
+}
+
+// SpanID returns the span's own ID (zero for a nil span).
+func (sp *Span) SpanID() SpanID {
+	if sp == nil {
+		return SpanID{}
+	}
+	return sp.data.SpanID
+}
+
+// SpanContext returns the identity a traceparent header would carry.
+func (sp *Span) SpanContext() SpanContext {
+	if sp == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: sp.trace.id, SpanID: sp.data.SpanID}
+}
+
+// SetAttr annotates an open span; after End (or after the trace completed)
+// the call is dropped.
+func (sp *Span) SetAttr(key, value string) {
+	if sp == nil {
+		return
+	}
+	at := sp.trace
+	at.mu.Lock()
+	defer at.mu.Unlock()
+	if at.done {
+		return
+	}
+	if _, ok := at.open[sp]; !ok {
+		return
+	}
+	sp.data.Attrs = append(sp.data.Attrs, Attr{Key: key, Value: value})
+}
+
+// End finishes the span. Ending the root completes the trace: any spans
+// still open are flushed with the root's end time and unfinished=true, the
+// snapshot lands in the tracer's ring, and every later mutation of the
+// trace is a counted no-op. End is idempotent.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	at := sp.trace
+	t := at.tracer
+	now := t.opt.Now()
+	at.mu.Lock()
+	if at.done {
+		at.mu.Unlock()
+		return
+	}
+	if _, ok := at.open[sp]; !ok {
+		at.mu.Unlock()
+		return
+	}
+	delete(at.open, sp)
+	sp.data.End = now
+	at.spans = append(at.spans, sp.data)
+	stack := at.lanes[sp.data.Lane]
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] == sp {
+			at.lanes[sp.data.Lane] = append(stack[:i], stack[i+1:]...)
+			break
+		}
+	}
+	if sp != at.root {
+		at.mu.Unlock()
+		return
+	}
+	at.done = true
+	for o := range at.open {
+		o.data.End = now
+		o.data.Unfinished = true
+		at.spans = append(at.spans, o.data)
+	}
+	clear(at.open)
+	td := &TraceData{ID: at.id, Service: t.opt.Service, Start: at.start, End: now}
+	td.Spans = append(td.Spans, at.spans...)
+	sort.SliceStable(td.Spans, func(i, j int) bool {
+		if !td.Spans[i].Start.Equal(td.Spans[j].Start) {
+			return td.Spans[i].Start.Before(td.Spans[j].Start)
+		}
+		return td.Spans[i].SpanID.String() < td.Spans[j].SpanID.String()
+	})
+	at.mu.Unlock()
+	t.ring.add(td)
+	t.recorded.Add(1)
+}
+
+// ctxKey carries the current span through context.Context.
+type ctxKey struct{}
+
+// ContextWithSpan returns ctx carrying sp; a nil span returns ctx unchanged,
+// which is how a detached context (cancellation from one lineage, trace
+// parentage from another) is assembled without nil checks at call sites.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// SpanFromContext returns the context's span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// ChildSpan starts a span under the context's current span without
+// re-threading the context — for call sites that must pair a span with a
+// DIFFERENT context's cancellation (the singleflight compute path). Returns
+// nil (a valid no-op span) when the context carries none.
+func ChildSpan(ctx context.Context, name string) *Span {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return nil
+	}
+	return parent.trace.startChild(name, parent)
+}
+
+// StartSpan starts a child span and threads it through the returned
+// context — the common case. On a span-less context it returns the inputs
+// untouched and a nil span.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	sp := ChildSpan(ctx, name)
+	if sp == nil {
+		return ctx, nil
+	}
+	return context.WithValue(ctx, ctxKey{}, sp), sp
+}
+
+// Inject stamps the context's span identity onto an outbound request's
+// headers as traceparent; span-less contexts leave the headers untouched.
+func Inject(ctx context.Context, h http.Header) {
+	if sp := SpanFromContext(ctx); sp != nil {
+		h.Set(TraceParentHeader, FormatTraceParent(sp.SpanContext()))
+	}
+}

@@ -1,0 +1,288 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"vocabpipe/internal/trace"
+)
+
+// writeEvents serializes events exactly as the debug endpoint does — a
+// bare JSON array, the form trace.ReadChromeTrace decodes.
+func writeEvents(w io.Writer, events []trace.Event) error {
+	return json.NewEncoder(w).Encode(events)
+}
+
+// fakeClock steps 1ms per call from a fixed epoch — every exported
+// timestamp and duration becomes a deterministic multiple of 1000µs.
+func fakeClock() func() time.Time {
+	var mu sync.Mutex
+	t0 := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	n := 0
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		n++
+		return t0.Add(time.Duration(n) * time.Millisecond)
+	}
+}
+
+// counterRand hands out 1, 2, 3, ... — reproducible IDs.
+func counterRand() func() uint64 {
+	var mu sync.Mutex
+	var n uint64
+	return func() uint64 {
+		mu.Lock()
+		defer mu.Unlock()
+		n++
+		return n
+	}
+}
+
+func newTestTracer(capacity int) *Tracer {
+	return NewTracer(Options{
+		Capacity: capacity,
+		Service:  "test",
+		Now:      fakeClock(),
+		Rand:     counterRand(),
+	})
+}
+
+func TestRootCompletesIntoRing(t *testing.T) {
+	tr := newTestTracer(4)
+	root := tr.StartRoot("GET /api/v1/sweep", SpanContext{})
+	root.SetAttr("route", "/api/v1/sweep")
+	id := root.TraceID()
+	if id.IsZero() {
+		t.Fatal("root trace ID is zero")
+	}
+	if _, ok := tr.Trace(id); ok {
+		t.Fatal("trace visible before the root ended")
+	}
+	ctx := ContextWithSpan(context.Background(), root)
+	_, child := StartSpan(ctx, "admission")
+	child.SetAttr("outcome", "admitted")
+	child.End()
+	root.End()
+
+	td, ok := tr.Trace(id)
+	if !ok {
+		t.Fatal("completed trace not in ring")
+	}
+	if len(td.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(td.Spans))
+	}
+	if td.Root().Name != "GET /api/v1/sweep" {
+		t.Errorf("root = %q", td.Root().Name)
+	}
+	if td.Spans[1].ParentID != td.Spans[0].SpanID {
+		t.Error("child not parented under root")
+	}
+	if got := tr.Stats(); got.Recorded != 1 || got.RingEntries != 1 {
+		t.Errorf("stats = %+v", got)
+	}
+}
+
+func TestSequentialChildrenShareLaneConcurrentSiblingsSpread(t *testing.T) {
+	tr := newTestTracer(4)
+	root := tr.StartRoot("req", SpanContext{})
+	ctx := ContextWithSpan(context.Background(), root)
+
+	// Sequential phases nest: each child is the lane top's child in turn.
+	_, a := StartSpan(ctx, "phase-a")
+	actx, aa := StartSpan(ContextWithSpan(ctx, a), "phase-a.inner")
+	_ = actx
+	aa.End()
+	a.End()
+
+	// Concurrent siblings started while none has ended must spread out.
+	_, s1 := StartSpan(ctx, "shard-1")
+	_, s2 := StartSpan(ctx, "shard-2")
+	s1.End()
+	s2.End()
+	root.End()
+
+	td, _ := tr.Trace(root.TraceID())
+	lanes := map[string]int{}
+	for _, s := range td.Spans {
+		lanes[s.Name] = s.Lane
+	}
+	if lanes["phase-a"] != lanes["req"] {
+		t.Errorf("sequential child off the root lane: %v", lanes)
+	}
+	if lanes["phase-a.inner"] != lanes["phase-a"] {
+		t.Errorf("nested child off its parent lane: %v", lanes)
+	}
+	if lanes["shard-1"] == lanes["shard-2"] {
+		t.Errorf("concurrent siblings share lane %d: %v", lanes["shard-1"], lanes)
+	}
+}
+
+func TestRootEndFlushesOpenSpansAsUnfinished(t *testing.T) {
+	tr := newTestTracer(4)
+	root := tr.StartRoot("req", SpanContext{})
+	ctx := ContextWithSpan(context.Background(), root)
+	_, orphan := StartSpan(ctx, "detached-compute")
+	root.End()
+
+	td, _ := tr.Trace(root.TraceID())
+	var found *SpanData
+	for i := range td.Spans {
+		if td.Spans[i].Name == "detached-compute" {
+			found = &td.Spans[i]
+		}
+	}
+	if found == nil {
+		t.Fatal("open span lost at completion")
+	}
+	if !found.Unfinished {
+		t.Error("flushed span not marked unfinished")
+	}
+	if found.End.Before(found.Start) {
+		t.Error("flushed span has no end time")
+	}
+	// Post-completion mutation is a counted no-op, never a panic.
+	orphan.SetAttr("late", "true")
+	orphan.End()
+	if got := tr.Stats().Recorded; got != 1 {
+		t.Errorf("recorded = %d after late End", got)
+	}
+}
+
+func TestChildAfterCompletionIsDroppedAndCounted(t *testing.T) {
+	tr := newTestTracer(4)
+	root := tr.StartRoot("req", SpanContext{})
+	ctx := ContextWithSpan(context.Background(), root)
+	root.End()
+	if sp := ChildSpan(ctx, "late"); sp != nil {
+		t.Fatal("child span started on a completed trace")
+	}
+	if got := tr.Stats().DroppedSpans; got != 1 {
+		t.Errorf("dropped = %d, want 1", got)
+	}
+}
+
+func TestMaxSpansGuard(t *testing.T) {
+	tr := NewTracer(Options{Capacity: 4, MaxSpans: 3, Now: fakeClock(), Rand: counterRand()})
+	root := tr.StartRoot("req", SpanContext{})
+	ctx := ContextWithSpan(context.Background(), root)
+	if _, sp := StartSpan(ctx, "a"); sp == nil {
+		t.Fatal("span under the cap refused")
+	}
+	if _, sp := StartSpan(ctx, "b"); sp == nil {
+		t.Fatal("span at the cap boundary refused")
+	}
+	if _, sp := StartSpan(ctx, "c"); sp != nil {
+		t.Fatal("span past MaxSpans accepted")
+	}
+	if got := tr.Stats().DroppedSpans; got != 1 {
+		t.Errorf("dropped = %d, want 1", got)
+	}
+}
+
+func TestRemoteParentAdoptsTraceID(t *testing.T) {
+	coord := newTestTracer(4)
+	worker := newTestTracer(4)
+	attempt := coord.StartRoot("attempt", SpanContext{})
+
+	// The worker parses the header the coordinator would send.
+	sc, ok := ParseTraceParent(FormatTraceParent(attempt.SpanContext()))
+	if !ok {
+		t.Fatal("round-tripped traceparent rejected")
+	}
+	wroot := worker.StartRoot("POST /api/v1/shard", sc)
+	if wroot.TraceID() != attempt.TraceID() {
+		t.Error("worker did not adopt the coordinator's trace ID")
+	}
+	wroot.End()
+	td, ok := worker.Trace(attempt.TraceID())
+	if !ok {
+		t.Fatal("worker trace not recorded under the shared ID")
+	}
+	if td.Root().ParentID != attempt.SpanID() {
+		t.Error("worker root not parented under the coordinator attempt span")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartRoot("x", SpanContext{})
+	if sp != nil {
+		t.Fatal("nil tracer minted a span")
+	}
+	sp.SetAttr("k", "v")
+	sp.End()
+	if !sp.TraceID().IsZero() || !sp.SpanID().IsZero() {
+		t.Error("nil span has identity")
+	}
+	ctx := ContextWithSpan(context.Background(), sp)
+	if SpanFromContext(ctx) != nil {
+		t.Error("nil span stored in context")
+	}
+	octx, child := StartSpan(ctx, "child")
+	if child != nil || octx != ctx {
+		t.Error("StartSpan on a span-less context not a no-op")
+	}
+	if got := tr.Stats(); got != (Stats{}) {
+		t.Errorf("nil tracer stats = %+v", got)
+	}
+	if tr.Recent(5) != nil {
+		t.Error("nil tracer has recent traces")
+	}
+}
+
+func TestChromeExportRoundTripsAndIsDeterministic(t *testing.T) {
+	export := func() []trace.Event {
+		tr := newTestTracer(4)
+		root := tr.StartRoot("req", SpanContext{})
+		ctx := ContextWithSpan(context.Background(), root)
+		_, child := StartSpan(ctx, "work")
+		child.SetAttr("outcome", "ok")
+		child.End()
+		root.End()
+		td, _ := tr.Trace(root.TraceID())
+		return td.ChromeEvents()
+	}
+
+	events := export()
+	var buf bytes.Buffer
+	if err := writeEvents(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.ReadChromeTrace(&buf)
+	if err != nil {
+		t.Fatalf("export does not round-trip: %v", err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("got %d events, want 2", len(back))
+	}
+	for _, e := range back {
+		if e.Ph != "X" {
+			t.Errorf("event %q has phase %q, want X", e.Name, e.Ph)
+		}
+		if e.Args["trace_id"] == "" || e.Args["span_id"] == "" {
+			t.Errorf("event %q missing identity args", e.Name)
+		}
+	}
+	if back[1].Args["parent_id"] != back[0].Args["span_id"] {
+		t.Error("child event not linked to root via parent_id")
+	}
+
+	// A second tracer with the same injected clock and entropy exports
+	// identical events — the determinism the e2e cluster test leans on.
+	again := export()
+	if len(again) != len(events) {
+		t.Fatal("re-export changed event count")
+	}
+	for i := range events {
+		if events[i].Name != again[i].Name || events[i].Ts != again[i].Ts ||
+			events[i].Dur != again[i].Dur || events[i].Tid != again[i].Tid {
+			t.Errorf("event %d differs across identical runs: %+v vs %+v", i, events[i], again[i])
+		}
+	}
+}

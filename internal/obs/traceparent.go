@@ -1,0 +1,51 @@
+package obs
+
+import "encoding/hex"
+
+// TraceParentHeader is the W3C Trace Context header carrying trace identity
+// across process boundaries: version-traceid-parentid-flags, all lowercase
+// hex ("00-4bf9...-00f0...-01").
+const TraceParentHeader = "traceparent"
+
+// FormatTraceParent renders the header value for an outbound request. The
+// version is always 00 and the sampled flag always set — this tracer has no
+// sampling decision to propagate; the ring buffer is the retention policy.
+func FormatTraceParent(sc SpanContext) string {
+	return "00-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-01"
+}
+
+// ParseTraceParent decodes an incoming header value. The boolean is false —
+// and the caller starts a fresh trace — for an absent, malformed, all-zero
+// or version-ff value; a bad header from an arbitrary client must never be
+// able to break request handling, only to fail to link traces.
+func ParseTraceParent(h string) (SpanContext, bool) {
+	var sc SpanContext
+	// Fixed-layout fast parse: vv-<32 hex>-<16 hex>-ff is exactly 55 bytes;
+	// future versions may append "-..." suffixes, which are ignored.
+	if len(h) < 55 {
+		return sc, false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return sc, false
+	}
+	if len(h) > 55 && h[55] != '-' {
+		return sc, false
+	}
+	var version [1]byte
+	if _, err := hex.Decode(version[:], []byte(h[0:2])); err != nil || version[0] == 0xff {
+		return sc, false
+	}
+	if _, err := hex.Decode(sc.TraceID[:], []byte(h[3:35])); err != nil {
+		return sc, false
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(h[36:52])); err != nil {
+		return sc, false
+	}
+	if _, err := hex.Decode(version[:], []byte(h[53:55])); err != nil {
+		return sc, false // flags must still be hex even though we ignore them
+	}
+	if !sc.Valid() {
+		return sc, false
+	}
+	return sc, true
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestTraceParentRoundTrip(t *testing.T) {
+	tr := newTestTracer(4)
+	sp := tr.StartRoot("req", SpanContext{})
+	h := FormatTraceParent(sp.SpanContext())
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("malformed header %q", h)
+	}
+	sc, ok := ParseTraceParent(h)
+	if !ok {
+		t.Fatalf("own header rejected: %q", h)
+	}
+	if sc.TraceID != sp.TraceID() || sc.SpanID != sp.SpanID() {
+		t.Errorf("identity did not round-trip: %+v", sc)
+	}
+}
+
+func TestParseTraceParentRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"",
+		"garbage",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",     // missing flags
+		"00-4bf92f3577b34da6a3ce929d0e0e4736_00f067aa0ba902b7-01",  // wrong separator
+		"zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",  // non-hex version
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",  // forbidden version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",  // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",  // zero span id
+		"00-XYf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",  // non-hex trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902XY-01",  // non-hex span id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-XY",  // non-hex flags
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x", // trailing junk
+	}
+	for _, h := range bad {
+		if _, ok := ParseTraceParent(h); ok {
+			t.Errorf("accepted %q", h)
+		}
+	}
+	// A future version with a dash-separated suffix still parses.
+	if _, ok := ParseTraceParent("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"); !ok {
+		t.Error("rejected a future-versioned header with a suffix")
+	}
+}
+
+func TestParseTraceIDValidation(t *testing.T) {
+	tr := newTestTracer(4)
+	sp := tr.StartRoot("req", SpanContext{})
+	id, err := ParseTraceID(sp.TraceID().String())
+	if err != nil || id != sp.TraceID() {
+		t.Errorf("own ID rejected: %v", err)
+	}
+	for _, s := range []string{"", "abc", strings.Repeat("0", 32), strings.Repeat("z", 32)} {
+		if _, err := ParseTraceID(s); err == nil {
+			t.Errorf("accepted %q", s)
+		}
+	}
+}
+
+func TestInject(t *testing.T) {
+	tr := newTestTracer(4)
+	sp := tr.StartRoot("req", SpanContext{})
+	h := http.Header{}
+	Inject(ContextWithSpan(context.Background(), sp), h)
+	if got := h.Get(TraceParentHeader); got != FormatTraceParent(sp.SpanContext()) {
+		t.Errorf("injected %q", got)
+	}
+	empty := http.Header{}
+	Inject(context.Background(), empty)
+	if len(empty) != 0 {
+		t.Errorf("span-less inject wrote headers: %v", empty)
+	}
+}

@@ -1,0 +1,24 @@
+package server
+
+import (
+	_ "embed"
+	"net/http"
+)
+
+// dashboardHTML is the entire dashboard: one self-contained page, no build
+// step, no external assets — it polls the server's own /metrics, /healthz,
+// jobs and debug-trace APIs with vanilla JS, so it works from the single
+// binary on an air-gapped box.
+//
+//go:embed dashboard.html
+var dashboardHTML []byte
+
+// handleDashboard serves the embedded live dashboard. Like /metrics it
+// bypasses admission — watching a saturated server is exactly when the
+// dashboard matters.
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if _, err := w.Write(dashboardHTML); err != nil {
+		s.logf(r, "dashboard: writing page: %v", err)
+	}
+}

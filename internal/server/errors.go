@@ -42,6 +42,12 @@ const (
 	ErrShedOverload ErrCode = "shed_overload"
 	// ErrShuttingDown: the server is draining (503).
 	ErrShuttingDown ErrCode = "shutting_down"
+	// ErrTraceNotFound: GET /api/v1/debug/traces/{id} names a trace the
+	// bounded ring no longer (or never) holds (404).
+	ErrTraceNotFound ErrCode = "trace_not_found"
+	// ErrTracingDisabled: the debug trace endpoints on a server constructed
+	// with tracing off (409).
+	ErrTracingDisabled ErrCode = "tracing_disabled"
 	// ErrInternal: an unexpected server-side failure (500).
 	ErrInternal ErrCode = "internal"
 )
@@ -65,9 +71,10 @@ type ErrorEnvelope struct {
 // set it first; otherwise a floor of 1s is filled in here so the contract
 // ("a 429 always tells you when to come back") cannot be forgotten at one
 // call site. Encode or write failures (a client gone mid-error, a broken
-// proxy) have no response channel left, so they are logged rather than
-// dropped.
-func (s *Server) writeError(w http.ResponseWriter, status int, code ErrCode, details map[string]any, format string, args ...any) {
+// proxy) have no response channel left, so they are logged — with the
+// request's route and trace ID, so the line correlates with the trace
+// export — rather than dropped.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, code ErrCode, details map[string]any, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	if status == http.StatusTooManyRequests && w.Header().Get("Retry-After") == "" {
 		w.Header().Set("Retry-After", "1")
@@ -75,6 +82,6 @@ func (s *Server) writeError(w http.ResponseWriter, status int, code ErrCode, det
 	w.WriteHeader(status)
 	env := ErrorEnvelope{Error: ErrorDetail{Code: code, Message: fmt.Sprintf(format, args...), Details: details}}
 	if err := json.NewEncoder(w).Encode(env); err != nil {
-		s.opt.Logf("server: writing %d error body: %v", status, err)
+		s.logf(r, "writing %d error body: %v", status, err)
 	}
 }

@@ -99,13 +99,47 @@ func TestHealthzEncodesBeforeWriting(t *testing.T) {
 func TestWriteErrorFailureLogged(t *testing.T) {
 	s, rec := newRecordingServer(t)
 	w := &failingWriter{}
-	s.writeError(w, http.StatusBadRequest, ErrInvalidParameter, nil, "bad thing: %d", 42)
+	r := httptest.NewRequest(http.MethodGet, "/api/v1/sweep", nil)
+	s.writeError(w, r, http.StatusBadRequest, ErrInvalidParameter, nil, "bad thing: %d", 42)
 
 	if w.status != http.StatusBadRequest {
 		t.Errorf("status = %d, want 400 (header write still happens)", w.status)
 	}
 	if got := rec.joined(); !strings.Contains(got, "400") || !strings.Contains(got, "connection reset") {
 		t.Errorf("error-body write failure not logged; log = %q", got)
+	}
+	// Every Logf line carries request identity — route and trace ID — even
+	// when (as here, with no middleware) both are unknown placeholders.
+	if got := rec.joined(); !strings.Contains(got, "route=") || !strings.Contains(got, "trace=") {
+		t.Errorf("log line missing request identity; log = %q", got)
+	}
+}
+
+// TestLogfCarriesRouteAndTraceID: a write failure on a request that came
+// through the real middleware logs the resolved route label and the same
+// trace ID the client got in X-Trace-Id.
+func TestLogfCarriesRouteAndTraceID(t *testing.T) {
+	s, rec := newRecordingServer(t)
+	h := s.Handler()
+
+	// Drive the middleware with a recorder to learn the trace ID, then
+	// replay the identical request against a failing writer.
+	probe := httptest.NewRecorder()
+	h.ServeHTTP(probe, httptest.NewRequest(http.MethodGet, "/api/v1/experiments/nope", nil))
+	if probe.Header().Get("X-Trace-Id") == "" {
+		t.Fatal("API response missing X-Trace-Id")
+	}
+
+	w := &failingWriter{}
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/api/v1/experiments/nope", nil))
+	got := rec.joined()
+	if !strings.Contains(got, "route=/api/v1/experiments/{name}") {
+		t.Errorf("log missing the resolved route label; log = %q", got)
+	}
+	// The second request's trace ID differs from the probe's, but the log
+	// line must carry a real 32-hex ID, not the "-" placeholder.
+	if strings.Contains(got, "trace=-") || !strings.Contains(got, "trace=") {
+		t.Errorf("log missing a real trace ID; log = %q", got)
 	}
 }
 
@@ -118,5 +152,6 @@ func TestWriteErrorDefaultLogf(t *testing.T) {
 		t.Fatal("default Logf is nil")
 	}
 	// Exercising the path must not panic even with the real logger.
-	s.writeError(&failingWriter{}, http.StatusInternalServerError, ErrInternal, nil, "x")
+	r := httptest.NewRequest(http.MethodGet, "/api/v1/sweep", nil)
+	s.writeError(&failingWriter{}, r, http.StatusInternalServerError, ErrInternal, nil, "x")
 }

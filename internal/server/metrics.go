@@ -8,12 +8,23 @@ package server
 
 import (
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"time"
 
 	"vocabpipe/internal/metrics"
 )
+
+// buildVersion is the module version stamped into the binary, "dev" when
+// built from a working tree (go build reports "(devel)").
+var buildVersion = func() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "dev"
+}()
 
 // initMetrics builds the registry and registers every family. Called once
 // from New, after the cache, jobs queue and (optional) cluster dispatcher
@@ -34,6 +45,29 @@ func (s *Server) initMetrics() {
 	r.GaugeFunc("vpserve_uptime_seconds",
 		"Seconds since the server was constructed.",
 		func() float64 { return time.Since(s.start).Seconds() })
+	r.GaugeSamples("vpserve_build_info",
+		"Build identity as labels; the value is always 1.",
+		[]string{"version", "go_version"},
+		func() []metrics.Sample {
+			return []metrics.Sample{{Labels: []string{buildVersion, runtime.Version()}, Value: 1}}
+		})
+
+	// Tracing (internal/obs): the completed-trace flight recorder behind
+	// GET /api/v1/debug/traces.
+	if tr := s.tracer; tr != nil {
+		r.CounterFunc("vpserve_traces_recorded_total",
+			"Completed traces recorded into the ring buffer.",
+			func() float64 { return float64(tr.Stats().Recorded) })
+		r.CounterFunc("vpserve_trace_spans_dropped_total",
+			"Spans refused because their trace was complete or at MaxSpans.",
+			func() float64 { return float64(tr.Stats().DroppedSpans) })
+		r.GaugeFunc("vpserve_trace_ring_entries",
+			"Completed traces currently held in the ring buffer.",
+			func() float64 { return float64(tr.Stats().RingEntries) })
+		r.GaugeFunc("vpserve_trace_ring_capacity",
+			"Configured trace ring capacity.",
+			func() float64 { return float64(tr.Stats().RingCapacity) })
+	}
 
 	// Admission control (admission.go): depth gauges read the controller's
 	// own counters at scrape time; the wait histogram is observed inline on
@@ -208,7 +242,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if err := s.metrics.WritePrometheus(w); err != nil {
 		// Mid-body failure: the scrape is already broken on the wire, log
 		// and let the scraper's parser reject the truncated payload.
-		s.opt.Logf("server: metrics: writing exposition: %v", err)
+		s.logf(r, "metrics: writing exposition: %v", err)
 	}
 }
 

@@ -25,6 +25,18 @@
 //	GET /api/v1/jobs                  list known jobs
 //	GET /api/v1/jobs/{id}             poll one job: state, progress, result
 //	DELETE /api/v1/jobs/{id}          cancel a queued or running job
+//	GET /api/v1/debug/traces          recent completed request traces
+//	GET /api/v1/debug/traces/{id}     one trace as Chrome trace_event JSON
+//	                                  (merged across workers on a coordinator)
+//	GET /dashboard                    embedded zero-dependency live dashboard
+//
+// Tracing (internal/obs): every /api request runs under a root span whose
+// trace ID is returned in the X-Trace-Id response header; admission wait,
+// cache lookup, compute, cluster dispatch and per-shard attempts are child
+// spans, and shard requests carry a traceparent header so worker-side spans
+// parent under the coordinator's attempt across processes. Completed traces
+// sit in a bounded ring buffer exported by the debug endpoints. With
+// Options.Debug, net/http/pprof mounts at /debug/pprof/.
 //
 // Every job-bearing response — the jobs list, a job poll, the optimize 202
 // body and each SSE data frame — serializes the one canonical job schema
@@ -73,6 +85,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -84,6 +97,7 @@ import (
 	"vocabpipe/internal/experiments"
 	"vocabpipe/internal/jobs"
 	"vocabpipe/internal/metrics"
+	"vocabpipe/internal/obs"
 	"vocabpipe/internal/report"
 	"vocabpipe/internal/sim"
 	"vocabpipe/internal/sweep"
@@ -138,9 +152,23 @@ type Options struct {
 	// do not reap a quiet connection (default 15s).
 	SSEHeartbeat time.Duration
 	// Logf receives server-side error logs that have no response channel
-	// left — encode/write failures on responses already in flight. Default
-	// log.Printf; tests inject a recorder.
+	// left — encode/write failures on responses already in flight — plus
+	// the slow-request log. Lines carry the request's route and trace ID.
+	// Default log.Printf; tests inject a recorder.
 	Logf func(format string, args ...any)
+	// TraceCapacity sizes the completed-trace ring buffer behind
+	// GET /api/v1/debug/traces (default 256; negative disables tracing
+	// entirely — no spans, no X-Trace-Id, 409 on the debug endpoints).
+	TraceCapacity int
+	// Tracer overrides the tracer built from TraceCapacity — tests inject
+	// one with a fixed clock and deterministic IDs.
+	Tracer *obs.Tracer
+	// SlowRequest logs any request slower than this through Logf, with its
+	// route, status and trace ID (0 disables; vpserve defaults it to 1s).
+	SlowRequest time.Duration
+	// Debug mounts net/http/pprof at /debug/pprof/ — admission-bypassing
+	// like /metrics, because profiling a saturated server is the point.
+	Debug bool
 }
 
 // Server holds the handler state. Construct with New; Close releases the
@@ -151,6 +179,7 @@ type Server struct {
 	jobs     *jobs.Queue
 	cluster  *cluster.Dispatcher // non-nil in coordinator mode
 	admit    *admitter
+	tracer   *obs.Tracer // nil when Options.TraceCapacity < 0
 	start    time.Time
 	requests atomic.Int64
 
@@ -197,6 +226,12 @@ func New(opt Options) *Server {
 		cache: cache.New[[]report.Record](opt.CacheSize),
 		admit: newAdmitter(opt.MaxInFlight, opt.AdmitQueue),
 		start: time.Now(),
+	}
+	switch {
+	case opt.Tracer != nil:
+		s.tracer = opt.Tracer
+	case opt.TraceCapacity >= 0:
+		s.tracer = obs.NewTracer(obs.Options{Capacity: opt.TraceCapacity, Service: "vpserve"})
 	}
 	if len(opt.Cluster.Workers) > 0 || opt.Cluster.Dynamic {
 		// The cluster's local fallback uses the same per-grid parallelism
@@ -247,6 +282,15 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /dashboard", s.handleDashboard)
+	if s.opt.Debug {
+		// No method in the patterns: pprof's symbol endpoint accepts POST.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	api := []struct {
 		pattern string // method + path below /api
 		h       http.HandlerFunc
@@ -261,6 +305,8 @@ func (s *Server) Handler() http.Handler {
 		{"GET /jobs/{id}", s.handleJobGet},
 		{"GET /jobs/{id}/events", s.handleJobEvents},
 		{"DELETE /jobs/{id}", s.handleJobCancel},
+		{"GET /debug/traces", s.handleTraceList},
+		{"GET /debug/traces/{id}", s.handleTraceGet},
 	}
 	for _, rt := range api {
 		method, path, _ := strings.Cut(rt.pattern, " ")
@@ -270,11 +316,38 @@ func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
 		route := routeLabel(mux, r)
+		ctx := context.WithValue(r.Context(), routeCtxKey{}, route)
+		// API requests open the trace's root span; its ID is on the response
+		// before the handler runs, so even a shed 429 is correlatable. An
+		// incoming traceparent (a coordinator's shard attempt) adopts the
+		// remote trace so worker spans nest under it across processes.
+		var sp *obs.Span
+		if s.tracer != nil && traced(r.URL.Path) {
+			parent, _ := obs.ParseTraceParent(r.Header.Get(obs.TraceParentHeader))
+			sp = s.tracer.StartRoot(r.Method+" "+route, parent)
+			sp.SetAttr("route", route)
+			w.Header().Set("X-Trace-Id", sp.TraceID().String())
+			ctx = obs.ContextWithSpan(ctx, sp)
+		}
+		r = r.WithContext(ctx)
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
 		mux.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		if sp != nil {
+			sp.SetAttr("status", strconv.Itoa(status))
+			sp.End()
+		}
 		s.httpReqs.With(route, statusClass(sw.status)).Inc()
-		s.httpDur.With(route).Observe(time.Since(start).Seconds())
+		s.httpDur.With(route).Observe(elapsed.Seconds())
+		if s.opt.SlowRequest > 0 && elapsed >= s.opt.SlowRequest {
+			s.logf(r, "slow request: %s %s -> %d in %s",
+				r.Method, r.URL.Path, status, elapsed.Round(time.Millisecond))
+		}
 	})
 }
 
@@ -330,13 +403,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(h); err != nil {
-		s.writeError(w, http.StatusInternalServerError, ErrInternal, nil, "encoding health: %v", err)
+		s.writeError(w, r, http.StatusInternalServerError, ErrInternal, nil, "encoding health: %v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if _, err := w.Write(buf.Bytes()); err != nil {
 		// The response is already in flight; the log line is all that's left.
-		s.opt.Logf("server: healthz: writing response: %v", err)
+		s.logf(r, "healthz: writing response: %v", err)
 	}
 }
 
@@ -399,30 +472,57 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, route string, g
 	if s.cache.Contains(key) {
 		class = classCheap
 	}
+	asp := obs.ChildSpan(r.Context(), "admission")
+	if class == classCheap {
+		asp.SetAttr("class", "cheap")
+	} else {
+		asp.SetAttr("class", "compute")
+	}
 	release, ok, waited, retryAfter := s.admit.admit(r.Context(), class)
 	if !ok {
 		if r.Context().Err() != nil {
+			asp.SetAttr("outcome", "client_gone")
+			asp.End()
 			// The client vanished while queued; nobody reads this response.
 			w.WriteHeader(StatusClientClosedRequest)
 			return
 		}
+		asp.SetAttr("outcome", "shed")
+		asp.End()
 		st := s.admit.stats()
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
-		s.writeError(w, http.StatusTooManyRequests, ErrShedOverload,
+		s.writeError(w, r, http.StatusTooManyRequests, ErrShedOverload,
 			map[string]any{"in_flight": st.InFlight, "queued": st.Queued, "queue_capacity": st.QueueCapacity},
 			"server overloaded: %d requests in flight and the accept queue is full", st.InFlight)
 		return
 	}
 	defer release()
+	asp.SetAttr("outcome", "admitted")
+	asp.End()
 	s.admitWait.Observe(waited.Seconds())
+
+	// The lookup span covers the whole DoCtx window — on a hit it is
+	// milliseconds of decode, on a miss it contains the compute span.
+	lsp := obs.ChildSpan(r.Context(), "cache.lookup")
+	// lctx carries the lookup span for PARENTAGE only; cancellation still
+	// comes from whatever context the cache hands the compute closure.
+	lctx := obs.ContextWithSpan(r.Context(), lsp)
 
 	// The dispatch decision lives inside the compute closure so cache hits
 	// never pay for it (Shardable is a cheap scan, but the cell-count check
 	// re-expands the grid).
 	compute := func(ctx context.Context) ([]report.Record, error) {
+		// The cache runs compute on a DETACHED context (refcounted by every
+		// coalesced caller) — bridge the two lineages: cancellation from the
+		// cache's ctx, trace parentage from this request's lookup span.
+		csp := obs.ChildSpan(lctx, "compute")
+		defer csp.End()
+		ctx = obs.ContextWithSpan(ctx, csp)
 		if s.cluster != nil && route != "shard" && sweep.Shardable(g) && len(g.Expand()) > 1 {
+			csp.SetAttr("path", "cluster")
 			return s.cluster.Records(ctx, g)
 		}
+		csp.SetAttr("path", "local")
 		res, err := sweep.RunCtx(ctx, g, sweep.Options{Parallel: s.opt.Parallel})
 		if err != nil {
 			return nil, err
@@ -430,6 +530,11 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, route string, g
 		return res.Records(), nil
 	}
 	recs, outcome, err := s.cache.DoCtx(r.Context(), key, compute)
+	lsp.SetAttr("outcome", outcomeHeader(outcome))
+	if err != nil {
+		lsp.SetAttr("error", err.Error())
+	}
+	lsp.End()
 	if err != nil {
 		if r.Context().Err() != nil || errors.Is(err, context.Canceled) {
 			// The client is gone; nobody reads this response. Record the
@@ -437,7 +542,7 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, route string, g
 			w.WriteHeader(StatusClientClosedRequest)
 			return
 		}
-		s.writeError(w, http.StatusInternalServerError, ErrInternal, nil, "%v", err)
+		s.writeError(w, r, http.StatusInternalServerError, ErrInternal, nil, "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -459,17 +564,17 @@ func outcomeHeader(o cache.Outcome) string {
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	spec := r.URL.Query().Get("grid")
 	if spec == "" {
-		s.writeError(w, http.StatusBadRequest, ErrMissingParameter, map[string]any{"parameter": "grid"},
+		s.writeError(w, r, http.StatusBadRequest, ErrMissingParameter, map[string]any{"parameter": "grid"},
 			"missing required query parameter %q (sweep.ParseGrid syntax, e.g. grid=model=4B;method=1f1b)", "grid")
 		return
 	}
 	g, err := sweep.ParseGrid(spec)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, ErrInvalidGrid, nil, "%v", err)
+		s.writeError(w, r, http.StatusBadRequest, ErrInvalidGrid, nil, "%v", err)
 		return
 	}
 	if v := s.checkGrid(g); v != nil {
-		s.writeError(w, http.StatusBadRequest, v.code, v.details, "%s", v.msg)
+		s.writeError(w, r, http.StatusBadRequest, v.code, v.details, "%s", v.msg)
 		return
 	}
 	s.respond(w, r, "sweep", g)
@@ -482,18 +587,18 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	cfgName := q.Get("config")
 	methodName := q.Get("method")
 	if cfgName == "" || methodName == "" {
-		s.writeError(w, http.StatusBadRequest, ErrMissingParameter, nil, "config and method query parameters are required")
+		s.writeError(w, r, http.StatusBadRequest, ErrMissingParameter, nil, "config and method query parameters are required")
 		return
 	}
 	cfg, ok := costmodel.ConfigByName(cfgName)
 	if !ok {
-		s.writeError(w, http.StatusBadRequest, ErrInvalidParameter, map[string]any{"parameter": "config"},
+		s.writeError(w, r, http.StatusBadRequest, ErrInvalidParameter, map[string]any{"parameter": "config"},
 			"unknown config %q (want 4B, 10B, 21B, 7B, 16B or 30B)", cfgName)
 		return
 	}
 	m, ok := sim.MethodByName(methodName)
 	if !ok {
-		s.writeError(w, http.StatusBadRequest, ErrInvalidParameter, map[string]any{"parameter": "method"},
+		s.writeError(w, r, http.StatusBadRequest, ErrInvalidParameter, map[string]any{"parameter": "method"},
 			"unknown method %q (want one of %v)", methodName, sim.AllMethods)
 		return
 	}
@@ -512,7 +617,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		}
 		v, err := strconv.Atoi(raw)
 		if err != nil || v <= 0 {
-			s.writeError(w, http.StatusBadRequest, ErrInvalidParameter, map[string]any{"parameter": p.name},
+			s.writeError(w, r, http.StatusBadRequest, ErrInvalidParameter, map[string]any{"parameter": p.name},
 				"bad %s %q (want a positive integer)", p.name, raw)
 			return
 		}
@@ -520,7 +625,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	}
 	g := &sweep.Grid{Name: "schedule", Configs: []costmodel.Config{cfg}, Methods: []sim.Method{m}}
 	if v := s.checkGrid(g); v != nil {
-		s.writeError(w, http.StatusBadRequest, v.code, v.details, "%s", v.msg)
+		s.writeError(w, r, http.StatusBadRequest, v.code, v.details, "%s", v.msg)
 		return
 	}
 	s.respond(w, r, "schedule", g)
@@ -530,7 +635,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	gridFn, ok := experiments.Grid(name)
 	if !ok {
-		s.writeError(w, http.StatusNotFound, ErrUnknownExperiment, map[string]any{"name": name},
+		s.writeError(w, r, http.StatusNotFound, ErrUnknownExperiment, map[string]any{"name": name},
 			"unknown experiment %q (grid-backed experiments: %s)",
 			name, strings.Join(experiments.Names(), ", "))
 		return
@@ -559,7 +664,7 @@ type joinResponse struct {
 // has also been silent to the prober past the member TTL.
 func (s *Server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
 	if s.cluster == nil {
-		s.writeError(w, http.StatusConflict, ErrNotCoordinator, nil,
+		s.writeError(w, r, http.StatusConflict, ErrNotCoordinator, nil,
 			"this server is not a coordinator (start it with -role coordinator to accept joins)")
 		return
 	}
@@ -567,7 +672,7 @@ func (s *Server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
 	if r.Body != nil {
 		body := http.MaxBytesReader(w, r.Body, 4<<10)
 		if err := json.NewDecoder(body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
-			s.writeError(w, http.StatusBadRequest, ErrInvalidBody, nil, "bad JSON body: %v", err)
+			s.writeError(w, r, http.StatusBadRequest, ErrInvalidBody, nil, "bad JSON body: %v", err)
 			return
 		}
 	}
@@ -575,13 +680,13 @@ func (s *Server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
 		req.URL = v
 	}
 	if req.URL == "" {
-		s.writeError(w, http.StatusBadRequest, ErrMissingParameter, map[string]any{"parameter": "url"},
+		s.writeError(w, r, http.StatusBadRequest, ErrMissingParameter, map[string]any{"parameter": "url"},
 			`missing worker url (JSON body {"url":"http://host:port"} or ?url=)`)
 		return
 	}
 	u, added, err := s.cluster.Join(req.URL)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, ErrInvalidParameter, map[string]any{"parameter": "url"}, "%v", err)
+		s.writeError(w, r, http.StatusBadRequest, ErrInvalidParameter, map[string]any{"parameter": "url"}, "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -602,16 +707,16 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, 4<<20)
 	var req cluster.ShardRequest
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, ErrInvalidBody, nil, "bad shard body: %v", err)
+		s.writeError(w, r, http.StatusBadRequest, ErrInvalidBody, nil, "bad shard body: %v", err)
 		return
 	}
 	g, err := req.ToGrid()
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, ErrInvalidGrid, nil, "%v", err)
+		s.writeError(w, r, http.StatusBadRequest, ErrInvalidGrid, nil, "%v", err)
 		return
 	}
 	if v := s.checkGrid(g); v != nil {
-		s.writeError(w, http.StatusBadRequest, v.code, v.details, "%s", v.msg)
+		s.writeError(w, r, http.StatusBadRequest, v.code, v.details, "%s", v.msg)
 		return
 	}
 	s.respond(w, r, "shard", g)
@@ -684,7 +789,10 @@ func (s *Server) rehydrateOptimize(payload json.RawMessage) (jobs.Func, error) {
 			return nil, fmt.Errorf("unknown strategy %q", p.Strategy)
 		}
 	}
-	return tune.JobFunc(spec, strategy, s.tuneOptions()), nil
+	name := "optimize/" + spec.Name + "/" + string(strategy)
+	// Rehydrated runs trace like fresh ones; the submitting request's trace
+	// is long gone after a restart, so there is no submit_trace link.
+	return s.traceJob(name, context.Background(), tune.JobFunc(spec, strategy, s.tuneOptions())), nil
 }
 
 // jobView is the ONE canonical job representation: every job-bearing
@@ -742,7 +850,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		// GET guards: no valid spec is anywhere near 64 KiB.
 		body := http.MaxBytesReader(w, r.Body, 64<<10)
 		if err := json.NewDecoder(body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
-			s.writeError(w, http.StatusBadRequest, ErrInvalidBody, nil, "bad JSON body: %v", err)
+			s.writeError(w, r, http.StatusBadRequest, ErrInvalidBody, nil, "bad JSON body: %v", err)
 			return
 		}
 	}
@@ -759,24 +867,24 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	var spec *tune.Spec
 	switch {
 	case req.Spec != "" && req.Scenario != "":
-		s.writeError(w, http.StatusBadRequest, ErrInvalidParameter, nil, "spec and scenario are mutually exclusive")
+		s.writeError(w, r, http.StatusBadRequest, ErrInvalidParameter, nil, "spec and scenario are mutually exclusive")
 		return
 	case req.Spec != "":
 		var err error
 		if spec, err = tune.ParseSpec(req.Spec); err != nil {
-			s.writeError(w, http.StatusBadRequest, ErrInvalidSpec, nil, "%v", err)
+			s.writeError(w, r, http.StatusBadRequest, ErrInvalidSpec, nil, "%v", err)
 			return
 		}
 	case req.Scenario != "":
 		var ok bool
 		if spec, ok = experiments.TuneSpec(req.Scenario); !ok {
-			s.writeError(w, http.StatusBadRequest, ErrInvalidParameter, map[string]any{"parameter": "scenario"},
+			s.writeError(w, r, http.StatusBadRequest, ErrInvalidParameter, map[string]any{"parameter": "scenario"},
 				"unknown scenario %q (want one of %s)",
 				req.Scenario, strings.Join(experiments.TuneNames(), ", "))
 			return
 		}
 	default:
-		s.writeError(w, http.StatusBadRequest, ErrMissingParameter, nil,
+		s.writeError(w, r, http.StatusBadRequest, ErrMissingParameter, nil,
 			"provide spec=... (tune.ParseSpec syntax) or scenario=... (named scenarios: %s)",
 			strings.Join(experiments.TuneNames(), ", "))
 		return
@@ -786,17 +894,17 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if req.Strategy != "" {
 		var ok bool
 		if strategy, ok = tune.StrategyByName(req.Strategy); !ok {
-			s.writeError(w, http.StatusBadRequest, ErrInvalidParameter, map[string]any{"parameter": "strategy"},
+			s.writeError(w, r, http.StatusBadRequest, ErrInvalidParameter, map[string]any{"parameter": "strategy"},
 				"unknown strategy %q (want one of %v)", req.Strategy, tune.Strategies())
 			return
 		}
 	}
 	if err := spec.Validate(); err != nil {
-		s.writeError(w, http.StatusBadRequest, ErrInvalidSpec, nil, "%v", err)
+		s.writeError(w, r, http.StatusBadRequest, ErrInvalidSpec, nil, "%v", err)
 		return
 	}
 	if v := s.checkTuneSpec(spec); v != nil {
-		s.writeError(w, http.StatusBadRequest, v.code, v.details, "%s", v.msg)
+		s.writeError(w, r, http.StatusBadRequest, v.code, v.details, "%s", v.msg)
 		return
 	}
 
@@ -806,23 +914,28 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	// worker pool cell by cell (retry/hedging/fallback included). Durable
 	// submission: with a JobStore configured, this job — and its result —
 	// survives a coordinator restart.
-	id, err := s.jobs.SubmitDurable("optimize/"+spec.Name+"/"+string(strategy),
+	name := "optimize/" + spec.Name + "/" + string(strategy)
+	id, err := s.jobs.SubmitDurable(name,
 		optimizeJobKind,
 		optimizePayload{Spec: req.Spec, Scenario: req.Scenario, Strategy: string(strategy)},
-		tune.JobFunc(spec, strategy, s.tuneOptions()))
+		s.traceJob(name, r.Context(), tune.JobFunc(spec, strategy, s.tuneOptions())))
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		// writeError fills in the Retry-After floor for 429s.
-		s.writeError(w, http.StatusTooManyRequests, ErrQueueFull,
+		s.writeError(w, r, http.StatusTooManyRequests, ErrQueueFull,
 			map[string]any{"queued": s.jobs.Stats().Queued}, "job queue full, retry later")
 		return
 	case errors.Is(err, jobs.ErrClosed):
-		s.writeError(w, http.StatusServiceUnavailable, ErrShuttingDown, nil, "server shutting down")
+		s.writeError(w, r, http.StatusServiceUnavailable, ErrShuttingDown, nil, "server shutting down")
 		return
 	case err != nil:
-		s.writeError(w, http.StatusInternalServerError, ErrInternal, nil, "%v", err)
+		s.writeError(w, r, http.StatusInternalServerError, ErrInternal, nil, "%v", err)
 		return
 	}
+
+	// The submit trace names the job it spawned — the reverse half of the
+	// submit_trace link the job's own root trace carries.
+	obs.SpanFromContext(r.Context()).SetAttr("job_id", id)
 
 	// The snapshot may already show the job past StateQueued (a free worker
 	// picks up instantly); the 202 body reports whatever is true now, in the
@@ -848,7 +961,7 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	snap, ok := s.jobs.Get(r.PathValue("id"))
 	if !ok {
-		s.writeError(w, http.StatusNotFound, ErrJobNotFound, map[string]any{"id": r.PathValue("id")},
+		s.writeError(w, r, http.StatusNotFound, ErrJobNotFound, map[string]any{"id": r.PathValue("id")},
 			"unknown job %q", r.PathValue("id"))
 		return
 	}
@@ -859,7 +972,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	snap, ok := s.jobs.Cancel(r.PathValue("id"))
 	if !ok {
-		s.writeError(w, http.StatusNotFound, ErrJobNotFound, map[string]any{"id": r.PathValue("id")},
+		s.writeError(w, r, http.StatusNotFound, ErrJobNotFound, map[string]any{"id": r.PathValue("id")},
 			"unknown job %q", r.PathValue("id"))
 		return
 	}

@@ -23,14 +23,14 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	ch, stop, ok := s.jobs.Watch(id)
 	if !ok {
-		s.writeError(w, http.StatusNotFound, ErrJobNotFound, map[string]any{"id": id}, "unknown job %q", id)
+		s.writeError(w, r, http.StatusNotFound, ErrJobNotFound, map[string]any{"id": id}, "unknown job %q", id)
 		return
 	}
 	defer stop()
 
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		s.writeError(w, http.StatusInternalServerError, ErrInternal, nil, "streaming unsupported by connection")
+		s.writeError(w, r, http.StatusInternalServerError, ErrInternal, nil, "streaming unsupported by connection")
 		return
 	}
 

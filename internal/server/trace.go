@@ -1,0 +1,213 @@
+// Request tracing for the serving layer: the middleware hooks that open a
+// root span per API request (adopting an incoming traceparent, so a
+// worker's spans parent under the coordinator's shard attempt), the debug
+// endpoints that export completed traces as Chrome trace_event JSON —
+// including the coordinator-side merge that stitches worker traces into one
+// cross-process timeline — and the request-identity log helper every
+// no-response-channel-left error log goes through.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"vocabpipe/internal/jobs"
+	"vocabpipe/internal/obs"
+	"vocabpipe/internal/trace"
+)
+
+// traced gates which requests open a root span: the API surface, minus the
+// debug endpoints themselves — the dashboard polls the trace list, and a
+// flight recorder that records its own readers would evict every trace
+// worth reading.
+func traced(path string) bool {
+	return strings.HasPrefix(path, "/api/") && !strings.Contains(path, "/debug/")
+}
+
+// routeCtxKey carries the resolved route label through the request context
+// so log lines deep in handlers can name the route without re-resolving it.
+type routeCtxKey struct{}
+
+// logf is the request-scoped Options.Logf: the message plus the request's
+// route and trace ID, so a write-failure log line correlates with the trace
+// export and the per-route metrics instead of floating free.
+func (s *Server) logf(r *http.Request, format string, args ...any) {
+	route, tid := "-", "-"
+	if r != nil {
+		if v, ok := r.Context().Value(routeCtxKey{}).(string); ok {
+			route = v
+		}
+		if sp := obs.SpanFromContext(r.Context()); sp != nil {
+			tid = sp.TraceID().String()
+		}
+	}
+	s.opt.Logf("server: %s (route=%s trace=%s)", fmt.Sprintf(format, args...), route, tid)
+}
+
+// traceJob wraps a job function so each run is its own root trace — a job
+// outlives the submitting request, so it cannot share that trace, but the
+// submitter's trace ID is linked through the submit_trace attribute (and
+// the submit trace records the job ID, so the correlation works both ways).
+func (s *Server) traceJob(name string, submitCtx context.Context, fn jobs.Func) jobs.Func {
+	if s.tracer == nil {
+		return fn
+	}
+	var submitTrace string
+	if sp := obs.SpanFromContext(submitCtx); sp != nil {
+		submitTrace = sp.TraceID().String()
+	}
+	return func(ctx context.Context, report func(jobs.Progress)) (any, error) {
+		root := s.tracer.StartRoot("job "+name, obs.SpanContext{})
+		root.SetAttr("kind", "job")
+		if submitTrace != "" {
+			root.SetAttr("submit_trace", submitTrace)
+		}
+		result, err := fn(obs.ContextWithSpan(ctx, root), report)
+		if err != nil {
+			root.SetAttr("error", err.Error())
+		}
+		root.End()
+		return result, err
+	}
+}
+
+// traceSummary is one entry in the GET /api/v1/debug/traces listing.
+type traceSummary struct {
+	ID         string    `json:"id"`
+	Service    string    `json:"service"`
+	Root       string    `json:"root"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"duration_ms"`
+	Spans      int       `json:"spans"`
+	// Export is the Chrome-trace URL for this trace — load it in
+	// chrome://tracing or https://ui.perfetto.dev.
+	Export string `json:"export"`
+}
+
+// handleTraceList serves recent completed traces, newest first
+// (?limit=N, default 50) — the dashboard's trace table.
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		s.writeError(w, r, http.StatusConflict, ErrTracingDisabled, nil,
+			"tracing is disabled on this server (TraceCapacity < 0)")
+		return
+	}
+	limit := 50
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			s.writeError(w, r, http.StatusBadRequest, ErrInvalidParameter,
+				map[string]any{"parameter": "limit"}, "bad limit %q (want a positive integer)", v)
+			return
+		}
+		limit = n
+	}
+	recents := s.tracer.Recent(limit)
+	out := make([]traceSummary, 0, len(recents))
+	for _, td := range recents {
+		sum := traceSummary{
+			ID:         td.ID.String(),
+			Service:    td.Service,
+			Start:      td.Start,
+			DurationMS: td.End.Sub(td.Start).Seconds() * 1e3,
+			Spans:      len(td.Spans),
+			Export:     "/api/v1/debug/traces/" + td.ID.String(),
+		}
+		if root := td.Root(); root != nil {
+			sum.Root = root.Name
+		}
+		out = append(out, sum)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		s.logf(r, "debug/traces: writing listing: %v", err)
+	}
+}
+
+// handleTraceGet exports one completed trace as a Chrome trace_event JSON
+// array (the internal/trace format — round-trips through ReadChromeTrace).
+// On a coordinator the export is the merged cross-process timeline: the
+// local trace plus, unless ?local=1, whatever spans each active worker
+// recorded under the same trace ID, re-stamped with a distinct Pid per
+// worker so the viewer separates the processes.
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		s.writeError(w, r, http.StatusConflict, ErrTracingDisabled, nil,
+			"tracing is disabled on this server (TraceCapacity < 0)")
+		return
+	}
+	raw := r.PathValue("id")
+	id, err := obs.ParseTraceID(raw)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, ErrInvalidParameter,
+			map[string]any{"parameter": "id"}, "%v", err)
+		return
+	}
+	var events []trace.Event
+	if td, ok := s.tracer.Trace(id); ok {
+		events = td.ChromeEvents()
+	}
+	if s.cluster != nil && r.URL.Query().Get("local") == "" {
+		events = append(events, s.remoteTraceEvents(r.Context(), id)...)
+	}
+	if len(events) == 0 {
+		s.writeError(w, r, http.StatusNotFound, ErrTraceNotFound, map[string]any{"id": raw},
+			"no completed trace %s (the ring holds the most recent %d traces)",
+			raw, s.tracer.Stats().RingCapacity)
+		return
+	}
+	// Deterministic merge order: by process, then time (the local export is
+	// already time-sorted; worker events arrive per-worker time-sorted).
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Pid != events[j].Pid {
+			return events[i].Pid < events[j].Pid
+		}
+		return events[i].Ts < events[j].Ts
+	})
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(events); err != nil {
+		s.logf(r, "debug/traces: writing trace %s: %v", raw, err)
+	}
+}
+
+// remoteTraceEvents asks every active worker for its half of the trace.
+// Strictly best-effort with a short deadline: a worker that is down, has
+// evicted the trace (404), or never saw it contributes nothing — the
+// coordinator's own spans still export. Worker i+1's events are re-stamped
+// Pid=i+1 (the coordinator is Pid 0).
+func (s *Server) remoteTraceEvents(ctx context.Context, id obs.TraceID) []trace.Event {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	var merged []trace.Event
+	for i, u := range s.cluster.Members() {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			u+"/api/v1/debug/traces/"+id.String()+"?local=1", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			continue
+		}
+		events, err := trace.ReadChromeTrace(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		for j := range events {
+			events[j].Pid = i + 1
+		}
+		merged = append(merged, events...)
+	}
+	return merged
+}

@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"vocabpipe/internal/perf"
 	"vocabpipe/internal/report"
@@ -243,6 +244,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	opt := sweep.Options{Parallel: *parallel}
 	if *verbose {
+		// Sweep OnCell callbacks can run concurrently; serialize writes to
+		// stderr (which may be an in-memory buffer under test).
+		var printMu sync.Mutex
 		opt.OnCell = func(done, total int, r sweep.CellResult) {
 			status := ""
 			switch {
@@ -251,7 +255,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			case r.Result != nil && r.Result.OOM:
 				status = "  OOM"
 			}
+			printMu.Lock()
 			fmt.Fprintf(stderr, "[%d/%d] %s %s%s\n", done, total, r.Experiment, r.Label, status)
+			printMu.Unlock()
 		}
 	}
 

@@ -44,6 +44,11 @@ type Delta struct {
 	NewAllocs  float64
 	AllocRatio float64 // new/old
 	Reason     string  // non-empty when Status == "regressed"
+	// Notice is a non-gating observation — currently "baseline stale":
+	// allocs/op improved by more than half, so the baseline should be
+	// regenerated rather than left to mask future regressions inside the
+	// widened tolerance band.
+	Notice string
 }
 
 // Compare diffs two BENCH reports case by case. It returns one Delta per
@@ -109,6 +114,15 @@ func Compare(old, new *report.BenchReport, tol Tolerance) ([]Delta, bool) {
 				d.Reason = reason
 			}
 		}
+		// A big improvement is not a pass to wave through silently: with the
+		// baseline now far above reality, a later regression up to the old
+		// level would sit inside the tolerance band undetected. Flag it
+		// (non-failing) so the improvement forces a conscious re-baseline.
+		// Only measured on cases above the noise floor.
+		if oc.AllocsPerOp > tol.AllocSlack && nc.AllocsPerOp < oc.AllocsPerOp/2 {
+			d.Notice = fmt.Sprintf("baseline stale, regenerate BENCH_0.json: allocs/op improved %.0f -> %.0f (>50%%)",
+				oc.AllocsPerOp, nc.AllocsPerOp)
+		}
 		if d.Status == "regressed" {
 			regressed = true
 		}
@@ -139,6 +153,9 @@ func WriteDeltas(w io.Writer, old, new *report.BenchReport, deltas []Delta) erro
 		status := d.Status
 		if d.Reason != "" {
 			status += ": " + d.Reason
+		}
+		if d.Notice != "" {
+			status += " [" + d.Notice + "]"
 		}
 		if _, err := fmt.Fprintf(w, "%-44s %12.4g %12.4g %7s %10.0f %10.0f %7s  %s\n",
 			d.Name, d.OldNs, d.NewNs, ratioCell(d.TimeRatio),

@@ -109,6 +109,39 @@ func TestCompareDetectsAllocRegression(t *testing.T) {
 	}
 }
 
+// TestCompareNoticesStaleBaseline: a >50% allocs/op improvement must not
+// fail the gate, but it must surface a non-gating notice telling the
+// operator to regenerate BENCH_0.json — otherwise a later regression back
+// up to the stale baseline would hide inside the tolerance band.
+func TestCompareNoticesStaleBaseline(t *testing.T) {
+	tol := Tolerance{Time: 3, Allocs: 0.5, AllocSlack: 256}
+	old := benchReportOf(report.BenchCase{Name: "a", NsPerOp: 100, AllocsPerOp: 33000})
+	improved := benchReportOf(report.BenchCase{Name: "a", NsPerOp: 100, AllocsPerOp: 20})
+
+	deltas, reg := Compare(old, improved, tol)
+	if reg {
+		t.Fatalf("a pure improvement must not gate: %+v", deltas)
+	}
+	if deltas[0].Notice == "" || !strings.Contains(deltas[0].Notice, "regenerate BENCH_0.json") {
+		t.Fatalf("3x+ allocs improvement produced no stale-baseline notice: %+v", deltas[0])
+	}
+	var b strings.Builder
+	if err := WriteDeltas(&b, old, improved, deltas); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "baseline stale") {
+		t.Errorf("rendered deltas omit the notice:\n%s", b.String())
+	}
+
+	// Below the noise floor, improvements are jitter, not news.
+	oldTiny := benchReportOf(report.BenchCase{Name: "a", NsPerOp: 100, AllocsPerOp: 100})
+	newTiny := benchReportOf(report.BenchCase{Name: "a", NsPerOp: 100, AllocsPerOp: 10})
+	deltas, _ = Compare(oldTiny, newTiny, tol)
+	if deltas[0].Notice != "" {
+		t.Errorf("sub-slack improvement should not notice: %+v", deltas[0])
+	}
+}
+
 // TestCompareSkipsTimeGateAcrossMaxProcs: wall time is not comparable when
 // the two reports ran at different GOMAXPROCS (sweep grids parallelize), so
 // only the machine-independent allocs gate may fire.

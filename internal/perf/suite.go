@@ -74,6 +74,7 @@ func Suite() []Case {
 
 	cases = append(cases,
 		gridCase("sweep/table5", experiments.Table5Grid()),
+		incrementalCase("sweep/table5-incremental", experiments.Table5Grid()),
 		gridCase("sweep/table6", experiments.Table6Grid()),
 		serverCase(),
 		openLoopCase(),
@@ -473,6 +474,28 @@ func openLoopCase() Case {
 }
 
 // gridCase times one full sweep grid and reports cells/sec.
+// incrementalCase measures the single-threaded floor of the warm-engine
+// path: one shared sim.Runner evaluates every cell of the grid in expansion
+// order, so the number isolates engine reuse (arena recycling + prefix
+// replay) from the worker pool's parallelism that sweep/table5 adds on top.
+func incrementalCase(name string, g *sweep.Grid) Case {
+	cells := g.Expand()
+	return Case{
+		Name:  name,
+		Cells: len(cells),
+		Run: func(n int) {
+			runner := sim.NewRunner()
+			for i := 0; i < n; i++ {
+				for _, c := range cells {
+					if _, err := runner.Run(c.Config, c.Method); err != nil {
+						panic(fmt.Sprintf("perf: %s: cell %q: %v", name, c.Label, err))
+					}
+				}
+			}
+		},
+	}
+}
+
 func gridCase(name string, g *sweep.Grid) Case {
 	cells := len(g.Expand())
 	return Case{

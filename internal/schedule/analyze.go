@@ -1,122 +1,228 @@
 package schedule
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
-// memEvent is a +/- delta at a time point.
-type memEvent struct {
-	t     float64
-	delta float64
-	// order breaks ties: releases before acquisitions at the same instant,
-	// so back-to-back B(i)/F(i+1) do not double-count.
-	order int
+// Analyzer computes timeline memory metrics with reusable scratch, so a hot
+// sweep loop (sim.Runner) measures thousands of timelines without
+// allocating. Each method's returned slice aliases the analyzer's scratch
+// and is valid until its next call; the Timeline convenience methods use a
+// throwaway analyzer, so their results are always caller-owned.
+//
+// The peak computation needs no sorting at all: a device's release times
+// form a handful of independently monotone streams. F activations release at
+// the matching B end — B passes of a stage commit in microbatch order on a
+// sequentially-executing device, so their ends ascend — giving one stream
+// per chunk, and the vocab/interlaced transient releases (T end / V end) are
+// micro-monotone for the same reason. Each stream also releases a constant
+// amount. So the peak scan drains each stream's cursor against the
+// acquisition order (ByDevice is already time-ordered) in O(passes).
+type Analyzer struct {
+	bEnd, tEnd []float64   // [stage*M+micro] / [device*M+micro] end times
+	relBuf     [][]float64 // per-stream monotone release times
+	relDelta   []float64   // per-stream constant release size
+	relPos     []int       // per-stream drain cursor
+	acts, mem  []float64
+	inflight   []int
 }
 
-// peakOf sweeps events and returns the maximum running sum.
-func peakOf(events []memEvent) float64 {
-	sort.Slice(events, func(i, j int) bool {
-		if events[i].t != events[j].t {
-			return events[i].t < events[j].t
-		}
-		return events[i].order < events[j].order
-	})
-	cur, peak := 0.0, 0.0
-	for _, ev := range events {
-		cur += ev.delta
-		if cur > peak {
-			peak = cur
-		}
+// streams resets the analyzer to n empty release streams, reusing backing
+// arrays.
+func (a *Analyzer) streams(n int) {
+	for len(a.relBuf) < n {
+		a.relBuf = append(a.relBuf, nil)
 	}
-	return peak
+	a.relDelta = growF(a.relDelta, n)
+	a.relPos = growI(a.relPos, n)
+	for s := 0; s < n; s++ {
+		a.relBuf[s] = a.relBuf[s][:0]
+	}
+}
+
+// drain pops every release at or before t from the first n streams and
+// returns the summed memory released. Releases at exactly t are popped
+// before the acquisition at t, so back-to-back B(i)/F(i+1) do not
+// double-count. Appending a pass's own release before draining is safe: a
+// release time is strictly after its pass's start, and ByDevice is
+// time-ordered, so no future entry can be ≤ the current start.
+func (a *Analyzer) drain(n int, t float64) float64 {
+	freed := 0.0
+	for s := 0; s < n; s++ {
+		buf, ri := a.relBuf[s], a.relPos[s]
+		for ri < len(buf) && buf[ri] <= t {
+			freed += a.relDelta[s]
+			ri++
+		}
+		a.relPos[s] = ri
+	}
+	return freed
 }
 
 // PeakActivationBytes returns the per-device peak activation memory measured
 // from the timeline: each microbatch pins its stage's ActBytes from F start
 // to B end, and vocabulary/interlaced segments pin their transient buffers
-// from S (or V) start to T (or V) end.
-func (tl *Timeline) PeakActivationBytes() []float64 {
+// from S (or V) start to T (or V) end. The result aliases the analyzer's
+// scratch.
+func (a *Analyzer) PeakActivationBytes(tl *Timeline) []float64 {
 	spec := tl.Spec
-	out := make([]float64, spec.P)
-
-	// Index B end times: [stage][micro].
-	bEnd := make([][]float64, spec.NumStages())
-	tEnd := make([][]float64, spec.P)
-	for i := range bEnd {
-		bEnd[i] = make([]float64, spec.M)
-	}
-	for i := range tEnd {
-		tEnd[i] = make([]float64, spec.M)
+	M := spec.M
+	a.acts = growF(a.acts, spec.P)
+	a.bEnd = growF(a.bEnd, spec.NumStages()*M)
+	vocabAct := spec.Vocab != nil && spec.Vocab.ActBytes > 0
+	interAct := spec.Interlaced != nil && spec.Interlaced.ActBytes > 0
+	if vocabAct {
+		a.tEnd = growF(a.tEnd, spec.P*M)
 	}
 	for _, p := range tl.Passes {
 		switch p.Type {
 		case PassB:
-			bEnd[spec.StageOf(p.Device, p.Chunk)][p.Micro] = p.End
+			a.bEnd[spec.StageOf(p.Device, p.Chunk)*M+p.Micro] = p.End
 		case PassT:
-			tEnd[p.Device][p.Micro] = p.End
+			if vocabAct {
+				a.tEnd[p.Device*M+p.Micro] = p.End
+			}
 		}
 	}
 
+	// Streams 0..Chunks-1 release F activations at the matching B end;
+	// stream Chunks releases the vocab or interlaced transient (T end /
+	// V end). Acquire and release in one pass over ByDevice order.
+	vIdx := spec.Chunks
+	nStreams := vIdx + 1
 	for d := 0; d < spec.P; d++ {
-		var events []memEvent
-		for _, p := range tl.ByDevice[d] {
+		a.streams(nStreams)
+		for c := 0; c < spec.Chunks; c++ {
+			a.relDelta[c] = spec.Stages[spec.StageOf(d, c)].ActBytes
+		}
+		if vocabAct {
+			a.relDelta[vIdx] = spec.Vocab.ActBytes
+		} else if interAct {
+			a.relDelta[vIdx] = spec.Interlaced.ActBytes
+		}
+		cur, peak := 0.0, 0.0
+		for i := range tl.ByDevice[d] {
+			p := &tl.ByDevice[d][i]
+			var s int
+			var delta, end float64
 			switch p.Type {
 			case PassF:
-				st := spec.StageOf(d, p.Chunk)
-				act := spec.Stages[st].ActBytes
-				events = append(events,
-					memEvent{p.Start, act, 1},
-					memEvent{bEnd[st][p.Micro], -act, 0})
+				s = p.Chunk
+				delta = a.relDelta[s]
+				end = a.bEnd[spec.StageOf(d, s)*M+p.Micro]
 			case PassS:
-				if v := spec.Vocab; v != nil && v.ActBytes > 0 {
-					events = append(events,
-						memEvent{p.Start, v.ActBytes, 1},
-						memEvent{tEnd[d][p.Micro], -v.ActBytes, 0})
+				if vocabAct {
+					s, delta, end = vIdx, a.relDelta[vIdx], a.tEnd[d*M+p.Micro]
 				}
 			case PassV:
-				if iv := spec.Interlaced; iv != nil && iv.ActBytes > 0 {
-					events = append(events,
-						memEvent{p.Start, iv.ActBytes, 1},
-						memEvent{p.End, -iv.ActBytes, 0})
+				if interAct {
+					s, delta, end = vIdx, a.relDelta[vIdx], p.End
 				}
 			}
+			if delta == 0 {
+				continue
+			}
+			cur -= a.drain(nStreams, p.Start)
+			cur += delta
+			a.relBuf[s] = append(a.relBuf[s], end)
+			if cur > peak {
+				peak = cur
+			}
 		}
-		out[d] = peakOf(events)
+		a.acts[d] = peak
 	}
-	return out
+	return a.acts
 }
 
 // PeakInFlight returns, per device, the maximum number of simultaneously
 // in-flight microbatches (F started, B not finished), summed across chunks.
 // For 1F1B this is p−d; the paper's Fig 10 caption states p+2 for Algorithm 1
-// and p+1 for Algorithm 2 on device 0.
-func (tl *Timeline) PeakInFlight() []int {
+// and p+1 for Algorithm 2 on device 0. The result aliases the analyzer's
+// scratch.
+func (a *Analyzer) PeakInFlight(tl *Timeline) []int {
 	spec := tl.Spec
-	out := make([]int, spec.P)
-	bEnd := make([][]float64, spec.NumStages())
-	for i := range bEnd {
-		bEnd[i] = make([]float64, spec.M)
-	}
+	M := spec.M
+	a.inflight = growI(a.inflight, spec.P)
+	a.bEnd = growF(a.bEnd, spec.NumStages()*M)
 	for _, p := range tl.Passes {
 		if p.Type == PassB {
-			bEnd[spec.StageOf(p.Device, p.Chunk)][p.Micro] = p.End
+			a.bEnd[spec.StageOf(p.Device, p.Chunk)*M+p.Micro] = p.End
 		}
 	}
+	// One release stream per chunk (each micro-monotone, see the type
+	// comment), each releasing one in-flight microbatch at the B end.
 	for d := 0; d < spec.P; d++ {
-		var events []memEvent
-		for _, p := range tl.ByDevice[d] {
+		a.streams(spec.Chunks)
+		for c := 0; c < spec.Chunks; c++ {
+			a.relDelta[c] = 1
+		}
+		cur, peak := 0.0, 0.0
+		for i := range tl.ByDevice[d] {
+			p := &tl.ByDevice[d][i]
 			if p.Type != PassF {
 				continue
 			}
-			st := spec.StageOf(d, p.Chunk)
-			events = append(events,
-				memEvent{p.Start, 1, 1},
-				memEvent{bEnd[st][p.Micro], -1, 0})
+			cur -= a.drain(spec.Chunks, p.Start)
+			cur++
+			a.relBuf[p.Chunk] = append(a.relBuf[p.Chunk], a.bEnd[spec.StageOf(d, p.Chunk)*M+p.Micro])
+			if cur > peak {
+				peak = cur
+			}
 		}
-		out[d] = int(peakOf(events) + 0.5)
+		a.inflight[d] = int(peak)
 	}
-	return out
+	return a.inflight
+}
+
+// PeakMemoryBytes returns per-device peak memory: parameters + measured peak
+// activations + static extras + the supplied constant overhead. The result
+// aliases the analyzer's scratch.
+func (a *Analyzer) PeakMemoryBytes(tl *Timeline, overhead float64) []float64 {
+	acts := a.PeakActivationBytes(tl)
+	a.mem = growF(a.mem, tl.Spec.P)
+	for d := range a.mem {
+		a.mem[d] = tl.DeviceParamBytes(d) + acts[d] + tl.DeviceExtraActBytes(d) + overhead
+	}
+	return a.mem
+}
+
+// growF resizes a float scratch slice to n zeroed entries, reusing capacity.
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// growI resizes an int scratch slice to n zeroed entries, reusing capacity.
+func growI(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// PeakActivationBytes is the convenience form of Analyzer.PeakActivationBytes
+// with a throwaway analyzer; the result is caller-owned.
+func (tl *Timeline) PeakActivationBytes() []float64 {
+	var a Analyzer
+	return a.PeakActivationBytes(tl)
+}
+
+// PeakInFlight is the convenience form of Analyzer.PeakInFlight with a
+// throwaway analyzer; the result is caller-owned.
+func (tl *Timeline) PeakInFlight() []int {
+	var a Analyzer
+	return a.PeakInFlight(tl)
+}
+
+// PeakMemoryBytes is the convenience form of Analyzer.PeakMemoryBytes with a
+// throwaway analyzer; the result is caller-owned.
+func (tl *Timeline) PeakMemoryBytes(overhead float64) []float64 {
+	var a Analyzer
+	return a.PeakMemoryBytes(tl, overhead)
 }
 
 // DeviceParamBytes sums the static parameter footprint of a device's stages.
@@ -137,17 +243,6 @@ func (tl *Timeline) DeviceExtraActBytes(d int) float64 {
 		total += spec.Stages[spec.StageOf(d, c)].ExtraActBytes
 	}
 	return total
-}
-
-// PeakMemoryBytes returns per-device peak memory: parameters + measured peak
-// activations + static extras + the supplied constant overhead.
-func (tl *Timeline) PeakMemoryBytes(overhead float64) []float64 {
-	acts := tl.PeakActivationBytes()
-	out := make([]float64, tl.Spec.P)
-	for d := range out {
-		out[d] = tl.DeviceParamBytes(d) + acts[d] + tl.DeviceExtraActBytes(d) + overhead
-	}
-	return out
 }
 
 // Validate checks the committed timeline for dependency violations; it is

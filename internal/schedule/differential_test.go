@@ -3,6 +3,7 @@ package schedule
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -77,30 +78,119 @@ func randomSpec(rng *rand.Rand) *Spec {
 	return spec
 }
 
-func assertTimelinesIdentical(t *testing.T, spec *Spec, want, got *Timeline) {
-	t.Helper()
+// timelinesDiff reports the first bit-level divergence between two
+// timelines, or nil if they are identical. Non-fatal so goroutine-based
+// tests (the churn test) can use it too.
+func timelinesDiff(spec *Spec, want, got *Timeline) error {
 	if len(want.Passes) != len(got.Passes) {
-		t.Fatalf("%s: pass count scan=%d event=%d", spec.Describe(), len(want.Passes), len(got.Passes))
+		return fmt.Errorf("%s: pass count want=%d got=%d", spec.Describe(), len(want.Passes), len(got.Passes))
 	}
 	for k := range want.Passes {
 		if want.Passes[k] != got.Passes[k] {
-			t.Fatalf("%s: commit %d differs:\n scan  %+v\n event %+v",
+			return fmt.Errorf("%s: commit %d differs:\n want %+v\n got  %+v",
 				spec.Describe(), k, want.Passes[k], got.Passes[k])
 		}
 	}
 	if want.Makespan != got.Makespan {
-		t.Fatalf("%s: makespan scan=%v event=%v", spec.Describe(), want.Makespan, got.Makespan)
+		return fmt.Errorf("%s: makespan want=%v got=%v", spec.Describe(), want.Makespan, got.Makespan)
 	}
 	for d := range want.ByDevice {
 		if len(want.ByDevice[d]) != len(got.ByDevice[d]) {
-			t.Fatalf("%s: device %d pass count differs", spec.Describe(), d)
+			return fmt.Errorf("%s: device %d pass count differs", spec.Describe(), d)
 		}
 		for k := range want.ByDevice[d] {
 			if want.ByDevice[d][k] != got.ByDevice[d][k] {
-				t.Fatalf("%s: device %d pass %d differs", spec.Describe(), d, k)
+				return fmt.Errorf("%s: device %d pass %d differs", spec.Describe(), d, k)
 			}
 		}
 	}
+	return nil
+}
+
+func assertTimelinesIdentical(t *testing.T, spec *Spec, want, got *Timeline) {
+	t.Helper()
+	if err := timelinesDiff(spec, want, got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// cloneSpec deep-copies a spec so mutations cannot alias the original.
+func cloneSpec(s *Spec) *Spec {
+	c := *s
+	c.Stages = append([]Stage(nil), s.Stages...)
+	if s.Vocab != nil {
+		v := *s.Vocab
+		c.Vocab = &v
+	}
+	if s.Interlaced != nil {
+		iv := *s.Interlaced
+		c.Interlaced = &iv
+	}
+	return &c
+}
+
+// mutateSpec returns an adjacent cell: a copy of spec with one axis changed.
+// Trailing-axis mutations (microbatch count, a perturbed duration) leave a
+// shared committed prefix for the warm engine to replay; structural
+// mutations (readiness offsets, schedule-family switches, a fresh shape)
+// must force its scratch fallback. The random axis choice per step is the
+// shuffle: sequences visit axes in every order, like a sweep grid whose
+// trailing axis rotates.
+func mutateSpec(rng *rand.Rand, s *Spec) *Spec {
+	c := cloneSpec(s)
+	switch rng.Intn(8) {
+	case 0, 1: // trailing axis: microbatch count
+		c.M = 1 + rng.Intn(24)
+	case 2: // trailing axis: one stage's durations
+		i := rng.Intn(len(c.Stages))
+		c.Stages[i].F += 0.25 * float64(1+rng.Intn(4))
+		c.Stages[i].B += 0.25 * float64(rng.Intn(4))
+	case 3: // trailing axis: vocab/interlaced pass durations
+		switch {
+		case c.Vocab != nil:
+			c.Vocab.SDur = 0.25 * float64(rng.Intn(8))
+			c.Vocab.TDur = 0.25 * float64(rng.Intn(8))
+		case c.Interlaced != nil:
+			c.Interlaced.VDur = 0.25 * float64(rng.Intn(8))
+		default:
+			c.M = 1 + rng.Intn(24)
+		}
+	case 4: // structural: P2P readiness offset
+		c.SendTime = 0.25 * float64(rng.Intn(4))
+	case 5: // structural: switch schedule family on the same shape
+		c.Vocab, c.Interlaced, c.CapScale = nil, nil, 0
+		if rng.Intn(2) == 0 {
+			barriers := 1 + rng.Intn(2)
+			c.Vocab = &VocabSpec{SDur: 0.5, TDur: 0.75, Barriers: barriers, ActBytes: 0.25}
+			c.ExtraInFlight = barriers
+		} else {
+			c.Interlaced = &InterlacedSpec{VDur: 0.5, SyncTime: 0.25, ActBytes: 0.25}
+			c.CapScale = 1.5
+			c.ExtraInFlight = 0
+		}
+	default: // structural: a fresh shape entirely
+		return randomSpec(rng)
+	}
+	return c
+}
+
+// assertThreeWay builds spec three ways — the scan reference, a throwaway
+// event engine, and the supplied warm engine — and demands bit identity.
+// The warm timeline is compared before the engine's next Build, inside its
+// validity window.
+func assertThreeWay(t *testing.T, eng *Engine, spec *Spec) {
+	t.Helper()
+	want, errScan := BuildScan(spec)
+	scratch, errEvent := Build(spec)
+	warm, errWarm := eng.Build(spec)
+	if (errScan == nil) != (errEvent == nil) || (errScan == nil) != (errWarm == nil) {
+		t.Fatalf("%s: error mismatch scan=%v event=%v warm=%v", spec.Describe(), errScan, errEvent, errWarm)
+	}
+	if errScan != nil {
+		return
+	}
+	assertTimelinesIdentical(t, spec, want, scratch)
+	assertTimelinesIdentical(t, spec, want, warm)
 }
 
 func TestDifferentialRandomSpecs(t *testing.T) {
@@ -161,13 +251,100 @@ func TestDifferentialCanonicalShapes(t *testing.T) {
 	}
 }
 
-// FuzzDifferentialEngines drives the old-vs-new comparison from fuzzed
-// dimensions and durations.
+// TestDifferentialAdjacentSequences is the deterministic heart of the
+// three-way oracle: one warm engine walks randomized sequences of adjacent
+// cells (trailing-axis mutations, axis shuffles, structural divergences
+// that force the scratch fallback) and every step must match both the scan
+// reference and a throwaway scratch build bit for bit.
+func TestDifferentialAdjacentSequences(t *testing.T) {
+	seqs, steps := 24, 14
+	if testing.Short() {
+		seqs, steps = 6, 8
+	}
+	rng := rand.New(rand.NewSource(20260808))
+	for s := 0; s < seqs; s++ {
+		eng := NewEngine()
+		cur := randomSpec(rng)
+		for i := 0; i < steps; i++ {
+			assertThreeWay(t, eng, cur)
+			cur = mutateSpec(rng, cur)
+		}
+	}
+}
+
+// TestDifferentialForcedDispatch pins the two dispatch structures against
+// each other on identical adjacent-cell sequences: once with the linear
+// slot scan forced for every device count and once with the min-heap
+// forced, both against the scan oracle. The production cap picks by P; this
+// proves the choice is invisible in the output.
+func TestDifferentialForcedDispatch(t *testing.T) {
+	old := linearScanCap
+	defer func() { linearScanCap = old }()
+	for _, scanCap := range []int{0, 1 << 20} {
+		linearScanCap = scanCap
+		rng := rand.New(rand.NewSource(31))
+		eng := NewEngine()
+		cur := randomSpec(rng)
+		for i := 0; i < 40; i++ {
+			assertThreeWay(t, eng, cur)
+			cur = mutateSpec(rng, cur)
+		}
+	}
+}
+
+// TestEngineReuseChurn churns several goroutines, each owning one warm
+// engine, through overlapping random spec sequences, checking every build
+// against the scan oracle. Under -race (CI runs it so) this proves warm
+// engines share no hidden state with each other or with the package-level
+// Build path.
+func TestEngineReuseChurn(t *testing.T) {
+	const workers = 4
+	steps := 60
+	if testing.Short() {
+		steps = 12
+	}
+	errc := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(9000 + w)))
+			eng := NewEngine()
+			cur := randomSpec(rng)
+			for i := 0; i < steps; i++ {
+				want, errScan := BuildScan(cur)
+				got, errWarm := eng.Build(cur)
+				if (errScan == nil) != (errWarm == nil) {
+					errc <- fmt.Errorf("worker %d step %d: error mismatch scan=%v warm=%v", w, i, errScan, errWarm)
+					return
+				}
+				if errScan == nil {
+					if err := timelinesDiff(cur, want, got); err != nil {
+						errc <- fmt.Errorf("worker %d step %d: %w", w, i, err)
+						return
+					}
+				}
+				cur = mutateSpec(rng, cur)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// FuzzDifferentialEngines drives the three-way oracle from fuzzed
+// dimensions: the fuzzed bytes shape the first cell, then a seeded sequence
+// of adjacent mutations runs through one warm engine, comparing scan,
+// heap-scratch and heap-incremental at every step.
 func FuzzDifferentialEngines(f *testing.F) {
-	f.Add(uint8(4), uint8(8), uint8(0), 1.0, 2.0)
-	f.Add(uint8(2), uint8(3), uint8(1), 0.5, 1.5)
-	f.Add(uint8(5), uint8(15), uint8(4), 0.25, 0.25)
-	f.Fuzz(func(t *testing.T, pRaw, mRaw, kind uint8, fDur, bDur float64) {
+	f.Add(uint8(4), uint8(8), uint8(0), 1.0, 2.0, int64(1))
+	f.Add(uint8(2), uint8(3), uint8(1), 0.5, 1.5, int64(7))
+	f.Add(uint8(5), uint8(15), uint8(4), 0.25, 0.25, int64(42))
+	f.Fuzz(func(t *testing.T, pRaw, mRaw, kind uint8, fDur, bDur float64, seed int64) {
 		if fDur < 0 || bDur < 0 || fDur > 1e6 || bDur > 1e6 ||
 			fDur != fDur || bDur != bDur {
 			t.Skip()
@@ -190,21 +367,12 @@ func FuzzDifferentialEngines(f *testing.F) {
 			spec.Interlaced = &InterlacedSpec{VDur: fDur, SyncTime: bDur / 4}
 			spec.CapScale = 1.5
 		}
-		want, errScan := BuildScan(spec)
-		got, errEvent := Build(spec)
-		if (errScan == nil) != (errEvent == nil) {
-			t.Fatalf("error mismatch: scan=%v event=%v", errScan, errEvent)
-		}
-		if errScan != nil {
-			return
-		}
-		if len(want.Passes) != len(got.Passes) {
-			t.Fatalf("pass count scan=%d event=%d", len(want.Passes), len(got.Passes))
-		}
-		for k := range want.Passes {
-			if want.Passes[k] != got.Passes[k] {
-				t.Fatalf("commit %d differs: scan %+v event %+v", k, want.Passes[k], got.Passes[k])
-			}
+		rng := rand.New(rand.NewSource(seed))
+		eng := NewEngine()
+		cur := spec
+		for step := 0; step < 5; step++ {
+			assertThreeWay(t, eng, cur)
+			cur = mutateSpec(rng, cur)
 		}
 	})
 }

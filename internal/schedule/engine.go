@@ -10,16 +10,23 @@ import (
 // spec is inconsistent or the constructor cannot make progress (which would
 // indicate a dependency cycle — none of the shipped generators produce one).
 //
-// Build uses the event-driven engine: per-device candidate caching, a
-// min-heap dispatch keyed by (start, priority, device), and
-// dependency-driven invalidation, replacing the reference engine's O(P)
-// rescan per committed pass. Its output is bit-identical to BuildScan's.
+// Build uses the event-driven engine on a throwaway Engine, so the returned
+// timeline owns its memory and is safe to retain indefinitely. Callers that
+// build many schedules back to back should hold a reusable Engine instead:
+// a warm engine recycles all of its state arenas and, when consecutive
+// specs share a committed prefix, replays it instead of re-simulating.
 func Build(spec *Spec) (*Timeline, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	e := newEngine(spec)
-	return e.run()
+	var e engine
+	e.prepare(spec)
+	tl, err := e.run()
+	if err != nil {
+		return nil, err
+	}
+	tl.arena = false // the engine is discarded; the caller owns the memory
+	return tl, nil
 }
 
 // BuildScan constructs the timed schedule with the original scan-based
@@ -31,8 +38,14 @@ func BuildScan(spec *Spec) (*Timeline, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	e := newEngine(spec)
-	return e.runScan()
+	var e engine
+	e.prepare(spec)
+	tl, err := e.runScan()
+	if err != nil {
+		return nil, err
+	}
+	tl.arena = false
+	return tl, nil
 }
 
 // MustBuild is Build for specs known to be valid (generators, tests). The
@@ -45,110 +58,340 @@ func MustBuild(spec *Spec) *Timeline {
 	return tl
 }
 
+// Engine is a reusable schedule constructor. All working state — per-pass
+// bookkeeping, dispatch caches, and the committed timeline itself — is
+// carved from arenas the engine owns and recycles, so a warm engine builds
+// a schedule without allocating. Use NewEngine (or the zero value) and call
+// Build repeatedly; Reset is the explicit re-arm step Build performs first.
+//
+// Reuse safety contract: the *Timeline returned by Build aliases the
+// engine's arena and is valid only until the next Build or Reset on the
+// same engine. A caller that retains a timeline past that point must call
+// Timeline.Detach for a compact self-owned copy (Timeline.Ephemeral reports
+// whether that is needed). The package-level Build/BuildScan helpers use a
+// throwaway engine, so their timelines are always safe to retain.
+//
+// Incremental prefix reuse: when consecutive Build calls receive specs that
+// differ only in trailing axes — a different microbatch count, a changed
+// stage duration — the engine replays the previous build's committed prefix
+// up to the first divergent commit instead of re-simulating it. Any
+// structural difference (device count, chunking, readiness offsets such as
+// SendTime or the vocabulary barrier costs) falls back to a scratch build.
+// Output is bit-identical to a scratch build in every case; the
+// differential tests and FuzzDifferentialEngines pin scan, heap-scratch and
+// heap-incremental against each other.
+//
+// An Engine is not safe for concurrent use; pool engines per worker
+// (sweep.Run does this internally).
+type Engine struct {
+	e engine
+}
+
+// NewEngine returns an empty engine ready for its first Build.
+func NewEngine() *Engine { return &Engine{} }
+
+// Reset validates spec and re-arms the engine's state for it, computing the
+// reusable committed prefix against the previous completed build. Build
+// calls Reset itself; the method is exported so callers can separate
+// validation from construction.
+func (en *Engine) Reset(spec *Spec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	en.e.prepare(spec)
+	return nil
+}
+
+// Build constructs spec's schedule, reusing the engine's arenas and any
+// committed prefix shared with the previous build. The returned timeline is
+// valid until the next Build or Reset (see the type comment).
+func (en *Engine) Build(spec *Spec) (*Timeline, error) {
+	if err := en.Reset(spec); err != nil {
+		return nil, err
+	}
+	return en.e.run()
+}
+
 const unscheduled = -1.0
 
+// linearScanCap bounds the device count dispatched by the cached linear
+// scan; larger P uses the indexed min-heap, whose O(dirty·log P) updates
+// win once the per-commit O(P) fold dominates. A variable so differential
+// tests can force both paths.
+var linearScanCap = 64
+
+// prevBuild is the deep copy of the previous completed build's spec that
+// prefix reuse diffs the next spec against. It is a copy, not a pointer:
+// the caller may mutate or discard its spec after Build returns.
+type prevBuild struct {
+	p, m, chunks  int
+	sendTime      float64
+	capScale      float64
+	extraInFlight int
+	hasVocab      bool
+	vocab         VocabSpec
+	hasInter      bool
+	inter         InterlacedSpec
+	stages        []Stage
+}
+
 type engine struct {
-	spec   *Spec
-	nStage int
-	last   int // last stage index
+	spec    *Spec
+	nStage  int
+	last    int // last stage index
+	lastDev int // device executing the last stage
 
-	fEnd, bEnd [][]float64 // [stage][micro]
-	sEnd       [][]float64 // [device][micro]
-	tEnd       [][]float64 // [device][micro]
-	vEnd       [][]float64 // [device][micro]
+	// Flat per-build state, carved from fArena/iArena by reset:
+	// [stage*M+micro] for fEnd/bEnd, [device*M+micro] for sEnd/tEnd/vEnd,
+	// [device*Chunks+chunk] for the next*/inFlight/cap tables.
+	fEnd, bEnd             []float64
+	sEnd, tEnd, vEnd       []float64
+	c1End, c2End, vBarrier []float64 // per micro
+	stageF, stageB, stageW []float64 // per stage, flat copy of Stages durations
+	freeAt                 []float64 // per device
 
-	sRemaining []int // per micro: S passes not yet committed
-	tRemaining []int
-	vRemaining []int
-	c1End      []float64 // per micro; set when the last S commits
-	c2End      []float64 // per micro; set when the last T commits (Alg1)
-	vBarrier   []float64 // per micro; set when the last V commits
-
-	nextF, nextB, nextW [][]int // [device][chunk]
-	nextS, nextT, nextV []int   // [device]
-	inFlight            [][]int // [device][chunk]
-	cap                 [][]int // [device][chunk]
-	freeAt              []float64
+	sRemaining, tRemaining, vRemaining []int // per micro
+	nextF, nextB, nextW                []int
+	nextS, nextT, nextV                []int // per device
+	inFlight, capIF                    []int
 
 	remaining int
-	timeline  *Timeline
 
-	// Event-driven dispatch state (left nil by the reference scan engine).
-	// choice/choiceStart/choicePrio cache each device's deviceChoice result;
-	// the heap orders devices by (choiceStart, choicePrio, device); dirty
-	// marks devices whose cache a commit invalidated. All cached inputs are
-	// write-once (fEnd/bEnd/c1End/... are set exactly once) except the
-	// committing device's own freeAt/next*/inFlight, so a cached choice
-	// stays valid until one of its dependencies lands.
-	choice      []candidate
+	fArena []float64
+	iArena []int
+
+	// Timeline arena. passes is the commit-order slab; byDevice rows are
+	// carved from byDevBack with exact per-device capacities. prevPasses
+	// holds the previous completed build's commit order for prefix replay;
+	// the two commit-order slabs alternate across builds.
+	passes     []TimedPass
+	prevPasses []TimedPass
+	byDevice   [][]TimedPass
+	byDevBack  []TimedPass
+	timeline   Timeline
+
+	prev     prevBuild
+	havePrev bool
+
+	// Event-driven dispatch state (unused by the reference scan engine).
+	// Each device caches one slot per candidate kind — per chunk F, B, W,
+	// then S, T, V — holding the kind's next readiness (+Inf when it has no
+	// schedulable pass). All readiness inputs are write-once (fEnd/bEnd/
+	// c1End/... are set exactly once) and each kind has its own cursor, so a
+	// slot stays valid until one of its specific dependencies lands;
+	// applyState marks exactly those (device, kind) pairs in dirtyKind.
+	// slotChoice folds a device's slots in the reference enumeration order,
+	// and choiceSlot/choiceStart/choicePrio cache the fold result per
+	// device. Dispatch is a linear fold over the caches for small P, or the
+	// indexed min-heap plus near-tie refold for large P; both replay the
+	// reference scan's tolerance fold exactly.
+	evented     bool
+	useHeap     bool
+	nSlots      int       // 3*Chunks + 3
+	slotReady   []float64 // [device*nSlots+slot]; +Inf = no candidate
+	slotDur     []float64 // [device*nSlots+slot], static per build
+	slotMicro   []int     // [device*nSlots+slot], valid when ready < +Inf
+	slotPrio    []int     // [slot], static per build
+	dirtyKind   []uint16  // per device: bitmask of slots to re-enumerate
+	choiceSlot  []int
 	choiceStart []float64
 	choicePrio  []int
+	hasChoice   []bool
 	heap        *deviceHeap
 	dirty       []bool
 	dirtyList   []int
 	nearBuf     []int
+	candBuf     [8]candidate
 }
 
-func newEngine(spec *Spec) *engine {
-	e := &engine{spec: spec, nStage: spec.NumStages()}
-	e.last = e.nStage - 1
-	mk2 := func(n, m int) [][]float64 {
-		out := make([][]float64, n)
-		for i := range out {
-			row := make([]float64, m)
-			for j := range row {
-				row[j] = unscheduled
-			}
-			out[i] = row
+// prepare re-arms the engine for spec: it computes the committed prefix
+// shared with the previous completed build, resets all state arenas, and
+// replays that prefix. spec must already be validated.
+func (e *engine) prepare(spec *Spec) {
+	e.evented = false
+	k := 0
+	if e.havePrev {
+		// The slab the last build filled becomes the replay source; the new
+		// build fills the other one.
+		e.passes, e.prevPasses = e.prevPasses, e.passes
+		k = e.prefixLen(spec)
+	}
+	e.havePrev = false
+	e.reset(spec)
+	if k > 0 {
+		e.replay(k)
+	}
+	e.snapshotSpec(spec)
+}
+
+// prefixLen returns how many leading commits of the previous build are
+// bit-identical to what a scratch build of s would produce. Zero on any
+// structural divergence. The rules follow from how the greedy fold consumes
+// the spec: a candidate's duration is invisible until it commits (except a
+// weight-gradient pass, whose duration gates admission as soon as its
+// stage's first backward lands), while readiness offsets (SendTime, the
+// vocabulary broadcast/barrier costs) shift candidate start times before
+// any commit and therefore always force scratch.
+func (e *engine) prefixLen(s *Spec) int {
+	pv := &e.prev
+	if pv.p != s.P || pv.chunks != s.Chunks || pv.sendTime != s.SendTime ||
+		pv.capScale != s.CapScale || pv.extraInFlight != s.ExtraInFlight {
+		return 0
+	}
+	if pv.hasVocab != (s.Vocab != nil) || pv.hasInter != (s.Interlaced != nil) {
+		return 0
+	}
+	if v := s.Vocab; v != nil {
+		// Any schedule-affecting vocabulary change forces scratch: BcastTime,
+		// C1Time and C2Time are readiness offsets, and SDur/TDur prefixes are
+		// never worth chasing (grids never vary them in isolation).
+		if pv.vocab.SDur != v.SDur || pv.vocab.TDur != v.TDur ||
+			pv.vocab.Barriers != v.Barriers || pv.vocab.BcastTime != v.BcastTime ||
+			pv.vocab.C1Time != v.C1Time || pv.vocab.C2Time != v.C2Time {
+			return 0
 		}
-		return out
 	}
-	e.fEnd = mk2(e.nStage, spec.M)
-	e.bEnd = mk2(e.nStage, spec.M)
-	e.sEnd = mk2(spec.P, spec.M)
-	e.tEnd = mk2(spec.P, spec.M)
-	e.vEnd = mk2(spec.P, spec.M)
-	e.c1End = make([]float64, spec.M)
-	e.c2End = make([]float64, spec.M)
-	e.vBarrier = make([]float64, spec.M)
-	e.sRemaining = make([]int, spec.M)
-	e.tRemaining = make([]int, spec.M)
-	e.vRemaining = make([]int, spec.M)
-	for i := range e.c1End {
-		e.c1End[i] = unscheduled
-		e.c2End[i] = unscheduled
-		e.vBarrier[i] = unscheduled
-		e.sRemaining[i] = spec.P
-		e.tRemaining[i] = spec.P
-		e.vRemaining[i] = spec.P
+	if iv := s.Interlaced; iv != nil {
+		if pv.inter.VDur != iv.VDur || pv.inter.SyncTime != iv.SyncTime {
+			return 0
+		}
+	}
+	// Per-commit taints: stop before the first commit whose own timing
+	// changed (F/B duration at its stage), whose stage's weight-gradient
+	// admission window changed (W duration becomes visible once the stage's
+	// first B lands), or that could advance a per-kind cursor to the
+	// smaller microbatch bound (enumeration diverges once any cursor
+	// reaches min(M, M')).
+	mDiff := pv.m != s.M
+	mBound := min(pv.m, s.M) - 1
+	for j := range e.prevPasses {
+		tp := &e.prevPasses[j]
+		if mDiff && tp.Micro >= mBound {
+			return j
+		}
+		switch tp.Type {
+		case PassF:
+			st := s.StageOf(tp.Device, tp.Chunk)
+			if pv.stages[st].F != s.Stages[st].F {
+				return j
+			}
+		case PassB:
+			st := s.StageOf(tp.Device, tp.Chunk)
+			if pv.stages[st].B != s.Stages[st].B || pv.stages[st].W != s.Stages[st].W {
+				return j
+			}
+		case PassW:
+			st := s.StageOf(tp.Device, tp.Chunk)
+			if pv.stages[st].W != s.Stages[st].W {
+				return j
+			}
+		}
+	}
+	return len(e.prevPasses)
+}
+
+func (e *engine) snapshotSpec(s *Spec) {
+	e.prev.p, e.prev.m, e.prev.chunks = s.P, s.M, s.Chunks
+	e.prev.sendTime, e.prev.capScale = s.SendTime, s.CapScale
+	e.prev.extraInFlight = s.ExtraInFlight
+	e.prev.hasVocab = s.Vocab != nil
+	if s.Vocab != nil {
+		e.prev.vocab = *s.Vocab
+	}
+	e.prev.hasInter = s.Interlaced != nil
+	if s.Interlaced != nil {
+		e.prev.inter = *s.Interlaced
+	}
+	if cap(e.prev.stages) < len(s.Stages) {
+		e.prev.stages = make([]Stage, len(s.Stages))
+	}
+	e.prev.stages = e.prev.stages[:len(s.Stages)]
+	copy(e.prev.stages, s.Stages)
+}
+
+// reset carves and re-initializes every state slab for spec.
+func (e *engine) reset(spec *Spec) {
+	e.spec = spec
+	e.nStage = spec.NumStages()
+	e.last = e.nStage - 1
+	e.lastDev = spec.DeviceOf(e.last)
+	P, M, C := spec.P, spec.M, spec.Chunks
+
+	// Float state from one arena.
+	nf := 2*e.nStage*M + 3*P*M + 3*M + 3*e.nStage + P
+	if cap(e.fArena) < nf {
+		e.fArena = make([]float64, nf)
+	}
+	fa := e.fArena[:nf]
+	fOff := 0
+	takeF := func(n int) []float64 {
+		s := fa[fOff : fOff+n : fOff+n]
+		fOff += n
+		return s
+	}
+	e.fEnd = takeF(e.nStage * M)
+	e.bEnd = takeF(e.nStage * M)
+	e.sEnd = takeF(P * M)
+	e.tEnd = takeF(P * M)
+	e.vEnd = takeF(P * M)
+	e.c1End = takeF(M)
+	e.c2End = takeF(M)
+	e.vBarrier = takeF(M)
+	e.stageF = takeF(e.nStage)
+	e.stageB = takeF(e.nStage)
+	e.stageW = takeF(e.nStage)
+	e.freeAt = takeF(P)
+	for i := 0; i < fOff-3*e.nStage-P; i++ {
+		fa[i] = unscheduled
+	}
+	for st := 0; st < e.nStage; st++ {
+		e.stageF[st] = spec.Stages[st].F
+		e.stageB[st] = spec.Stages[st].B
+		e.stageW[st] = spec.Stages[st].W
+	}
+	for d := 0; d < P; d++ {
+		e.freeAt[d] = 0
 	}
 
-	e.nextF = make([][]int, spec.P)
-	e.nextB = make([][]int, spec.P)
-	e.nextW = make([][]int, spec.P)
-	for d := 0; d < spec.P; d++ {
-		e.nextF[d] = make([]int, spec.Chunks)
-		e.nextB[d] = make([]int, spec.Chunks)
-		e.nextW[d] = make([]int, spec.Chunks)
+	// Int state from one arena.
+	ni := 3*M + 3*P*C + 3*P + 2*P*C
+	if cap(e.iArena) < ni {
+		e.iArena = make([]int, ni)
 	}
-	e.nextS = make([]int, spec.P)
-	e.nextT = make([]int, spec.P)
-	e.nextV = make([]int, spec.P)
-	e.inFlight = make([][]int, spec.P)
-	e.freeAt = make([]float64, spec.P)
+	ia := e.iArena[:ni]
+	iOff := 0
+	takeI := func(n int) []int {
+		s := ia[iOff : iOff+n : iOff+n]
+		iOff += n
+		return s
+	}
+	e.sRemaining = takeI(M)
+	e.tRemaining = takeI(M)
+	e.vRemaining = takeI(M)
+	e.nextF = takeI(P * C)
+	e.nextB = takeI(P * C)
+	e.nextW = takeI(P * C)
+	e.nextS = takeI(P)
+	e.nextT = takeI(P)
+	e.nextV = takeI(P)
+	e.inFlight = takeI(P * C)
+	e.capIF = takeI(P * C)
+	for i := 0; i < 3*M; i++ {
+		ia[i] = P
+	}
+	for i := 3 * M; i < ni; i++ {
+		ia[i] = 0
+	}
 
-	e.cap = make([][]int, spec.P)
 	scale := spec.CapScale
 	if scale == 0 {
 		scale = 1
 	}
-	for d := 0; d < spec.P; d++ {
-		e.inFlight[d] = make([]int, spec.Chunks)
-		e.cap[d] = make([]int, spec.Chunks)
-		for c := 0; c < spec.Chunks; c++ {
+	for d := 0; d < P; d++ {
+		for c := 0; c < C; c++ {
 			var base float64
-			if spec.Chunks == 1 {
-				base = float64(spec.P - d)
+			if C == 1 {
+				base = float64(P - d)
 			} else {
 				// V-shape with split backward (B≈F≈W per half-stage): a
 				// stage's lifespan is proportional to its round-trip distance
@@ -160,35 +403,91 @@ func newEngine(spec *Spec) *engine {
 				// across devices (Qi et al. 2024); the +1 slack absorbs
 				// warmup discretization.
 				if c == 0 {
-					base = float64(2*spec.P-1-d)/3 + 1
+					base = float64(2*P-1-d)/3 + 1
 				} else {
 					base = float64(d+1)/3 + 1
 				}
 			}
-			e.cap[d][c] = int(math.Ceil(base*scale)) + spec.ExtraInFlight
-			if e.cap[d][c] < 1 {
-				e.cap[d][c] = 1
+			cp := int(ceilPos(base*scale)) + spec.ExtraInFlight
+			if cp < 1 {
+				cp = 1
 			}
+			e.capIF[d*C+c] = cp
 		}
 	}
 
-	// Total pass count.
-	e.remaining = 0
+	// Total pass count and exact per-device timeline capacities.
+	total := 0
 	for st := 0; st < e.nStage; st++ {
-		e.remaining += 2 * spec.M // F + B
+		total += 2 * M
 		if spec.Stages[st].W > 0 {
-			e.remaining += spec.M
+			total += M
 		}
 	}
 	if spec.Vocab != nil {
-		e.remaining += 2 * spec.P * spec.M // S + T
+		total += 2 * P * M
 	}
 	if spec.Interlaced != nil {
-		e.remaining += spec.P * spec.M
+		total += P * M
 	}
+	e.remaining = total
 
-	e.timeline = &Timeline{Spec: spec, ByDevice: make([][]TimedPass, spec.P)}
-	return e
+	if cap(e.passes) < total {
+		e.passes = make([]TimedPass, 0, total)
+	}
+	e.passes = e.passes[:0]
+	if cap(e.byDevBack) < total {
+		e.byDevBack = make([]TimedPass, total)
+	}
+	if cap(e.byDevice) < P {
+		e.byDevice = make([][]TimedPass, P)
+	}
+	e.byDevice = e.byDevice[:P]
+	off := 0
+	for d := 0; d < P; d++ {
+		n := 0
+		for c := 0; c < C; c++ {
+			n += 2 * M
+			if spec.Stages[spec.StageOf(d, c)].W > 0 {
+				n += M
+			}
+		}
+		if spec.Vocab != nil {
+			n += 2 * M
+		}
+		if spec.Interlaced != nil {
+			n += M
+		}
+		e.byDevice[d] = e.byDevBack[off : off : off+n]
+		off += n
+	}
+}
+
+// ceilPos is math.Ceil for the engine's finite non-negative cap arithmetic,
+// kept inlineable.
+func ceilPos(x float64) float64 {
+	f := float64(int64(x))
+	if f < x {
+		return f + 1
+	}
+	return f
+}
+
+// replay re-applies the first k commits of the previous build using the
+// recorded intervals verbatim (summing start+duration again could diverge
+// by an ulp; the recorded End is the ground truth the rest of the schedule
+// was built on). It skips dirty tracking entirely: run re-derives every
+// device's choice from the restored state afterwards, which is valid
+// because a cached choice is always identical to a fresh recompute.
+func (e *engine) replay(k int) {
+	for j := 0; j < k; j++ {
+		tp := e.prevPasses[j]
+		e.passes = append(e.passes, tp)
+		e.byDevice[tp.Device] = append(e.byDevice[tp.Device], tp)
+		e.freeAt[tp.Device] = tp.End
+		e.remaining--
+		e.applyState(&tp, false)
+	}
 }
 
 // candidate is a schedulable pass with its earliest start time.
@@ -224,7 +523,7 @@ const tieTol = 1e-15
 // when it starts tieTol-strictly earlier, or starts within tieTol and has
 // lower priority, or ties on both and runs on a lower device. Every
 // selection loop must fold through this one function — the bit-identical
-// Build/BuildScan guarantee rests on the three folds never drifting apart.
+// Build/BuildScan guarantee rests on the folds never drifting apart.
 // (Intra-device folds pass dev == bestDev, degenerating the device
 // tie-break to false.)
 func betterCandidate(start float64, prio, dev int, found bool, bestStart float64, bestPrio, bestDev int) bool {
@@ -232,37 +531,103 @@ func betterCandidate(start float64, prio, dev int, found bool, bestStart float64
 		return true
 	}
 	return start < bestStart-tieTol ||
-		(math.Abs(start-bestStart) <= tieTol && (prio < bestPrio ||
+		(absDiff(start, bestStart) <= tieTol && (prio < bestPrio ||
 			(prio == bestPrio && dev < bestDev)))
 }
 
-// run is the event-driven dispatch loop. Each device's preferred candidate
-// is cached and enqueued in a min-heap keyed by (start, priority, device);
-// a commit invalidates only the devices whose dependencies it satisfied
-// (marked dirty inside commit), so the per-commit cost is O(dirty·log P)
-// instead of the reference engine's O(P) rescan.
+// absDiff is math.Abs(a-b) without the call, for the finite non-negative
+// start times the engine compares.
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// run is the event-driven dispatch loop over cached per-device choices. A
+// commit invalidates only the devices whose dependencies it satisfied
+// (marked dirty inside applyState), so the per-commit cost is
+// O(dirty + selection) instead of the reference engine's O(P) full
+// recompute. Selection is a linear fold over the caches (bit-identical to
+// the scan fold, since a cached choice equals a fresh recompute) for
+// P <= linearScanCap, or the min-heap near-tie refold beyond.
 func (e *engine) run() (*Timeline, error) {
 	p := e.spec.P
-	e.choice = make([]candidate, p)
-	e.choiceStart = make([]float64, p)
-	e.choicePrio = make([]int, p)
-	e.heap = newDeviceHeap(p)
-	e.dirty = make([]bool, p)
-	e.dirtyList = make([]int, 0, p)
-	e.nearBuf = make([]int, 0, 8)
-	for d := 0; d < p; d++ {
-		e.markDirty(d)
+	e.armDispatch(p)
+	if e.useHeap {
+		return e.runHeap()
 	}
+	for e.remaining > 0 {
+		for _, d := range e.dirtyList {
+			e.dirty[d] = false
+			if m := e.dirtyKind[d]; m != 0 {
+				e.refreshSlots(d, m)
+				e.dirtyKind[d] = 0
+			}
+			slot, start, prio, ok := e.slotChoice(d)
+			e.hasChoice[d] = ok
+			if ok {
+				e.choiceSlot[d], e.choiceStart[d], e.choicePrio[d] = slot, start, prio
+			} else {
+				// +Inf sentinel: the fold below rejects it with a single
+				// compare (Inf is never < bestStart-tieTol, and Inf-Inf is
+				// NaN, which fails every tolerance check), so the hot fold
+				// needs no hasChoice load.
+				e.choiceStart[d] = math.Inf(1)
+			}
+		}
+		e.dirtyList = e.dirtyList[:0]
+		// The fold below is betterCandidate unrolled against the sentinel,
+		// reusing its exact float expressions: accept iff
+		// s < bestStart-tieTol, or absDiff(s, bestStart) <= tieTol with a
+		// strictly lower priority (ascending d means a later device never
+		// wins an equal-priority tie; the sentinel never wins because
+		// Inf-Inf is NaN, which fails both checks).
+		// lim caches bestStart-tieTol (the exact expression betterCandidate
+		// compares against, recomputed only when bestStart moves), and the
+		// single subtraction fast-rejects the common case: diff > tieTol
+		// implies s > bestStart, where absDiff is that same s-bestStart.
+		// For survivors, -diff <= tieTol is absDiff <= tieTol exactly (IEEE
+		// negation is exact).
+		bestD := -1
+		bestStart := math.Inf(1)
+		bestPrio := 0
+		lim := math.Inf(1)
+		starts := e.choiceStart[:p]
+		for d := 0; d < len(starts); d++ {
+			s := starts[d]
+			diff := s - bestStart
+			if diff > tieTol {
+				continue
+			}
+			if s < lim {
+				bestD, bestStart, bestPrio = d, s, e.choicePrio[d]
+				lim = bestStart - tieTol
+			} else if -diff <= tieTol && e.choicePrio[d] < bestPrio {
+				bestD, bestStart, bestPrio = d, s, e.choicePrio[d]
+				lim = bestStart - tieTol
+			}
+		}
+		if bestD < 0 {
+			return nil, fmt.Errorf("schedule: no schedulable pass with %d remaining (dependency cycle?)", e.remaining)
+		}
+		e.commitSlot(bestD, e.choiceSlot[bestD], bestStart)
+	}
+	return e.finish(), nil
+}
+
+// runHeap is the large-P dispatch loop: heap-ordered exact minimum plus the
+// near-tie neighborhood refold (see pickDevice).
+func (e *engine) runHeap() (*Timeline, error) {
 	for e.remaining > 0 {
 		e.refreshDirty()
 		d, ok := e.pickDevice()
 		if !ok {
 			return nil, fmt.Errorf("schedule: no schedulable pass with %d remaining (dependency cycle?)", e.remaining)
 		}
-		e.commit(e.choice[d], e.choiceStart[d])
+		e.commitSlot(d, e.choiceSlot[d], e.choiceStart[d])
 	}
-	e.finishTimeline()
-	return e.timeline, nil
+	return e.finish(), nil
 }
 
 // runScan is the original reference loop: recompute every device's choice
@@ -271,7 +636,7 @@ func (e *engine) runScan() (*Timeline, error) {
 	spec := e.spec
 	for e.remaining > 0 {
 		var best candidate
-		bestStart := math.Inf(1)
+		bestStart := 0.0
 		bestPrio := 0
 		found := false
 		for d := 0; d < spec.P; d++ {
@@ -291,49 +656,348 @@ func (e *engine) runScan() (*Timeline, error) {
 		}
 		e.commit(best, bestStart)
 	}
-	e.finishTimeline()
-	return e.timeline, nil
+	return e.finish(), nil
 }
 
-func (e *engine) finishTimeline() {
-	for _, ps := range e.timeline.ByDevice {
-		for _, p := range ps {
-			if p.End > e.timeline.Makespan {
-				e.timeline.Makespan = p.End
-			}
+// armDispatch sizes the dispatch caches, fills the static per-slot tables
+// (priority, duration) and marks every slot of every device dirty — both
+// the scratch entry point and the post-replay recovery step (cached choices
+// are recomputed from restored state, never replayed).
+func (e *engine) armDispatch(p int) {
+	spec := e.spec
+	e.evented = true
+	e.useHeap = p > linearScanCap
+	ns := 3*spec.Chunks + 3
+	e.nSlots = ns
+	if cap(e.choiceSlot) < p {
+		e.choiceSlot = make([]int, p)
+		e.choiceStart = make([]float64, p)
+		e.choicePrio = make([]int, p)
+		e.hasChoice = make([]bool, p)
+		e.dirty = make([]bool, p)
+		e.dirtyKind = make([]uint16, p)
+		e.dirtyList = make([]int, 0, p)
+		e.nearBuf = make([]int, 0, 8)
+	}
+	e.choiceSlot = e.choiceSlot[:p]
+	e.choiceStart = e.choiceStart[:p]
+	e.choicePrio = e.choicePrio[:p]
+	e.hasChoice = e.hasChoice[:p]
+	e.dirty = e.dirty[:p]
+	e.dirtyKind = e.dirtyKind[:p]
+	e.dirtyList = e.dirtyList[:0]
+	if cap(e.slotReady) < p*ns {
+		e.slotReady = make([]float64, p*ns)
+		e.slotDur = make([]float64, p*ns)
+		e.slotMicro = make([]int, p*ns)
+	}
+	e.slotReady = e.slotReady[:p*ns]
+	e.slotDur = e.slotDur[:p*ns]
+	e.slotMicro = e.slotMicro[:p*ns]
+	if cap(e.slotPrio) < ns {
+		e.slotPrio = make([]int, ns)
+	}
+	e.slotPrio = e.slotPrio[:ns]
+	nc := 3 * spec.Chunks
+	for c := 0; c < spec.Chunks; c++ {
+		e.slotPrio[3*c] = prioF
+		e.slotPrio[3*c+1] = prioB
+		e.slotPrio[3*c+2] = prioW
+	}
+	e.slotPrio[nc] = prioS
+	e.slotPrio[nc+1] = prioT
+	e.slotPrio[nc+2] = prioV
+	inf := math.Inf(1)
+	for d := 0; d < p; d++ {
+		base := d * ns
+		for k := 0; k < ns; k++ {
+			e.slotReady[base+k] = inf
 		}
+		for c := 0; c < spec.Chunks; c++ {
+			st := spec.StageOf(d, c)
+			e.slotDur[base+3*c] = e.stageF[st]
+			e.slotDur[base+3*c+1] = e.stageB[st]
+			e.slotDur[base+3*c+2] = e.stageW[st]
+		}
+		if v := spec.Vocab; v != nil {
+			e.slotDur[base+nc] = v.SDur
+			e.slotDur[base+nc+1] = v.TDur
+		}
+		if iv := spec.Interlaced; iv != nil {
+			e.slotDur[base+nc+2] = iv.VDur + iv.SyncTime
+		}
+		e.hasChoice[d] = false
+		e.dirty[d] = false
+		e.dirtyKind[d] = 0
+	}
+	if e.useHeap {
+		if e.heap == nil || len(e.heap.pos) < p {
+			e.heap = newDeviceHeap(p)
+		} else {
+			e.heap.reset()
+		}
+	}
+	all := uint16(1)<<uint(ns) - 1
+	for d := 0; d < p; d++ {
+		e.markKind(d, all)
 	}
 }
 
-func (e *engine) markDirty(d int) {
+func (e *engine) finish() *Timeline {
+	mk := 0.0
+	for d := range e.byDevice {
+		if n := len(e.byDevice[d]); n > 0 {
+			if end := e.byDevice[d][n-1].End; end > mk {
+				mk = end
+			}
+		}
+	}
+	e.timeline = Timeline{Spec: e.spec, Passes: e.passes, ByDevice: e.byDevice, Makespan: mk, arena: true}
+	e.havePrev = true
+	return &e.timeline
+}
+
+// markKind queues slots of device d (a bitmask, bit k = slot k) for
+// re-enumeration before the next dispatch fold.
+func (e *engine) markKind(d int, bits uint16) {
+	e.dirtyKind[d] |= bits
 	if !e.dirty[d] {
 		e.dirty[d] = true
 		e.dirtyList = append(e.dirtyList, d)
 	}
 }
 
-func (e *engine) markAllDirty() {
-	for d := range e.dirty {
-		e.markDirty(d)
-	}
-}
-
-// refreshDirty recomputes the cached choice of every dirty device and fixes
-// its heap entry (or removes it when the device has nothing schedulable).
+// refreshDirty re-enumerates the marked slots and the cached choice of
+// every dirty device and fixes its heap entry (or removes it when the
+// device has nothing schedulable).
 func (e *engine) refreshDirty() {
 	for _, d := range e.dirtyList {
 		e.dirty[d] = false
-		c, start, prio, ok := e.deviceChoice(d)
+		if m := e.dirtyKind[d]; m != 0 {
+			e.refreshSlots(d, m)
+			e.dirtyKind[d] = 0
+		}
+		slot, start, prio, ok := e.slotChoice(d)
+		e.hasChoice[d] = ok
 		if !ok {
 			e.heap.remove(d)
 			continue
 		}
-		e.choice[d] = c
+		e.choiceSlot[d] = slot
 		e.choiceStart[d] = start
 		e.choicePrio[d] = prio
 		e.heap.update(d, start, prio)
 	}
 	e.dirtyList = e.dirtyList[:0]
+}
+
+// refreshSlots re-enumerates the masked candidate slots of device d from
+// the engine's readiness state. Kind conditions and readiness expressions
+// mirror candidates() exactly; a kind with no schedulable pass parks its
+// slot at +Inf.
+func (e *engine) refreshSlots(d int, mask uint16) {
+	spec := e.spec
+	M := spec.M
+	ns := e.nSlots
+	base := d * ns
+	cbase := d * spec.Chunks
+	inf := math.Inf(1)
+	for c := 0; c < spec.Chunks; c++ {
+		if mask&(7<<uint(3*c)) == 0 {
+			continue
+		}
+		st := spec.StageOf(d, c)
+		row := st * M
+
+		// Forward.
+		if mask&(1<<uint(3*c)) != 0 {
+			ready := inf
+			if i := e.nextF[cbase+c]; i < M && e.inFlight[cbase+c] < e.capIF[cbase+c] {
+				if st == 0 {
+					ready = 0
+				} else if prev := e.fEnd[row-M+i]; prev != unscheduled {
+					ready = prev + spec.SendTime
+				}
+				e.slotMicro[base+3*c] = i
+			}
+			e.slotReady[base+3*c] = ready
+		}
+
+		// Backward.
+		if mask&(1<<uint(3*c+1)) != 0 {
+			ready := inf
+			if i := e.nextB[cbase+c]; i < M {
+				if own := e.fEnd[row+i]; own != unscheduled {
+					r := own
+					ok := true
+					if st == e.last {
+						if br, okB := e.lastStageBackwardReady(i); okB {
+							if br > r {
+								r = br
+							}
+						} else {
+							ok = false
+						}
+					} else if next := e.bEnd[row+M+i]; next != unscheduled {
+						if nr := next + spec.SendTime; nr > r {
+							r = nr
+						}
+					} else {
+						ok = false
+					}
+					if ok {
+						ready = r
+						e.slotMicro[base+3*c+1] = i
+					}
+				}
+			}
+			e.slotReady[base+3*c+1] = ready
+		}
+
+		// Weight gradient (split backward).
+		if mask&(1<<uint(3*c+2)) != 0 {
+			ready := inf
+			if e.stageW[st] > 0 {
+				if i := e.nextW[cbase+c]; i < M {
+					if b := e.bEnd[row+i]; b != unscheduled {
+						ready = b
+						e.slotMicro[base+3*c+2] = i
+					}
+				}
+			}
+			e.slotReady[base+3*c+2] = ready
+		}
+	}
+
+	nc := 3 * spec.Chunks
+	if mask>>uint(nc) == 0 {
+		return
+	}
+	lastRow := e.last * M
+	if v := spec.Vocab; v != nil {
+		if mask&(1<<uint(nc)) != 0 {
+			ready := inf
+			if i := e.nextS[d]; i < M {
+				if f := e.fEnd[lastRow+i]; f != unscheduled {
+					ready = f + v.BcastTime
+					e.slotMicro[base+nc] = i
+				}
+			}
+			e.slotReady[base+nc] = ready
+		}
+		if mask&(1<<uint(nc+1)) != 0 {
+			ready := inf
+			if i := e.nextT[d]; i < M {
+				if c1 := e.c1End[i]; c1 != unscheduled {
+					ready = c1
+					e.slotMicro[base+nc+1] = i
+				}
+			}
+			e.slotReady[base+nc+1] = ready
+		}
+	}
+	if iv := spec.Interlaced; iv != nil {
+		if mask&(1<<uint(nc+2)) != 0 {
+			ready := inf
+			if i := e.nextV[d]; i < M {
+				if f := e.fEnd[lastRow+i]; f != unscheduled {
+					ready = f
+					e.slotMicro[base+nc+2] = i
+				}
+			}
+			e.slotReady[base+nc+2] = ready
+		}
+	}
+}
+
+// slotChoice folds device d's cached slots in the reference enumeration
+// order (slot index order is per chunk F, B, W; then S, T, V), reproducing
+// deviceChoice's fold and W admission exactly over the cached readiness.
+func (e *engine) slotChoice(d int) (int, float64, int, bool) {
+	ns := e.nSlots
+	base := d * ns
+	ready := e.slotReady[base : base+ns]
+	free := e.freeAt[d]
+	nc := ns - 3
+	// W admission bound: minimum readiness among non-W slots (max-with-free
+	// distributes over min), +Inf slots never winning the min.
+	minOther := math.Inf(1)
+	for k := 0; k < nc; k += 3 {
+		if r := ready[k]; r < minOther {
+			minOther = r
+		}
+		if r := ready[k+1]; r < minOther {
+			minOther = r
+		}
+	}
+	for k := nc; k < ns; k++ {
+		if r := ready[k]; r < minOther {
+			minOther = r
+		}
+	}
+	haveOther := !math.IsInf(minOther, 1)
+	earliestOther := minOther
+	if free > earliestOther {
+		earliestOther = free
+	}
+	bestSlot := -1
+	bestStart := 0.0
+	bestPrio := 0
+	for k := 0; k < ns; k++ {
+		r := ready[k]
+		if math.IsInf(r, 1) {
+			continue
+		}
+		start := free
+		if r > start {
+			start = r
+		}
+		prio := e.slotPrio[k]
+		if prio == prioW && haveOther && start+e.slotDur[base+k] > earliestOther+tieTol {
+			continue
+		}
+		if bestSlot < 0 || start < bestStart-tieTol ||
+			(absDiff(start, bestStart) <= tieTol && prio < bestPrio) {
+			bestSlot, bestStart, bestPrio = k, start, prio
+		}
+	}
+	return bestSlot, bestStart, bestPrio, bestSlot >= 0
+}
+
+// commitSlot commits device d's cached slot choice at start, reconstructing
+// the pass identity from the slot layout.
+func (e *engine) commitSlot(d, slot int, start float64) {
+	base := d * e.nSlots
+	nc := e.nSlots - 3
+	var pt PassType
+	chunk := 0
+	if slot < nc {
+		chunk = slot / 3
+		switch slot % 3 {
+		case 0:
+			pt = PassF
+		case 1:
+			pt = PassB
+		default:
+			pt = PassW
+		}
+	} else {
+		switch slot - nc {
+		case 0:
+			pt = PassS
+		case 1:
+			pt = PassT
+		default:
+			pt = PassV
+		}
+	}
+	end := start + e.slotDur[base+slot]
+	e.freeAt[d] = end
+	tp := TimedPass{Pass: Pass{pt, d, chunk, e.slotMicro[base+slot]}, Start: start, End: end}
+	e.passes = append(e.passes, tp)
+	e.byDevice[d] = append(e.byDevice[d], tp)
+	e.remaining--
+	e.applyState(&tp, true)
 }
 
 // pickDevice selects the next device to commit, reproducing the reference
@@ -370,73 +1034,78 @@ func (e *engine) pickDevice() (int, bool) {
 	return bestD, true
 }
 
-// dynPriority orders a device's candidates. The building blocks of §5.2
-// follow a one-forward-one-backward-one-output slot: after committing a
-// forward, the device prefers to drain (B, then T, then S); otherwise it
-// prefers to pump (F, then S, then T, then B). Weight-gradient passes are
-// always last.
-func (e *engine) dynPriority(d int, c candidate) int {
-	// Static pump-first order (see the prio* constants). An alternation
-	// variant (prefer draining right after a forward) was evaluated and
-	// regressed every vocabulary schedule: with the in-flight cap already
-	// enforcing the one-forward-one-backward slot budget, deferring forwards
-	// starves the last stage whose F gates all S passes.
-	return c.priority
-}
-
-// deviceChoice picks device d's preferred next pass: among candidates that
-// could start within the alternation window of the earliest one, the highest
-// dynamic priority wins. Weight-gradient passes are pure filler (zero-bubble
-// style) and are admitted only when they finish before any other candidate
-// could start.
+// deviceChoice picks device d's preferred next pass: the earliest-starting
+// candidate under the shared tolerance fold, with static pass priorities on
+// ties. (An alternation variant — prefer draining right after a forward —
+// was evaluated and regressed every vocabulary schedule: with the in-flight
+// cap already enforcing the one-forward-one-backward slot budget, deferring
+// forwards starves the last stage whose F gates all S passes.)
+// Weight-gradient passes are pure filler (zero-bubble style) and are
+// admitted only when they finish before any other candidate could start.
 func (e *engine) deviceChoice(d int) (candidate, float64, int, bool) {
-	cands := e.candidates(d)
+	cands, earliestOther, haveOther := e.candidates(d)
 	if len(cands) == 0 {
 		return candidate{}, 0, 0, false
 	}
-	earliestOther := math.Inf(1)
-	for _, c := range cands {
-		if c.priority != prioW {
-			if s := math.Max(e.freeAt[d], c.ready); s < earliestOther {
-				earliestOther = s
-			}
-		}
-	}
+	free := e.freeAt[d]
 	var best candidate
-	bestStart := math.Inf(1)
+	bestStart := 0.0
 	bestPrio := 0
 	found := false
-	for _, c := range cands {
-		start := math.Max(e.freeAt[d], c.ready)
-		if c.priority == prioW && start+c.duration > earliestOther+tieTol {
+	for i := range cands {
+		c := &cands[i]
+		start := free
+		if c.ready > start {
+			start = c.ready
+		}
+		if c.priority == prioW && haveOther && start+c.duration > earliestOther+tieTol {
 			continue
 		}
-		prio := e.dynPriority(d, c)
-		if betterCandidate(start, prio, d, found, bestStart, bestPrio, d) {
-			best = c
+		if betterCandidate(start, c.priority, d, found, bestStart, bestPrio, d) {
+			best = *c
 			bestStart = start
-			bestPrio = prio
+			bestPrio = c.priority
 			found = true
 		}
 	}
 	return best, bestStart, bestPrio, found
 }
 
-// candidates enumerates the next schedulable pass of each kind on device d.
-func (e *engine) candidates(d int) []candidate {
+// candidates enumerates the next schedulable pass of each kind on device d
+// into the engine's fixed buffer (at most 8: three per chunk plus the
+// vocabulary or interlaced pair). The enumeration order — per chunk F, B,
+// W; then S, T; then V — is part of the bit-identical contract: the fold
+// resolves exact ties by this order before the tolerance tie-break sees
+// them. The second and third results are the earliest start among non-W
+// candidates (the W admission bound) and whether one exists, computed here
+// so deviceChoice folds in a single pass.
+func (e *engine) candidates(d int) ([]candidate, float64, bool) {
 	spec := e.spec
-	out := make([]candidate, 0, 8)
+	M := spec.M
+	out := e.candBuf[:0]
+	base := d * spec.Chunks
+	free := e.freeAt[d]
+	fEnd, bEnd := e.fEnd, e.bEnd
+	// minOther tracks the minimum readiness among non-W candidates; the W
+	// admission bound is then max(free, minOther), since max-with-free
+	// distributes over min.
+	minOther := math.Inf(1)
+	other := func(ready float64) {
+		if ready < minOther {
+			minOther = ready
+		}
+	}
 
 	for c := 0; c < spec.Chunks; c++ {
 		st := spec.StageOf(d, c)
-		stage := spec.Stages[st]
+		row := st * M
 
 		// Forward.
-		if i := e.nextF[d][c]; i < spec.M && e.inFlight[d][c] < e.cap[d][c] {
+		if i := e.nextF[base+c]; i < M && e.inFlight[base+c] < e.capIF[base+c] {
 			ready := 0.0
 			ok := true
 			if st > 0 {
-				prev := e.fEnd[st-1][i]
+				prev := fEnd[row-M+i]
 				if prev == unscheduled {
 					ok = false
 				} else {
@@ -444,64 +1113,79 @@ func (e *engine) candidates(d int) []candidate {
 				}
 			}
 			if ok {
-				out = append(out, candidate{Pass{PassF, d, c, i}, ready, stage.F, prioF})
+				out = append(out, candidate{Pass{PassF, d, c, i}, ready, e.stageF[st], prioF})
+				other(ready)
 			}
 		}
 
 		// Backward.
-		if i := e.nextB[d][c]; i < spec.M {
-			if own := e.fEnd[st][i]; own != unscheduled {
+		if i := e.nextB[base+c]; i < M {
+			if own := fEnd[row+i]; own != unscheduled {
 				ready := own
 				ok := true
 				if st == e.last {
 					if r, okB := e.lastStageBackwardReady(i); okB {
-						ready = math.Max(ready, r)
+						if r > ready {
+							ready = r
+						}
 					} else {
 						ok = false
 					}
-				} else if next := e.bEnd[st+1][i]; next != unscheduled {
-					ready = math.Max(ready, next+spec.SendTime)
+				} else if next := bEnd[row+M+i]; next != unscheduled {
+					if nr := next + spec.SendTime; nr > ready {
+						ready = nr
+					}
 				} else {
 					ok = false
 				}
 				if ok {
-					out = append(out, candidate{Pass{PassB, d, c, i}, ready, stage.B, prioB})
+					out = append(out, candidate{Pass{PassB, d, c, i}, ready, e.stageB[st], prioB})
+					other(ready)
 				}
 			}
 		}
 
 		// Weight gradient (split backward).
-		if stage.W > 0 {
-			if i := e.nextW[d][c]; i < spec.M {
-				if b := e.bEnd[st][i]; b != unscheduled {
-					out = append(out, candidate{Pass{PassW, d, c, i}, b, stage.W, prioW})
+		if w := e.stageW[st]; w > 0 {
+			if i := e.nextW[base+c]; i < M {
+				if b := bEnd[row+i]; b != unscheduled {
+					out = append(out, candidate{Pass{PassW, d, c, i}, b, w, prioW})
 				}
 			}
 		}
 	}
 
+	lastRow := e.last * M
 	if v := spec.Vocab; v != nil {
-		if i := e.nextS[d]; i < spec.M {
-			if f := e.fEnd[e.last][i]; f != unscheduled {
+		if i := e.nextS[d]; i < M {
+			if f := fEnd[lastRow+i]; f != unscheduled {
 				out = append(out, candidate{Pass{PassS, d, 0, i}, f + v.BcastTime, v.SDur, prioS})
+				other(f + v.BcastTime)
 			}
 		}
-		if i := e.nextT[d]; i < spec.M {
+		if i := e.nextT[d]; i < M {
 			if c1 := e.c1End[i]; c1 != unscheduled {
 				out = append(out, candidate{Pass{PassT, d, 0, i}, c1, v.TDur, prioT})
+				other(c1)
 			}
 		}
 	}
 
 	if iv := spec.Interlaced; iv != nil {
-		if i := e.nextV[d]; i < spec.M {
-			if f := e.fEnd[e.last][i]; f != unscheduled {
+		if i := e.nextV[d]; i < M {
+			if f := fEnd[lastRow+i]; f != unscheduled {
 				out = append(out, candidate{Pass{PassV, d, 0, i}, f, iv.VDur + iv.SyncTime, prioV})
+				other(f)
 			}
 		}
 	}
 
-	return out
+	haveOther := !math.IsInf(minOther, 1)
+	earliestOther := minOther
+	if haveOther && free > earliestOther {
+		earliestOther = free
+	}
+	return out, earliestOther, haveOther
 }
 
 // lastStageBackwardReady returns the extra readiness constraint on the last
@@ -531,99 +1215,150 @@ func (e *engine) lastStageBackwardReady(i int) (float64, bool) {
 	}
 }
 
+// commit is the scan engine's commit step; the evented paths use commitSlot.
 func (e *engine) commit(c candidate, start float64) {
-	spec := e.spec
 	end := start + c.duration
 	d := c.pass.Device
 	e.freeAt[d] = end
 	tp := TimedPass{Pass: c.pass, Start: start, End: end}
-	e.timeline.Passes = append(e.timeline.Passes, tp)
-	e.timeline.ByDevice[d] = append(e.timeline.ByDevice[d], tp)
+	e.passes = append(e.passes, tp)
+	e.byDevice[d] = append(e.byDevice[d], tp)
 	e.remaining--
+	e.applyState(&tp, e.evented)
+}
 
-	// Event-driven invalidation (dirty == nil under the reference engine):
-	// the committing device always needs a fresh choice; each case below
-	// additionally marks the devices whose candidates this commit may have
-	// unblocked. Every cross-device readiness input is write-once, so these
-	// markings are exhaustive.
-	evented := e.dirty != nil
-	if evented {
-		e.markDirty(d)
-	}
-
-	switch c.pass.Type {
+// applyState folds one committed pass into the engine's readiness state.
+// It is shared by live commits and prefix replay; live enables the exact
+// (device, kind) invalidation. Every cross-device readiness input is
+// write-once and each per-kind cursor advances in microbatch order, so the
+// waiter scans below (nextS[dd] == i, etc.) are exhaustive: a device whose
+// cursor already passed i saw this input's dependency satisfied earlier,
+// and one whose cursor hasn't reached i cannot have enumerated a candidate
+// that reads it. The committing device always re-enters the dispatch fold
+// (its own kind bits below are never empty), which also folds its changed
+// freeAt into every cached slot.
+func (e *engine) applyState(tp *TimedPass, live bool) {
+	spec := e.spec
+	M := spec.M
+	d, i, end := tp.Device, tp.Micro, tp.End
+	nc := 3 * spec.Chunks
+	switch tp.Type {
 	case PassF:
-		st := spec.StageOf(d, c.pass.Chunk)
-		e.fEnd[st][c.pass.Micro] = end
-		e.nextF[d][c.pass.Chunk]++
-		e.inFlight[d][c.pass.Chunk]++
-		if evented {
+		st := spec.StageOf(d, tp.Chunk)
+		e.fEnd[st*M+i] = end
+		e.nextF[d*spec.Chunks+tp.Chunk]++
+		e.inFlight[d*spec.Chunks+tp.Chunk]++
+		if live {
+			// Own F slot (cursor and in-flight cap) and own B slot (B of
+			// microbatch i needs this F).
+			e.markKind(d, 3<<uint(3*tp.Chunk))
 			if st < e.last {
 				// Downstream forward of the same microbatch.
-				e.markDirty(spec.DeviceOf(st + 1))
-			} else if spec.Vocab != nil || spec.Interlaced != nil {
-				// The last stage's F gates every device's S (or V) pass.
-				e.markAllDirty()
+				e.markKind(spec.DeviceOf(st+1), 1<<uint(3*spec.ChunkOf(st+1)))
+			} else {
+				// The last stage's F gates exactly the devices whose S (or V)
+				// cursor is waiting on microbatch i.
+				if spec.Vocab != nil {
+					for dd := 0; dd < spec.P; dd++ {
+						if e.nextS[dd] == i {
+							e.markKind(dd, 1<<uint(nc))
+						}
+					}
+				}
+				if spec.Interlaced != nil {
+					for dd := 0; dd < spec.P; dd++ {
+						if e.nextV[dd] == i {
+							e.markKind(dd, 1<<uint(nc+2))
+						}
+					}
+				}
 			}
 		}
 	case PassB:
-		st := spec.StageOf(d, c.pass.Chunk)
-		e.bEnd[st][c.pass.Micro] = end
-		e.nextB[d][c.pass.Chunk]++
-		e.inFlight[d][c.pass.Chunk]--
-		if evented && st > 0 {
-			// Upstream backward of the same microbatch.
-			e.markDirty(spec.DeviceOf(st - 1))
+		st := spec.StageOf(d, tp.Chunk)
+		e.bEnd[st*M+i] = end
+		e.nextB[d*spec.Chunks+tp.Chunk]++
+		e.inFlight[d*spec.Chunks+tp.Chunk]--
+		if live {
+			// Own B (cursor), F (in-flight slot freed) and W (this B's
+			// gradient became available) slots.
+			e.markKind(d, 7<<uint(3*tp.Chunk))
+			if st > 0 {
+				// Upstream backward of the same microbatch.
+				e.markKind(spec.DeviceOf(st-1), 2<<uint(3*spec.ChunkOf(st-1)))
+			}
 		}
 	case PassW:
-		e.nextW[d][c.pass.Chunk]++
+		e.nextW[d*spec.Chunks+tp.Chunk]++
+		if live {
+			e.markKind(d, 4<<uint(3*tp.Chunk))
+		}
 	case PassS:
-		i := c.pass.Micro
-		e.sEnd[d][i] = end
+		e.sEnd[d*M+i] = end
 		e.nextS[d]++
 		e.sRemaining[i]--
+		if live {
+			e.markKind(d, 1<<uint(nc))
+		}
 		if e.sRemaining[i] == 0 {
 			latest := 0.0
 			for dd := 0; dd < spec.P; dd++ {
-				latest = math.Max(latest, e.sEnd[dd][i])
+				if s := e.sEnd[dd*M+i]; s > latest {
+					latest = s
+				}
 			}
 			e.c1End[i] = latest + spec.Vocab.C1Time
-			if evented {
-				// C1 gates every device's T and, under Algorithm 2, the
-				// last stage's backward.
-				e.markAllDirty()
+			if live {
+				// C1 gates the T passes waiting on microbatch i and, under
+				// Algorithm 2, the last stage's backward.
+				for dd := 0; dd < spec.P; dd++ {
+					if e.nextT[dd] == i {
+						e.markKind(dd, 1<<uint(nc+1))
+					}
+				}
+				if spec.Vocab.Barriers == 1 {
+					e.markKind(e.lastDev, 2<<uint(3*(spec.Chunks-1)))
+				}
 			}
 		}
 	case PassT:
-		i := c.pass.Micro
-		e.tEnd[d][i] = end
+		e.tEnd[d*M+i] = end
 		e.nextT[d]++
 		e.tRemaining[i]--
+		if live {
+			e.markKind(d, 1<<uint(nc+1))
+		}
 		if e.tRemaining[i] == 0 && spec.Vocab.Barriers == 2 {
 			latest := 0.0
 			for dd := 0; dd < spec.P; dd++ {
-				latest = math.Max(latest, e.tEnd[dd][i])
+				if t := e.tEnd[dd*M+i]; t > latest {
+					latest = t
+				}
 			}
 			e.c2End[i] = latest + spec.Vocab.C2Time
-			if evented {
+			if live {
 				// C2 gates the last stage's backward (Algorithm 1).
-				e.markDirty(spec.DeviceOf(e.last))
+				e.markKind(e.lastDev, 2<<uint(3*(spec.Chunks-1)))
 			}
 		}
 	case PassV:
-		i := c.pass.Micro
-		e.vEnd[d][i] = end
+		e.vEnd[d*M+i] = end
 		e.nextV[d]++
 		e.vRemaining[i]--
+		if live {
+			e.markKind(d, 1<<uint(nc+2))
+		}
 		if e.vRemaining[i] == 0 {
 			latest := 0.0
 			for dd := 0; dd < spec.P; dd++ {
-				latest = math.Max(latest, e.vEnd[dd][i])
+				if v := e.vEnd[dd*M+i]; v > latest {
+					latest = v
+				}
 			}
 			e.vBarrier[i] = latest
-			if evented {
+			if live {
 				// The interlaced barrier gates the last stage's backward.
-				e.markDirty(spec.DeviceOf(e.last))
+				e.markKind(e.lastDev, 2<<uint(3*(spec.Chunks-1)))
 			}
 		}
 	}

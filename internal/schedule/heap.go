@@ -34,6 +34,15 @@ func newDeviceHeap(p int) *deviceHeap {
 	return h
 }
 
+// reset empties the heap for reuse by a re-armed engine, keeping its
+// backing arrays.
+func (h *deviceHeap) reset() {
+	for _, d := range h.order {
+		h.pos[d] = -1
+	}
+	h.order = h.order[:0]
+}
+
 func (h *deviceHeap) less(a, b int) bool {
 	if h.start[a] != h.start[b] {
 		return h.start[a] < h.start[b]

@@ -257,6 +257,42 @@ type Timeline struct {
 	Passes   []TimedPass   // in commit order (globally non-decreasing start)
 	ByDevice [][]TimedPass // per-device execution order
 	Makespan float64
+
+	// arena marks a timeline whose slices alias a reusable Engine's arena
+	// and are only valid until that engine's next Build or Reset. The
+	// package-level Build/BuildScan clear it (their throwaway engine's
+	// memory is owned by the timeline); Engine.Build sets it.
+	arena bool
+}
+
+// Ephemeral reports whether the timeline aliases a reusable Engine's arena
+// and must be Detach-ed before outliving the engine's next Build or Reset.
+func (tl *Timeline) Ephemeral() bool { return tl.arena }
+
+// Detach returns a compact self-owned copy of the timeline, safe to retain
+// after the engine that produced it is rebuilt or pooled. Passes and every
+// ByDevice row are carved from two fresh slabs sized exactly; the Spec
+// pointer is shared (specs are caller-owned and never recycled). A timeline
+// that already owns its memory is returned unchanged.
+func (tl *Timeline) Detach() *Timeline {
+	if !tl.arena {
+		return tl
+	}
+	out := &Timeline{Spec: tl.Spec, Makespan: tl.Makespan}
+	out.Passes = make([]TimedPass, len(tl.Passes))
+	copy(out.Passes, tl.Passes)
+	total := 0
+	for _, row := range tl.ByDevice {
+		total += len(row)
+	}
+	back := make([]TimedPass, 0, total)
+	out.ByDevice = make([][]TimedPass, len(tl.ByDevice))
+	for d, row := range tl.ByDevice {
+		start := len(back)
+		back = append(back, row...)
+		out.ByDevice[d] = back[start:len(back):len(back)]
+	}
+	return out
 }
 
 // DeviceBusy returns the total busy time of a device.

@@ -20,10 +20,14 @@ import (
 func TestOpenLoopSpikeDegradesGracefully(t *testing.T) {
 	s, ts := newTestServer(t, Options{MaxInFlight: 1, AdmitQueue: 2, Parallel: 1})
 
-	// Cold single-cell grids: micro sweeps 64..562, so nearly every arrival
-	// is a distinct cache key and must queue for the one compute slot.
+	// Cold grids: micro sweeps 64..562, so nearly every arrival is a
+	// distinct cache key and must queue for the one compute slot. Seven
+	// 10B cells per request keep the service time well above the spike's
+	// inter-arrival gap — a single cheap cell no longer saturates one slot
+	// now that the sweep path reuses warm engines — while staying light
+	// enough that queued responses hold the p99 gate under -race.
 	urlTmpl := ts.URL + "/api/v1/sweep?grid=" +
-		url.QueryEscape("model=4B;method=vocab-1;vocab=32k;micro=") + "{64+i%499}"
+		url.QueryEscape("model=10B;method=all;vocab=256k;micro=") + "{64+i%499}"
 
 	sc, err := load.Preset("spike", 50, 1000, 600*time.Millisecond)
 	if err != nil {

@@ -102,20 +102,70 @@ func Run(cfg costmodel.Config, m Method) (*Result, error) {
 	return FromTimeline(cfg, m, tl), nil
 }
 
+// Runner is a reusable simulation context: a warm schedule.Engine (arena
+// state plus prefix reuse across adjacent specs) and an analyzer with
+// persistent scratch. A warm runner simulates a cell with a handful of
+// small allocations — the Result and its per-device slices — instead of
+// rebuilding every engine table. Not safe for concurrent use; pool runners
+// per worker (sweep.Run does).
+type Runner struct {
+	// KeepTimeline controls whether results carry a detached copy of the
+	// built timeline. Off (the default), the timeline stays in the engine's
+	// arena and the next Run recycles it.
+	KeepTimeline bool
+
+	eng schedule.Engine
+	an  schedule.Analyzer
+}
+
+// NewRunner returns a cold runner; the first Run warms it.
+func NewRunner() *Runner { return &Runner{} }
+
+// Run simulates one (config, method) cell on the runner's warm engine. The
+// Result never aliases the engine's arena: measured slices are copied out
+// of the analyzer's scratch, and a timeline is attached only when
+// KeepTimeline is set, as a detached self-owned copy.
+func (r *Runner) Run(cfg costmodel.Config, m Method) (*Result, error) {
+	spec, err := BuildSpec(cfg, m)
+	if err != nil {
+		return nil, err
+	}
+	tl, err := r.eng.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	res := measure(&r.an, cfg, m, tl)
+	if r.KeepTimeline {
+		res.Timeline = tl.Detach()
+	}
+	return res, nil
+}
+
 // FromTimeline measures a built timeline into a Result. Used by Run and by
 // ablations that mutate a spec before building (e.g. Appendix B.2's
-// sync-free interlaced pipeline).
+// sync-free interlaced pipeline). A timeline that aliases a reusable
+// engine's arena (Timeline.Ephemeral) is detached first, so the Result is
+// always safe to cache.
 func FromTimeline(cfg costmodel.Config, m Method, tl *schedule.Timeline) *Result {
-	mem := tl.PeakMemoryBytes(costmodel.RuntimeOverheadBytes)
+	var an schedule.Analyzer
+	res := measure(&an, cfg, m, tl)
+	res.Timeline = tl.Detach()
+	return res
+}
+
+// measure computes a timeline's metrics into a fresh Result whose slices
+// are owned copies (an's scratch is reused across calls). The Timeline
+// field is left nil for the caller to decide.
+func measure(an *schedule.Analyzer, cfg costmodel.Config, m Method, tl *schedule.Timeline) *Result {
+	mem := an.PeakMemoryBytes(tl, costmodel.RuntimeOverheadBytes)
 	res := &Result{
 		Config:   cfg,
 		Method:   m,
 		IterTime: tl.Makespan,
 		MFU:      cfg.MFU(tl.Makespan),
-		PeakMem:  mem,
+		PeakMem:  append([]float64(nil), mem...),
 		Bubble:   tl.MaxBubbleRatio(),
-		InFlight: tl.PeakInFlight(),
-		Timeline: tl,
+		InFlight: append([]int(nil), an.PeakInFlight(tl)...),
 	}
 	res.MinMem = math.Inf(1)
 	for _, b := range mem {

@@ -300,3 +300,64 @@ func TestInputLayerHolding(t *testing.T) {
 		t.Fatalf("input-layer holding charge = %v, want 2 microbatches/p = %v", got, want)
 	}
 }
+
+// TestRunnerResultsSurviveEngineReuse is the aliasing regression test for
+// warm-engine reuse: the Result objects a Runner hands out are what the
+// server's response cache and sweep's result set retain, so they must not
+// alias the pooled engine's arena. Snapshot-free version: cache an early
+// result, keep churning the same runner through other cells (which rewrites
+// the engine's arena in place), then require the cached result — timeline
+// included — to still equal a fresh throwaway-engine build of its cell.
+func TestRunnerResultsSurviveEngineReuse(t *testing.T) {
+	r := NewRunner()
+	r.KeepTimeline = true
+	c := small("4B")
+
+	cached, err := r.Run(c, Vocab1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Timeline == nil {
+		t.Fatal("KeepTimeline set but no timeline attached")
+	}
+	if cached.Timeline.Ephemeral() {
+		t.Fatal("cached result's timeline still aliases the engine arena")
+	}
+
+	// Churn the same runner: every method, shifting microbatch counts, so
+	// the engine's arena and the analyzer scratch are rewritten many times.
+	for i, m := range AllMethods {
+		c2 := c
+		c2.NumMicro = c.NumMicro + i%3
+		if _, err := r.Run(c2, m); err != nil {
+			t.Fatalf("churn %v: %v", m, err)
+		}
+	}
+
+	fresh, err := Run(c, Vocab1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.IterTime != fresh.IterTime || cached.MFU != fresh.MFU ||
+		cached.MaxMem != fresh.MaxMem || cached.MinMem != fresh.MinMem ||
+		cached.Bubble != fresh.Bubble || cached.OOM != fresh.OOM {
+		t.Fatalf("cached scalars mutated by engine reuse:\n cached %+v\n fresh  %+v", cached, fresh)
+	}
+	for d := range fresh.PeakMem {
+		if cached.PeakMem[d] != fresh.PeakMem[d] {
+			t.Fatalf("cached PeakMem[%d] = %v, fresh %v", d, cached.PeakMem[d], fresh.PeakMem[d])
+		}
+		if cached.InFlight[d] != fresh.InFlight[d] {
+			t.Fatalf("cached InFlight[%d] = %v, fresh %v", d, cached.InFlight[d], fresh.InFlight[d])
+		}
+	}
+	if len(cached.Timeline.Passes) != len(fresh.Timeline.Passes) {
+		t.Fatalf("cached timeline has %d passes, fresh %d", len(cached.Timeline.Passes), len(fresh.Timeline.Passes))
+	}
+	for k := range fresh.Timeline.Passes {
+		if cached.Timeline.Passes[k] != fresh.Timeline.Passes[k] {
+			t.Fatalf("cached timeline pass %d mutated by engine reuse:\n cached %+v\n fresh  %+v",
+				k, cached.Timeline.Passes[k], fresh.Timeline.Passes[k])
+		}
+	}
+}

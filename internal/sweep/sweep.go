@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 
@@ -170,8 +171,12 @@ type Options struct {
 	// Parallel is the worker count; values < 1 default to GOMAXPROCS.
 	Parallel int
 	// OnCell, when non-nil, is called after each cell completes with the
-	// number done so far and the grid total. Calls are serialized, but
-	// arrive in completion order, not expansion order.
+	// number done so far and the grid total. Calls may run concurrently and
+	// observe done values out of order; the guarantee that survives is that
+	// done values are unique, cover 1..total (minus skipped cells), and are
+	// assigned in completion order. A slow callback delays only its own
+	// worker, never the whole pool. Callbacks that need mutual exclusion
+	// must bring their own lock.
 	OnCell func(done, total int, r CellResult)
 }
 
@@ -199,49 +204,107 @@ func Run(g *Grid, opt Options) *Results {
 func RunCtx(ctx context.Context, g *Grid, opt Options) (*Results, error) {
 	cells := g.Expand()
 	results := make([]CellResult, len(cells))
+	chains := chainCells(cells)
 	workers := opt.Parallel
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(cells) {
-		workers = len(cells)
+	if workers > len(chains) {
+		workers = len(chains)
 	}
 
-	jobs := make(chan int)
+	jobs := make(chan []int)
 	var wg sync.WaitGroup
-	var mu sync.Mutex // guards done counter and OnCell
+	var mu sync.Mutex // guards the done counter
 	done := 0
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
-				if err := ctx.Err(); err != nil {
-					results[i] = CellResult{Cell: cells[i], Index: i,
-						Err: fmt.Errorf("sweep: cell %q %w: %w", cells[i].Label, ErrSkipped, err)}
-					continue
-				}
-				results[i] = evalCell(cells[i], i, g.KeepTimelines)
-				if opt.OnCell != nil {
-					mu.Lock()
-					done++
-					opt.OnCell(done, len(cells), results[i])
-					mu.Unlock()
+			// Each worker holds one warm runner for its lifetime; the pool
+			// keeps runners warm across Run calls too.
+			runner := runnerPool.Get().(*sim.Runner)
+			defer runnerPool.Put(runner)
+			runner.KeepTimeline = g.KeepTimelines
+			for chain := range jobs {
+				for _, i := range chain {
+					if err := ctx.Err(); err != nil {
+						results[i] = CellResult{Cell: cells[i], Index: i,
+							Err: fmt.Errorf("sweep: cell %q %w: %w", cells[i].Label, ErrSkipped, err)}
+						continue
+					}
+					results[i] = evalCell(runner, cells[i], i, g.KeepTimelines)
+					if opt.OnCell != nil {
+						// Snapshot the counter under the lock, invoke outside:
+						// a slow callback must not serialize the worker pool.
+						mu.Lock()
+						done++
+						n := done
+						mu.Unlock()
+						opt.OnCell(n, len(cells), results[i])
+					}
 				}
 			}
 		}()
 	}
-	for i := range cells {
-		jobs <- i
+	for _, chain := range chains {
+		jobs <- chain
 	}
 	close(jobs)
 	wg.Wait()
 	return &Results{Grid: g, Cells: results}, ctx.Err()
 }
 
-// evalCell evaluates one cell, converting panics into per-cell errors so a
-// degenerate configuration cannot abort the grid.
-func evalCell(c Cell, index int, keepTimeline bool) (res CellResult) {
+// runnerPool recycles warm simulation runners (engine arenas + analyzer
+// scratch) across workers and Run calls.
+var runnerPool = sync.Pool{New: func() any { return sim.NewRunner() }}
+
+// maxChainLen caps how many cells one worker evaluates back to back, so a
+// long microbatch axis cannot starve the pool of parallelism.
+const maxChainLen = 16
+
+// chainCells groups cell indices into evaluation chains: runs of
+// default-eval cells that share a method and a configuration up to the
+// microbatch count, ordered by ascending NumMicro so consecutive specs
+// differ only in the trailing axis and the engine's prefix reuse engages.
+// Custom-eval cells stay singleton chains. This is purely an evaluation
+// permutation — expansion order, result order, Key() and sharding are
+// untouched; results are still written by original index.
+func chainCells(cells []Cell) [][]int {
+	type chainKey struct {
+		method sim.Method
+		cfg    costmodel.Config
+	}
+	var chains [][]int
+	at := map[chainKey]int{}
+	for i := range cells {
+		if cells[i].Eval != nil {
+			chains = append(chains, []int{i})
+			continue
+		}
+		key := chainKey{cells[i].Method, cells[i].Config}
+		key.cfg.NumMicro = 0
+		if ci, ok := at[key]; ok && len(chains[ci]) < maxChainLen {
+			chains[ci] = append(chains[ci], i)
+			continue
+		}
+		at[key] = len(chains)
+		chains = append(chains, []int{i})
+	}
+	for _, chain := range chains {
+		sort.SliceStable(chain, func(a, b int) bool {
+			return cells[chain[a]].Config.NumMicro < cells[chain[b]].Config.NumMicro
+		})
+	}
+	return chains
+}
+
+// evalCell evaluates one cell on the worker's warm runner, converting panics
+// into per-cell errors so a degenerate configuration cannot abort the grid.
+// A panic mid-build is safe to recover from: the engine marks its previous
+// build reusable only after a completed run, so the next cell falls back to
+// a scratch build on clean state.
+func evalCell(runner *sim.Runner, c Cell, index int, keepTimeline bool) (res CellResult) {
 	res = CellResult{Cell: c, Index: index}
 	defer func() {
 		if r := recover(); r != nil {
@@ -249,11 +312,13 @@ func evalCell(c Cell, index int, keepTimeline bool) (res CellResult) {
 			res.Err = fmt.Errorf("sweep: cell %q panicked: %v", c.Label, r)
 		}
 	}()
-	eval := c.Eval
-	if eval == nil {
-		eval = func(c Cell) (*sim.Result, error) { return sim.Run(c.Config, c.Method) }
+	var r *sim.Result
+	var err error
+	if c.Eval != nil {
+		r, err = c.Eval(c)
+	} else {
+		r, err = runner.Run(c.Config, c.Method)
 	}
-	r, err := eval(c)
 	if err != nil {
 		res.Err = fmt.Errorf("sweep: cell %q: %w", c.Label, err)
 		return res

@@ -5,8 +5,12 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"vocabpipe/internal/costmodel"
 	"vocabpipe/internal/report"
@@ -134,27 +138,68 @@ func TestPanicCapture(t *testing.T) {
 	}
 }
 
-// TestProgressCallback proves OnCell fires once per cell with a serialized,
-// monotonically increasing done count.
+// TestProgressCallback proves OnCell fires once per cell and the done
+// values cover 1..total exactly.
 func TestProgressCallback(t *testing.T) {
 	g := tinyGrid()
 	total := len(g.Expand())
+	// OnCell may run concurrently and observe done values out of order; the
+	// surviving guarantee is unique coverage of 1..total. Callbacks bring
+	// their own lock.
+	var mu sync.Mutex
 	var dones []int
 	res := Run(g, Options{Parallel: 4, OnCell: func(done, tot int, r CellResult) {
 		if tot != total {
 			t.Errorf("OnCell total=%d, want %d", tot, total)
 		}
+		mu.Lock()
 		dones = append(dones, done)
+		mu.Unlock()
 	}})
 	if len(dones) != total {
 		t.Fatalf("OnCell fired %d times, want %d", len(dones), total)
 	}
+	sort.Ints(dones)
 	for i, d := range dones {
 		if d != i+1 {
-			t.Fatalf("OnCell done sequence %v not monotone", dones)
+			t.Fatalf("OnCell done values %v do not cover 1..%d", dones, total)
 		}
 	}
 	_ = res
+}
+
+// TestSlowOnCellDoesNotSerializePool pins the callback-concurrency fix:
+// OnCell used to be invoked while holding the done-counter mutex, so one
+// slow callback (a terminal render, a network push) stalled every worker.
+// Now the counter is snapshotted under the lock and the callback runs
+// outside it — so with 4 workers and a deliberately slow callback, callbacks
+// must overlap in time. Run under -race in CI, this also proves the
+// snapshot hand-off is clean.
+func TestSlowOnCellDoesNotSerializePool(t *testing.T) {
+	g := tinyGrid()
+	total := len(g.Expand())
+	var active, peak, calls atomic.Int32
+	res := Run(g, Options{Parallel: 4, OnCell: func(done, tot int, r CellResult) {
+		calls.Add(1)
+		n := active.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(30 * time.Millisecond)
+		active.Add(-1)
+	}})
+	if got := int(calls.Load()); got != total {
+		t.Fatalf("OnCell fired %d times, want %d", got, total)
+	}
+	if errs := res.Errs(); len(errs) > 0 {
+		t.Fatalf("sweep errors: %v", errs[0])
+	}
+	if peak.Load() < 2 {
+		t.Fatalf("slow callbacks never overlapped (peak concurrency %d): OnCell is serializing the pool", peak.Load())
+	}
 }
 
 func TestCustomEvalAndKeepTimelines(t *testing.T) {

@@ -9,6 +9,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"vocabpipe/internal/sim"
 	"vocabpipe/internal/sweep"
@@ -93,20 +94,25 @@ func Search(ctx context.Context, spec *Spec, strategy Strategy, opt Options) (*R
 }
 
 // tracker accumulates live progress across evaluation batches. Its onCell
-// hook runs inside the sweep engine's serialized OnCell callback, so polling
-// clients (the job queue) see progress while a batch is still computing.
+// hook runs inside the sweep engine's OnCell callback, so polling clients
+// (the job queue) see progress while a batch is still computing.
 type tracker struct {
 	spec  *Spec
 	opt   Options
+	mu    sync.Mutex // sweep OnCell callbacks can run concurrently
 	done  int
 	total int
 	best  *Ranked
 }
 
 // onCell folds one completed sweep cell into the best-so-far and emits a
-// progress event. Calls are serialized by the sweep engine, and strategies
-// run their batches sequentially, so no extra locking is needed.
+// progress event. The sweep engine may invoke OnCell from several workers
+// at once, so the fold and the OnProgress emission run under the tracker's
+// lock — which also preserves Options.OnProgress's documented "calls are
+// serialized" contract.
 func (t *tracker) onCell(r sweep.CellResult) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.done++
 	cand := Candidate{Method: r.Method, Devices: r.Config.Devices, Micro: r.Config.NumMicro}
 	if rk := t.spec.rankedOf(evaluated{cand: cand, res: r.Result, err: r.Err}); rk.Feasible && (t.best == nil || rk.Score > t.best.Score) {
